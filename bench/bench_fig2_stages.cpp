@@ -1,0 +1,95 @@
+// Fig. 2 reproduction: the four-stage enforcement mechanism
+// (split/generate -> deploy/sign -> submit/challenge -> dispute/resolve).
+//
+// Runs the betting protocol under every behaviour profile the mechanism is
+// designed around and prints the per-stage cost table: miner gas, on-chain
+// bytes, transaction count and off-chain message traffic. The dispute
+// stages are only exercised when a dishonest participant forces them —
+// exactly the conditional flow the figure illustrates.
+
+#include <cstdio>
+
+#include "onoff/protocol.h"
+
+using namespace onoff;
+using core::Behavior;
+using core::BettingProtocol;
+using core::MessageBus;
+using core::ProtocolReport;
+using core::Stage;
+
+namespace {
+
+ProtocolReport Run(Behavior alice_behavior, Behavior bob_behavior) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+  chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+  MessageBus bus;
+  contracts::OffchainConfig offchain;
+  offchain.secret_alice = U256(0xa11ce);
+  offchain.secret_bob = U256(0xb0b);
+  offchain.reveal_iterations = 200;
+  BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                           contracts::Ether(1));
+  auto report = protocol.Run(alice_behavior, bob_behavior);
+  if (!report.ok()) {
+    std::fprintf(stderr, "protocol failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *report;
+}
+
+void PrintScenario(const char* title, const ProtocolReport& report) {
+  std::printf("\n--- %s ---\n", title);
+  std::printf("settlement: %s | correct payout: %s | private bytes revealed: "
+              "%zu\n",
+              core::SettlementName(report.settlement),
+              report.correct_payout ? "yes" : "NO",
+              report.private_bytes_revealed);
+  std::printf("%-18s %12s %10s %6s %9s %10s\n", "stage", "miner gas",
+              "on-bytes", "txs", "off-msgs", "off-bytes");
+  for (int i = 0; i < core::kNumStages; ++i) {
+    const auto& s = report.stages[i];
+    std::printf("%-18s %12llu %10zu %6d %9zu %10zu\n",
+                core::StageName(static_cast<Stage>(i)),
+                static_cast<unsigned long long>(s.gas_used), s.onchain_bytes,
+                s.transactions, s.offchain_messages, s.offchain_bytes);
+  }
+  std::printf("%-18s %12llu %10zu\n", "TOTAL",
+              static_cast<unsigned long long>(report.TotalGas()),
+              report.TotalOnchainBytes());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 2: the four-stage on/off-chain mechanism ===\n");
+
+  Behavior honest;
+  PrintScenario("all honest (optimistic settlement)", Run(honest, honest));
+
+  Behavior silent_loser;
+  silent_loser.admit_loss = false;
+  PrintScenario("dishonest loser goes silent (dispute/resolve executes)",
+                Run(silent_loser, silent_loser));
+
+  Behavior no_deposit;
+  no_deposit.make_deposit = false;
+  PrintScenario("a participant never deposits (refund round)",
+                Run(honest, no_deposit));
+
+  Behavior no_sign;
+  no_sign.sign_offchain_copy = false;
+  PrintScenario("a participant refuses to sign (abort before deposits)",
+                Run(honest, no_sign));
+
+  std::printf(
+      "\nShape check: stages 1-3 cost the same in every scenario; the\n"
+      "dispute/resolve stage only consumes gas when dishonesty forces it,\n"
+      "and aborts/refunds leave participants whole minus gas — the\n"
+      "incentive structure of Fig. 2.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation C: privacy — bytes of contract content exposed on the public
+// chain under each execution model, swept over the size of the private
+// logic. Quantifies the claim that "sensitive information involved in the
+// off-chain contract can be hidden from the public".
+
+#include <cstdio>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"
+#include "onoff/protocol.h"
+
+using namespace onoff;
+using core::Behavior;
+using core::BettingProtocol;
+using core::MessageBus;
+
+namespace {
+
+struct Exposure {
+  size_t offchain_code_public;  // off-chain contract bytes that went public
+  size_t total_public_bytes;    // all calldata + code on the chain
+};
+
+Exposure RunHybrid(uint64_t reveal_iterations, bool dispute) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+  chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+  MessageBus bus;
+  contracts::OffchainConfig offchain;
+  offchain.secret_alice = U256(0xa11ce);
+  offchain.secret_bob = U256(0xb0b);
+  offchain.reveal_iterations = reveal_iterations;
+  BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                           contracts::Ether(1));
+  Behavior behavior;
+  behavior.admit_loss = !dispute;
+  auto report = protocol.Run(behavior, behavior);
+  if (!report.ok()) std::exit(1);
+  return Exposure{report->private_bytes_revealed,
+                  report->TotalOnchainBytes()};
+}
+
+Exposure RunAllOnChain(uint64_t reveal_iterations) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+  contracts::OffchainConfig offchain;
+  offchain.alice = alice.EthAddress();
+  offchain.bob = secp256k1::PrivateKey::FromSeed("bob").EthAddress();
+  offchain.secret_alice = U256(0xa11ce);
+  offchain.secret_bob = U256(0xb0b);
+  offchain.reveal_iterations = reveal_iterations;
+  auto init = contracts::BuildOffChainInit(offchain);
+  auto deploy = chain.Execute(alice, std::nullopt, U256(), *init, 8'000'000);
+  size_t code = chain.GetCode(deploy->contract_address).size();
+  // The whole private logic is published: init calldata + runtime code.
+  return Exposure{init->size() + code, init->size() + code};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation C: private bytes exposed on-chain ===\n\n");
+  std::printf("%-14s %22s %22s %22s\n", "reveal iters",
+              "all-on-chain (bytes)", "hybrid optimistic", "hybrid disputed");
+  for (uint64_t iters : {0ull, 100ull, 1000ull, 10000ull}) {
+    Exposure aoc = RunAllOnChain(iters);
+    Exposure opt = RunHybrid(iters, false);
+    Exposure dis = RunHybrid(iters, true);
+    std::printf("%-14llu %22zu %22zu %22zu\n",
+                static_cast<unsigned long long>(iters),
+                aoc.offchain_code_public, opt.offchain_code_public,
+                dis.offchain_code_public);
+  }
+  std::printf(
+      "\nShape check: the optimistic hybrid path exposes 0 bytes of the\n"
+      "private contract regardless of its size; all-on-chain always\n"
+      "exposes everything; a dispute exposes the signed bytecode once.\n"
+      "(The private logic's byte size is constant in reveal iterations here\n"
+      "because the loop bound is one immediate; the exposure difference\n"
+      "between columns is the structural result.)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// The paper's running example end-to-end (Table I): Alice and Bob bet 1
+// ether on a private predicate. This example runs the full four-stage
+// protocol twice — once with an honest loser (optimistic settlement, nothing
+// private revealed) and once with a dishonest loser (dispute: the signed
+// off-chain contract is revealed and a verified instance forces the true
+// result), printing a stage-by-stage narrative with gas numbers.
+//
+// Build & run:  ./build/examples/betting_dispute
+
+#include <cstdio>
+
+#include "onoff/protocol.h"
+
+using namespace onoff;
+using core::Behavior;
+using core::BettingProtocol;
+using core::MessageBus;
+using core::ProtocolReport;
+using core::Settlement;
+using core::Stage;
+
+namespace {
+
+void PrintReport(const char* title, const ProtocolReport& report) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("settlement: %s, bob_won: %s, correct payout: %s\n",
+              core::SettlementName(report.settlement),
+              report.bob_won ? "yes" : "no",
+              report.correct_payout ? "yes" : "no");
+  std::printf("%-18s %12s %10s %8s %10s %10s\n", "stage", "gas", "on-bytes",
+              "txs", "off-msgs", "off-bytes");
+  for (int i = 0; i < core::kNumStages; ++i) {
+    const auto& s = report.stages[i];
+    std::printf("%-18s %12llu %10zu %8d %10zu %10zu\n",
+                core::StageName(static_cast<Stage>(i)),
+                static_cast<unsigned long long>(s.gas_used), s.onchain_bytes,
+                s.transactions, s.offchain_messages, s.offchain_bytes);
+  }
+  std::printf("total gas: %llu | on-chain bytes: %zu | private bytes "
+              "revealed: %zu\n",
+              static_cast<unsigned long long>(report.TotalGas()),
+              report.TotalOnchainBytes(), report.private_bytes_revealed);
+}
+
+ProtocolReport RunScenario(bool loser_admits) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+  chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+  MessageBus bus;
+
+  contracts::OffchainConfig offchain;
+  offchain.secret_alice = U256(0xa11ce);  // Alice's private input
+  offchain.secret_bob = U256(0xb0b);      // Bob's private input
+  offchain.reveal_iterations = 50;        // weight of the private reveal()
+
+  BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                           contracts::Ether(1));
+  Behavior behavior;
+  behavior.admit_loss = loser_admits;
+  auto report = protocol.Run(behavior, behavior);
+  if (!report.ok()) {
+    std::printf("protocol error: %s\n", report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("On/off-chain betting between Alice and Bob (Table I rules)\n");
+  std::printf("Both deposit 1 ether; the bet is decided by the private\n");
+  std::printf("reveal() function that exists only in the off-chain contract.\n");
+
+  ProtocolReport honest = RunScenario(/*loser_admits=*/true);
+  PrintReport("Scenario 1: honest loser calls reassign() (optimistic)",
+              honest);
+
+  ProtocolReport disputed = RunScenario(/*loser_admits=*/false);
+  PrintReport("Scenario 2: dishonest loser goes silent (dispute/resolve)",
+              disputed);
+
+  std::printf("\nDispute overhead: %+lld gas, %+lld on-chain bytes; the\n",
+              static_cast<long long>(disputed.TotalGas()) -
+                  static_cast<long long>(honest.TotalGas()),
+              static_cast<long long>(disputed.TotalOnchainBytes()) -
+                  static_cast<long long>(honest.TotalOnchainBytes()));
+  std::printf("optimistic path revealed %zu private bytes, the dispute path "
+              "%zu.\n",
+              honest.private_bytes_revealed, disputed.private_bytes_revealed);
+  return 0;
+}

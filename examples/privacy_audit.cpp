@@ -1,0 +1,143 @@
+// Privacy audit: what does an outside observer actually see on-chain?
+//
+// Runs the betting contract three ways — all-on-chain, hybrid/optimistic and
+// hybrid/disputed — and audits the public record: deployed code bytes,
+// calldata bytes, and whether the private betting secrets appear anywhere in
+// the public data.
+//
+// Build & run:  ./build/examples/privacy_audit
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"
+#include "onoff/protocol.h"
+
+using namespace onoff;
+
+namespace {
+
+// Collects every byte that hit the chain: all tx calldata + all code.
+Bytes PublicBytes(const chain::Blockchain& chain) {
+  Bytes all;
+  for (const auto& block : chain.blocks()) {
+    for (const auto& tx : block.transactions) {
+      Append(all, tx.data);
+    }
+  }
+  for (const Address& addr : chain.state().Addresses()) {
+    Append(all, chain.state().GetCode(addr));
+  }
+  return all;
+}
+
+bool Contains(const Bytes& haystack, const Bytes& needle) {
+  return std::search(haystack.begin(), haystack.end(), needle.begin(),
+                     needle.end()) != haystack.end();
+}
+
+struct Audit {
+  size_t public_bytes;
+  bool secrets_visible;
+  uint64_t total_gas;
+};
+
+Audit AuditChain(const chain::Blockchain& chain,
+                 const contracts::OffchainConfig& offchain) {
+  Bytes pub = PublicBytes(chain);
+  // The secrets are 32-byte words; their PUSH immediates embed the
+  // minimal-width big-endian form, so search for that.
+  Bytes sa = offchain.secret_alice.ToBigEndianTrimmed();
+  Bytes sb = offchain.secret_bob.ToBigEndianTrimmed();
+  return Audit{pub.size(), Contains(pub, sa) && Contains(pub, sb),
+               chain.TotalGasUsed()};
+}
+
+}  // namespace
+
+int main() {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+
+  contracts::OffchainConfig offchain;
+  offchain.alice = alice.EthAddress();
+  offchain.bob = bob.EthAddress();
+  offchain.secret_alice = U256(0xa11ce5ec3e7ull);  // "private topic" inputs
+  offchain.secret_bob = U256(0xb0b5ec3e7ull);
+  // Heavy enough that executing reveal() on-chain visibly dominates the
+  // hybrid model's one-time escrow-deployment overhead.
+  offchain.reveal_iterations = 20'000;
+
+  std::printf("Private inputs under audit: alice=%s bob=%s\n\n",
+              offchain.secret_alice.ToHex().c_str(),
+              offchain.secret_bob.ToHex().c_str());
+
+  // --- Model A: all-on-chain (the whole contract, reveal() included, is
+  // deployed publicly; calling reveal() is public too). We approximate the
+  // whole contract by deploying the off-chain part on the public chain.
+  Audit all_on_chain;
+  {
+    chain::Blockchain chain;
+    chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+    auto init = contracts::BuildOffChainInit(offchain);
+    auto deploy = chain.Execute(alice, std::nullopt, U256(), *init, 5'000'000);
+    chain.Execute(alice, deploy->contract_address, U256(),
+                  contracts::GetWinnerCalldata(), 2'000'000);
+    all_on_chain = AuditChain(chain, offchain);
+  }
+
+  // --- Model B: hybrid, honest participants (optimistic path).
+  Audit optimistic;
+  {
+    chain::Blockchain chain;
+    chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+    chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+    core::MessageBus bus;
+    core::BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                                   contracts::Ether(1));
+    auto report = protocol.Run(core::Behavior{}, core::Behavior{});
+    if (!report.ok() || report->settlement != core::Settlement::kOptimistic) {
+      std::printf("unexpected optimistic-run failure\n");
+      return 1;
+    }
+    optimistic = AuditChain(chain, offchain);
+  }
+
+  // --- Model C: hybrid with a dishonest loser (dispute path).
+  Audit disputed;
+  {
+    chain::Blockchain chain;
+    chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+    chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+    core::MessageBus bus;
+    core::BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                                   contracts::Ether(1));
+    core::Behavior dishonest;
+    dishonest.admit_loss = false;
+    auto report = protocol.Run(dishonest, dishonest);
+    if (!report.ok() || report->settlement != core::Settlement::kDisputed) {
+      std::printf("unexpected dispute-run failure\n");
+      return 1;
+    }
+    disputed = AuditChain(chain, offchain);
+  }
+
+  std::printf("%-28s %14s %16s %12s\n", "model", "public bytes",
+              "secrets visible", "miner gas");
+  auto row = [](const char* name, const Audit& a) {
+    std::printf("%-28s %14zu %16s %12llu\n", name, a.public_bytes,
+                a.secrets_visible ? "YES" : "no",
+                static_cast<unsigned long long>(a.total_gas));
+  };
+  row("all-on-chain", all_on_chain);
+  row("hybrid (optimistic)", optimistic);
+  row("hybrid (disputed)", disputed);
+
+  std::printf(
+      "\nTakeaway: the optimistic hybrid path keeps the private inputs off\n"
+      "the public record entirely; a dispute trades that privacy for\n"
+      "enforcement, exactly as the paper describes.\n");
+  return 0;
+}

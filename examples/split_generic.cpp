@@ -1,0 +1,155 @@
+// Splitting YOUR OWN contract with the generic framework.
+//
+// This example defines a three-function "escrowed auction settlement"
+// contract, tags the settlement computation heavy/private, and lets the
+// framework generate the on/off-chain pair. It then walks both result paths:
+// the optimistic submit -> challenge-period -> finalize flow, and a dispute
+// where a false submission is overridden by the verified instance.
+//
+// Build & run:  ./build/examples/split_generic
+
+#include <cstdio>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"  // Ether()
+#include "evm/opcodes.h"
+#include "onoff/split_contract.h"
+
+using namespace onoff;
+using contracts::ContractWriter;
+using core::FunctionDef;
+using core::SignedCopy;
+using core::SplitConfig;
+using evm::Opcode;
+
+int main() {
+  auto alice = secp256k1::PrivateKey::FromSeed("seller");
+  auto bob = secp256k1::PrivateKey::FromSeed("buyer");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+  chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+
+  // ---- 1. Describe the whole contract ----
+  // recordBid(): light — writes a bid marker on-chain.
+  // ackDelivery(): light — writes a delivery marker on-chain.
+  // settlePrice(): heavy/private — computes the final clearing price from
+  //                parameters the parties don't want public.
+  std::vector<FunctionDef> functions;
+  functions.push_back({"recordBid()", /*heavy=*/false, [](ContractWriter& w) {
+                         w.PushU(U256(1));
+                         w.SStore(U256(10));
+                       }});
+  functions.push_back({"ackDelivery()", /*heavy=*/false, [](ContractWriter& w) {
+                         w.PushU(U256(1));
+                         w.SStore(U256(11));
+                       }});
+  functions.push_back({"settlePrice()", /*heavy=*/true, [](ContractWriter& w) {
+                         // A stand-in for private pricing logic: hash the
+                         // (secret) reserve and bid, take the low 16 bits.
+                         w.PushU(U256(0x5ec2e7));  // secret reserve price
+                         w.PushU(U256(0x00));
+                         w.b().Op(Opcode::MSTORE);
+                         w.PushU(U256(0xb1d));     // secret bid
+                         w.PushU(U256(0x20));
+                         w.b().Op(Opcode::MSTORE);
+                         w.PushU(U256(0x40));
+                         w.PushU(U256(0x00));
+                         w.b().Op(Opcode::SHA3);
+                         w.PushU(U256(0xffff));
+                         w.b().Op(Opcode::AND);
+                       }});
+
+  // ---- 2. Split it ----
+  SplitConfig config;
+  config.participants = {alice.EthAddress(), bob.EthAddress()};
+  config.challenge_period_seconds = 120;
+  auto split = core::SplitContract(config, functions);
+  if (!split.ok()) {
+    std::printf("split failed: %s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("on-chain contract:  %4zu bytes runtime, functions:\n",
+              split->onchain_runtime.size());
+  for (const auto& sig : split->onchain_signatures) {
+    std::printf("    %s\n", sig.c_str());
+  }
+  std::printf("off-chain contract: %4zu bytes runtime, functions:\n",
+              split->offchain_runtime.size());
+  for (const auto& sig : split->offchain_signatures) {
+    std::printf("    %s\n", sig.c_str());
+  }
+
+  // ---- 3. Deploy on-chain part; sign the off-chain part ----
+  auto deploy = chain.Execute(alice, std::nullopt, U256(),
+                              split->onchain_init, 5'000'000);
+  Address onchain = deploy->contract_address;
+  std::printf("\ndeployed on-chain part at %s (gas %llu)\n",
+              onchain.ToHex().c_str(),
+              static_cast<unsigned long long>(deploy->gas_used));
+
+  SignedCopy copy(split->offchain_init);
+  copy.AddSignature(alice);
+  copy.AddSignature(bob);
+  std::printf("signed copy: %zu bytecode bytes, %zu signatures\n",
+              copy.bytecode().size(), copy.signature_count());
+
+  // ---- 4. Light functions run on-chain as usual ----
+  chain.Execute(alice, onchain, U256(), abi::EncodeCall("recordBid()", {}),
+                200'000);
+  chain.Execute(bob, onchain, U256(), abi::EncodeCall("ackDelivery()", {}),
+                200'000);
+
+  // ---- 5. Heavy function runs off-chain, locally ----
+  chain::Blockchain local;  // the buyer's private EVM
+  local.FundAccount(bob.EthAddress(), contracts::Ether(1));
+  auto local_deploy = local.Execute(bob, std::nullopt, U256(),
+                                    split->offchain_init, 5'000'000);
+  auto price_res = local.CallReadOnly(bob.EthAddress(),
+                                      local_deploy->contract_address,
+                                      abi::EncodeCall("settlePrice()", {}));
+  U256 true_price = U256::FromBigEndianTruncating(price_res.output);
+  std::printf("\noff-chain settlePrice() computed locally: %s\n",
+              true_price.ToDecimal().c_str());
+
+  // ---- 6a. Optimistic path: submit + finalize after challenge period ----
+  auto submit = chain.Execute(alice, onchain,
+                              U256(), core::SubmitResultCalldata(true_price),
+                              300'000);
+  std::printf("submitResult: gas %llu\n",
+              static_cast<unsigned long long>(submit->gas_used));
+  chain.AdvanceTime(config.challenge_period_seconds);
+  auto finalize = chain.Execute(bob, onchain, U256(),
+                                core::FinalizeResultCalldata(), 300'000);
+  std::printf("finalizeResult: gas %llu, final result on-chain: %s\n",
+              static_cast<unsigned long long>(finalize->gas_used),
+              chain.GetStorage(onchain, U256(core::split_slots::kFinalResult))
+                  .ToDecimal()
+                  .c_str());
+
+  // ---- 6b. Dispute path on a fresh instance: false submit + challenge ----
+  std::printf("\n--- dispute demo on a second deployment ---\n");
+  auto deploy2 = chain.Execute(bob, std::nullopt, U256(), split->onchain_init,
+                               5'000'000);
+  Address onchain2 = deploy2->contract_address;
+  chain.Execute(alice, onchain2, U256(),
+                core::SubmitResultCalldata(U256(1)),  // a lie
+                300'000);
+  std::printf("alice submitted FALSE result 1\n");
+  auto challenge_data = core::DeployVerifiedInstanceCalldata(copy, config);
+  auto challenge = chain.Execute(bob, onchain2, U256(), *challenge_data,
+                                 6'000'000);
+  std::printf("bob challenged with the signed copy: gas %llu\n",
+              static_cast<unsigned long long>(challenge->gas_used));
+  Address instance = Address::FromWord(chain.GetStorage(
+      onchain2, U256(core::split_slots::kDeployedAddr)));
+  auto resolve = chain.Execute(
+      bob, instance, U256(), core::ReturnDisputeResolutionCalldata(onchain2),
+      6'000'000);
+  std::printf("verified instance enforced the result: gas %llu\n",
+              static_cast<unsigned long long>(resolve->gas_used));
+  std::printf("final result on-chain: %s (the truth, not alice's 1)\n",
+              chain.GetStorage(onchain2, U256(core::split_slots::kFinalResult))
+                  .ToDecimal()
+                  .c_str());
+  return 0;
+}

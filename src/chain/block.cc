@@ -1,0 +1,52 @@
+#include "chain/block.h"
+
+#include "rlp/rlp.h"
+
+namespace onoff::chain {
+
+namespace {
+
+rlp::Item HashItem(const Hash32& h) {
+  return rlp::Item::String(BytesView(h.data(), h.size()));
+}
+
+}  // namespace
+
+Bytes BlockHeader::Encode() const {
+  std::vector<rlp::Item> fields;
+  fields.push_back(HashItem(parent_hash));
+  fields.push_back(rlp::Item::Scalar(number));
+  fields.push_back(rlp::Item::Scalar(timestamp));
+  fields.push_back(rlp::Item::String(coinbase.view()));
+  fields.push_back(HashItem(state_root));
+  fields.push_back(HashItem(tx_root));
+  fields.push_back(HashItem(receipt_root));
+  fields.push_back(rlp::Item::Scalar(gas_used));
+  fields.push_back(rlp::Item::Scalar(gas_limit));
+  return rlp::Encode(rlp::Item::List(std::move(fields)));
+}
+
+Hash32 BlockHeader::Hash() const { return Keccak256(Encode()); }
+
+Bytes Receipt::Encode() const {
+  std::vector<rlp::Item> fields;
+  fields.push_back(HashItem(tx_hash));
+  fields.push_back(rlp::Item::Scalar(success ? 1 : 0));
+  fields.push_back(rlp::Item::Scalar(cumulative_gas_used));
+  std::vector<rlp::Item> log_items;
+  for (const auto& log : logs) {
+    std::vector<rlp::Item> topics;
+    for (const auto& t : log.topics) {
+      topics.push_back(rlp::Item::String(t.ToBytes()));
+    }
+    std::vector<rlp::Item> entry;
+    entry.push_back(rlp::Item::String(log.address.view()));
+    entry.push_back(rlp::Item::List(std::move(topics)));
+    entry.push_back(rlp::Item::String(log.data));
+    log_items.push_back(rlp::Item::List(std::move(entry)));
+  }
+  fields.push_back(rlp::Item::List(std::move(log_items)));
+  return rlp::Encode(rlp::Item::List(std::move(fields)));
+}
+
+}  // namespace onoff::chain

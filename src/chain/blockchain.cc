@@ -1,0 +1,269 @@
+#include "chain/blockchain.h"
+
+#include <cassert>
+
+#include "evm/gas.h"
+#include "rlp/rlp.h"
+#include "trie/trie.h"
+
+namespace onoff::chain {
+
+namespace {
+
+std::string HashKey(const Hash32& h) {
+  return std::string(reinterpret_cast<const char*>(h.data()), h.size());
+}
+
+// Trie root over RLP(index) -> payload, Ethereum's tx/receipt root shape.
+Hash32 IndexedRoot(const std::vector<Bytes>& payloads) {
+  trie::Trie t;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    Bytes key = rlp::Encode(rlp::Item::Scalar(static_cast<uint64_t>(i)));
+    t.Put(key, payloads[i]);
+  }
+  return t.RootHash();
+}
+
+}  // namespace
+
+Blockchain::Blockchain(ChainConfig config)
+    : config_(std::move(config)), now_(config_.genesis_timestamp) {
+  Block genesis;
+  genesis.header.number = 0;
+  genesis.header.timestamp = now_;
+  genesis.header.coinbase = config_.coinbase;
+  genesis.header.gas_limit = config_.block_gas_limit;
+  genesis.header.state_root = state_.StateRoot();
+  genesis.header.tx_root = trie::Trie::EmptyRoot();
+  genesis.header.receipt_root = trie::Trie::EmptyRoot();
+  blocks_.push_back(std::move(genesis));
+}
+
+void Blockchain::FundAccount(const Address& addr, const U256& amount) {
+  state_.AddBalance(addr, amount);
+  state_.ClearJournal();
+}
+
+Result<Hash32> Blockchain::SubmitTransaction(const Transaction& tx) {
+  ONOFF_ASSIGN_OR_RETURN(Address sender, tx.Sender());
+  (void)sender;
+  if (tx.gas_limit > config_.block_gas_limit) {
+    return Status::InvalidArgument("gas limit exceeds block gas limit");
+  }
+  if (tx.gas_limit < tx.IntrinsicGas()) {
+    return Status::InvalidArgument("gas limit below intrinsic gas");
+  }
+  ONOFF_RETURN_NOT_OK(pool_.Add(tx));
+  return tx.Hash();
+}
+
+Result<Hash32> Blockchain::SendTransaction(const secp256k1::PrivateKey& key,
+                                           std::optional<Address> to,
+                                           const U256& value, Bytes data,
+                                           uint64_t gas_limit,
+                                           const U256& gas_price) {
+  Transaction tx;
+  tx.nonce = state_.GetNonce(key.EthAddress());
+  // Account for transactions already pending from this sender.
+  // (Simple approach: scan is unnecessary since tests mine eagerly.)
+  tx.gas_price = gas_price;
+  tx.gas_limit = gas_limit;
+  tx.to = to;
+  tx.value = value;
+  tx.data = std::move(data);
+  tx.Sign(key);
+  return SubmitTransaction(tx);
+}
+
+Result<Receipt> Blockchain::Execute(const secp256k1::PrivateKey& key,
+                                    std::optional<Address> to,
+                                    const U256& value, Bytes data,
+                                    uint64_t gas_limit, const U256& gas_price) {
+  ONOFF_ASSIGN_OR_RETURN(
+      Hash32 hash,
+      SendTransaction(key, to, value, std::move(data), gas_limit, gas_price));
+  MineBlock();
+  return GetReceipt(hash);
+}
+
+evm::BlockContext Blockchain::MakeBlockContext(uint64_t number,
+                                               uint64_t timestamp) const {
+  evm::BlockContext ctx;
+  ctx.number = number;
+  ctx.timestamp = timestamp;
+  ctx.coinbase = config_.coinbase;
+  ctx.gas_limit = config_.block_gas_limit;
+  ctx.block_hash = [this](uint64_t n) -> Hash32 {
+    if (n < blocks_.size()) return blocks_[n].Hash();
+    return Hash32{};
+  };
+  return ctx;
+}
+
+Receipt Blockchain::ApplyTransaction(const Transaction& tx,
+                                     uint64_t block_number,
+                                     uint64_t cumulative_gas) {
+  Receipt receipt;
+  receipt.tx_hash = tx.Hash();
+  receipt.block_number = block_number;
+  receipt.cumulative_gas_used = cumulative_gas;
+
+  auto fail = [&](const std::string& reason) {
+    receipt.success = false;
+    receipt.output = BytesOf(reason);
+    return receipt;
+  };
+
+  auto sender_result = tx.Sender();
+  if (!sender_result.ok()) return fail("invalid signature");
+  Address sender = *sender_result;
+
+  if (tx.nonce != state_.GetNonce(sender)) return fail("nonce mismatch");
+
+  uint64_t intrinsic = tx.IntrinsicGas();
+  if (tx.gas_limit < intrinsic) return fail("intrinsic gas exceeds limit");
+
+  U256 upfront = tx.gas_price * U256(tx.gas_limit) + tx.value;
+  if (state_.GetBalance(sender) < upfront) {
+    return fail("insufficient balance for gas * price + value");
+  }
+
+  // Charge the full gas allowance upfront; unused gas is refunded below.
+  Status st = state_.SubBalance(sender, tx.gas_price * U256(tx.gas_limit));
+  assert(st.ok());
+  (void)st;
+
+  evm::Evm evm(&state_, MakeBlockContext(block_number, now_),
+               evm::TxContext{sender, tx.gas_price});
+
+  uint64_t exec_gas = tx.gas_limit - intrinsic;
+  evm::ExecResult result;
+  if (tx.IsContractCreation()) {
+    result = evm.Create(sender, tx.value, tx.data, exec_gas);
+    receipt.contract_address = result.created;
+  } else {
+    state_.IncrementNonce(sender);
+    evm::CallMessage msg;
+    msg.caller = sender;
+    msg.to = *tx.to;
+    msg.value = tx.value;
+    msg.data = tx.data;
+    msg.gas = exec_gas;
+    result = evm.Call(msg);
+  }
+
+  uint64_t gas_used = tx.gas_limit - result.gas_left;
+  if (result.ok()) {
+    // Refunds are capped at half the gas used (Yellow Paper).
+    uint64_t refund = std::min(result.refund, gas_used / 2);
+    gas_used -= refund;
+  }
+
+  // Return unused gas; pay the miner.
+  state_.AddBalance(sender, tx.gas_price * U256(tx.gas_limit - gas_used));
+  state_.AddBalance(config_.coinbase, tx.gas_price * U256(gas_used));
+
+  receipt.success = result.ok();
+  receipt.gas_used = gas_used;
+  receipt.logs = std::move(result.logs);
+  receipt.output = std::move(result.output);
+  return receipt;
+}
+
+const Block& Blockchain::MineBlock() {
+  uint64_t number = blocks_.back().header.number + 1;
+
+  Block block;
+  block.header.parent_hash = blocks_.back().Hash();
+  block.header.number = number;
+  block.header.timestamp = now_;
+  block.header.coinbase = config_.coinbase;
+  block.header.gas_limit = config_.block_gas_limit;
+
+  std::vector<Bytes> tx_payloads;
+  std::vector<Bytes> receipt_payloads;
+  uint64_t cumulative_gas = 0;
+
+  std::vector<Transaction> txs = pool_.Take(config_.max_txs_per_block);
+  for (const Transaction& tx : txs) {
+    // Respect the block gas limit: defer transactions that no longer fit.
+    if (cumulative_gas + tx.gas_limit > config_.block_gas_limit) {
+      Status st = pool_.Add(tx);
+      (void)st;
+      continue;
+    }
+    Receipt receipt = ApplyTransaction(tx, number, cumulative_gas);
+    cumulative_gas += receipt.gas_used;
+    receipt.cumulative_gas_used = cumulative_gas;
+    total_gas_used_ += receipt.gas_used;
+    tx_payloads.push_back(tx.Encode());
+    receipt_payloads.push_back(receipt.Encode());
+    receipts_[HashKey(receipt.tx_hash)] = receipt;
+    block.transactions.push_back(tx);
+    state_.ClearJournal();
+  }
+
+  block.header.gas_used = cumulative_gas;
+  block.header.state_root = state_.StateRoot();
+  block.header.tx_root = IndexedRoot(tx_payloads);
+  block.header.receipt_root = IndexedRoot(receipt_payloads);
+
+  blocks_.push_back(std::move(block));
+  now_ += config_.block_interval_seconds;
+  return blocks_.back();
+}
+
+void Blockchain::MineAllPending() {
+  while (!pool_.empty()) MineBlock();
+}
+
+std::vector<evm::LogEntry> Blockchain::GetLogs(const LogQuery& query) const {
+  std::vector<evm::LogEntry> out;
+  for (const Block& block : blocks_) {
+    if (block.header.number < query.from_block ||
+        block.header.number > query.to_block) {
+      continue;
+    }
+    for (const Transaction& tx : block.transactions) {
+      auto it = receipts_.find(HashKey(tx.Hash()));
+      if (it == receipts_.end()) continue;
+      for (const evm::LogEntry& log : it->second.logs) {
+        if (query.address.has_value() && log.address != *query.address) {
+          continue;
+        }
+        if (query.topic0.has_value() &&
+            (log.topics.empty() || log.topics[0] != *query.topic0)) {
+          continue;
+        }
+        out.push_back(log);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Receipt> Blockchain::GetReceipt(const Hash32& tx_hash) const {
+  auto it = receipts_.find(HashKey(tx_hash));
+  if (it == receipts_.end()) {
+    return Status::NotFound("no receipt for transaction");
+  }
+  return it->second;
+}
+
+evm::ExecResult Blockchain::CallReadOnly(const Address& from,
+                                         const Address& to, Bytes data,
+                                         uint64_t gas) {
+  auto snapshot = state_.TakeSnapshot();
+  evm::Evm evm(&state_, MakeBlockContext(blocks_.back().header.number + 1, now_),
+               evm::TxContext{from, U256(0)});
+  evm::CallMessage msg;
+  msg.caller = from;
+  msg.to = to;
+  msg.data = std::move(data);
+  msg.gas = gas;
+  evm::ExecResult res = evm.Call(msg);
+  state_.RevertToSnapshot(snapshot);
+  return res;
+}
+
+}  // namespace onoff::chain

@@ -1,0 +1,124 @@
+// The simulated blockchain node: transaction pool, PoA-style block
+// production with a controllable clock, transaction application with full
+// gas accounting, receipts and queries. This plays the role Kovan plays in
+// the paper — a deterministic single-process "testnet".
+
+#ifndef ONOFFCHAIN_CHAIN_BLOCKCHAIN_H_
+#define ONOFFCHAIN_CHAIN_BLOCKCHAIN_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/transaction.h"
+#include "chain/tx_pool.h"
+#include "evm/evm.h"
+#include "state/world_state.h"
+#include "support/status.h"
+
+namespace onoff::chain {
+
+struct ChainConfig {
+  uint64_t block_gas_limit = 8'000'000;
+  // Kovan produced blocks every ~4 seconds.
+  uint64_t block_interval_seconds = 4;
+  Address coinbase;
+  uint64_t genesis_timestamp = 1'550'000'000;  // ~Feb 2019, the paper's era
+  size_t max_txs_per_block = 200;
+};
+
+class Blockchain {
+ public:
+  explicit Blockchain(ChainConfig config = ChainConfig());
+
+  // ---- Genesis / test setup ----
+  // Credits an account (genesis allocation / faucet).
+  void FundAccount(const Address& addr, const U256& amount);
+
+  // ---- Transactions ----
+  // Validates and enqueues; returns the transaction hash.
+  Result<Hash32> SubmitTransaction(const Transaction& tx);
+  // Builds, signs, and submits a transaction from `key`.
+  Result<Hash32> SendTransaction(const secp256k1::PrivateKey& key,
+                                 std::optional<Address> to, const U256& value,
+                                 Bytes data, uint64_t gas_limit,
+                                 const U256& gas_price = U256(1));
+  // SendTransaction + MineBlock + receipt lookup, the common test loop.
+  Result<Receipt> Execute(const secp256k1::PrivateKey& key,
+                          std::optional<Address> to, const U256& value,
+                          Bytes data, uint64_t gas_limit,
+                          const U256& gas_price = U256(1));
+
+  // ---- Mining ----
+  // Produces one block from pending transactions (possibly empty) and
+  // advances the chain clock by the block interval.
+  const Block& MineBlock();
+  // Mines until the pool drains.
+  void MineAllPending();
+
+  // ---- Clock ----
+  uint64_t Now() const { return now_; }
+  void AdvanceTime(uint64_t seconds) { now_ += seconds; }
+  // Advances the clock to at least `timestamp`.
+  void AdvanceTimeTo(uint64_t timestamp) {
+    if (timestamp > now_) now_ = timestamp;
+  }
+
+  // ---- Queries ----
+  U256 GetBalance(const Address& addr) const {
+    return state_.GetBalance(addr);
+  }
+  uint64_t GetNonce(const Address& addr) const {
+    return state_.GetNonce(addr);
+  }
+  const Bytes& GetCode(const Address& addr) const {
+    return state_.GetCode(addr);
+  }
+  U256 GetStorage(const Address& addr, const U256& key) const {
+    return state_.GetStorage(addr, key);
+  }
+  Result<Receipt> GetReceipt(const Hash32& tx_hash) const;
+
+  // Event query (eth_getLogs): all logs matching the optional address and
+  // first-topic filters, in block/transaction order.
+  struct LogQuery {
+    std::optional<Address> address;
+    std::optional<U256> topic0;
+    uint64_t from_block = 0;
+    uint64_t to_block = UINT64_MAX;
+  };
+  std::vector<evm::LogEntry> GetLogs(const LogQuery& query) const;
+  const std::vector<Block>& blocks() const { return blocks_; }
+  uint64_t Height() const { return blocks_.back().header.number; }
+  size_t PendingCount() const { return pool_.size(); }
+  const state::WorldState& state() const { return state_; }
+  const ChainConfig& config() const { return config_; }
+
+  // Read-only execution against current state (eth_call): no state change,
+  // no transaction.
+  evm::ExecResult CallReadOnly(const Address& from, const Address& to,
+                               Bytes data, uint64_t gas = 10'000'000);
+
+  // Cumulative gas actually paid for by senders across all blocks — the
+  // "miner work" metric used in the evaluation benches.
+  uint64_t TotalGasUsed() const { return total_gas_used_; }
+
+ private:
+  Receipt ApplyTransaction(const Transaction& tx, uint64_t block_number,
+                           uint64_t cumulative_gas);
+  evm::BlockContext MakeBlockContext(uint64_t number, uint64_t timestamp) const;
+
+  ChainConfig config_;
+  state::WorldState state_;
+  std::vector<Block> blocks_;
+  TxPool pool_;
+  std::map<std::string, Receipt> receipts_;  // keyed by raw hash bytes
+  uint64_t now_;
+  uint64_t total_gas_used_ = 0;
+};
+
+}  // namespace onoff::chain
+
+#endif  // ONOFFCHAIN_CHAIN_BLOCKCHAIN_H_

@@ -1,0 +1,60 @@
+#include "chain/network.h"
+
+namespace onoff::chain {
+
+Node::Node(std::string name, ChainConfig config, GenesisAlloc alloc)
+    : name_(std::move(name)), alloc_(std::move(alloc)), chain_(config) {
+  for (const auto& [addr, amount] : alloc_) {
+    chain_.FundAccount(addr, amount);
+  }
+}
+
+Status Node::AcceptBlock(const Block& block) {
+  // Validate the whole prospective chain (history + candidate) as a pure
+  // check, so a bad block can never corrupt local state.
+  std::vector<Block> prospective = chain_.blocks();
+  prospective.push_back(block);
+  Status st = VerifyChain(prospective, alloc_, chain_.config());
+  if (!st.ok()) {
+    ++rejected_;
+    return st;
+  }
+  // Apply: determinism guarantees the replay reproduces the same block.
+  chain_.AdvanceTimeTo(block.header.timestamp);
+  for (const Transaction& tx : block.transactions) {
+    Status submit = chain_.SubmitTransaction(tx).status();
+    if (!submit.ok()) {
+      ++rejected_;
+      return Status::Internal("verified block failed to apply: " +
+                              submit.message());
+    }
+  }
+  const Block& applied = chain_.MineBlock();
+  if (applied.Hash() != block.Hash()) {
+    return Status::Internal("replayed block diverged after verification");
+  }
+  return Status::OK();
+}
+
+Status Node::SyncFrom(const std::vector<Block>& blocks) {
+  for (size_t i = chain_.Height() + 1; i < blocks.size(); ++i) {
+    ONOFF_RETURN_NOT_OK(AcceptBlock(blocks[i]));
+  }
+  return Status::OK();
+}
+
+size_t Network::BroadcastBlock(const Node* from, const Block& block) {
+  size_t accepted = 0;
+  for (Node* node : nodes_) {
+    if (node == from) continue;
+    if (node->AcceptBlock(block).ok()) ++accepted;
+  }
+  return accepted;
+}
+
+size_t Network::ProduceAndBroadcast(Node* producer) {
+  const Block& block = producer->ProduceBlock();
+  return BroadcastBlock(producer, block);
+}
+
+}  // namespace onoff::chain

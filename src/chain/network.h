@@ -1,0 +1,70 @@
+// A simulated peer-to-peer network: one block-producing authority node
+// (Kovan was a PoA testnet) gossips blocks to replica nodes, each of which
+// verifies every block by replay before appending it. Replicas therefore
+// trust nothing but the genesis allocation and their own execution — the
+// property that makes the on-chain contract's guarantees meaningful to the
+// protocol's participants.
+
+#ifndef ONOFFCHAIN_CHAIN_NETWORK_H_
+#define ONOFFCHAIN_CHAIN_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "chain/validator.h"
+
+namespace onoff::chain {
+
+class Node {
+ public:
+  Node(std::string name, ChainConfig config, GenesisAlloc alloc);
+
+  // ---- Producer-side ----
+  Result<Hash32> SubmitTransaction(const Transaction& tx) {
+    return chain_.SubmitTransaction(tx);
+  }
+  // Mines the next block from the local pool; the caller gossips it.
+  const Block& ProduceBlock() { return chain_.MineBlock(); }
+
+  // ---- Replica-side ----
+  // Verifies `block` by replaying it on top of the local chain (checking
+  // every header commitment) and appends it on success. Invalid blocks are
+  // counted and rejected without corrupting local state.
+  Status AcceptBlock(const Block& block);
+  // Catches a fresh node up from a block history (initial sync).
+  Status SyncFrom(const std::vector<Block>& blocks);
+
+  // ---- Inspection ----
+  const std::string& name() const { return name_; }
+  Blockchain& chain() { return chain_; }
+  const Blockchain& chain() const { return chain_; }
+  uint64_t Height() const { return chain_.Height(); }
+  Hash32 HeadHash() const { return chain_.blocks().back().Hash(); }
+  size_t rejected_blocks() const { return rejected_; }
+
+ private:
+  std::string name_;
+  GenesisAlloc alloc_;
+  Blockchain chain_;
+  size_t rejected_ = 0;
+};
+
+// The gossip fabric: registered nodes receive every broadcast block.
+class Network {
+ public:
+  void AddNode(Node* node) { nodes_.push_back(node); }
+
+  // Delivers `block` to every node except `from`; returns how many accepted.
+  size_t BroadcastBlock(const Node* from, const Block& block);
+
+  // Convenience: `producer` mines one block and gossips it.
+  size_t ProduceAndBroadcast(Node* producer);
+
+ private:
+  std::vector<Node*> nodes_;
+};
+
+}  // namespace onoff::chain
+
+#endif  // ONOFFCHAIN_CHAIN_NETWORK_H_

@@ -1,0 +1,55 @@
+// Signed transactions (pre-EIP-155 format, as the paper's era tooling used):
+// RLP([nonce, gasPrice, gasLimit, to, value, data]) is hashed for signing,
+// RLP([... , v, r, s]) is the wire format and transaction hash preimage.
+
+#ifndef ONOFFCHAIN_CHAIN_TRANSACTION_H_
+#define ONOFFCHAIN_CHAIN_TRANSACTION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/keccak.h"
+#include "crypto/secp256k1.h"
+#include "support/address.h"
+#include "support/bytes.h"
+#include "support/status.h"
+#include "support/u256.h"
+
+namespace onoff::chain {
+
+class Transaction {
+ public:
+  Transaction() = default;
+
+  uint64_t nonce = 0;
+  U256 gas_price;
+  uint64_t gas_limit = 0;
+  // nullopt = contract-creation transaction.
+  std::optional<Address> to;
+  U256 value;
+  Bytes data;
+  secp256k1::Signature signature;
+
+  bool IsContractCreation() const { return !to.has_value(); }
+
+  // keccak of the unsigned RLP — what gets signed.
+  Hash32 SigningHash() const;
+  // keccak of the signed RLP — the transaction id.
+  Hash32 Hash() const;
+  // Full signed RLP encoding.
+  Bytes Encode() const;
+  static Result<Transaction> Decode(BytesView rlp_data);
+
+  // Signs in place with `key`.
+  void Sign(const secp256k1::PrivateKey& key);
+  // Recovers the sender from the signature; fails on unsigned/garbage.
+  Result<Address> Sender() const;
+
+  // Intrinsic gas: 21000 + calldata bytes (4 per zero, 68 per non-zero)
+  // + 32000 for contract creation.
+  uint64_t IntrinsicGas() const;
+};
+
+}  // namespace onoff::chain
+
+#endif  // ONOFFCHAIN_CHAIN_TRANSACTION_H_

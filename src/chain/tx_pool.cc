@@ -1,0 +1,27 @@
+#include "chain/tx_pool.h"
+
+namespace onoff::chain {
+
+Status TxPool::Add(const Transaction& tx) {
+  std::string key = HashKey(tx.Hash());
+  if (seen_.count(key) > 0) {
+    return Status::AlreadyExists("transaction already in pool");
+  }
+  seen_.insert(std::move(key));
+  pending_.push_back(tx);
+  return Status::OK();
+}
+
+std::vector<Transaction> TxPool::Take(size_t max_count) {
+  std::vector<Transaction> out;
+  while (!pending_.empty() && out.size() < max_count) {
+    out.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    // Dedup applies to *pending* entries only; a taken (mined or deferred)
+    // transaction may legitimately be re-added.
+    seen_.erase(HashKey(out.back().Hash()));
+  }
+  return out;
+}
+
+}  // namespace onoff::chain

@@ -1,0 +1,42 @@
+// A minimal transaction pool: pending transactions ordered per-sender by
+// nonce, popped for block inclusion in submission order.
+
+#ifndef ONOFFCHAIN_CHAIN_TX_POOL_H_
+#define ONOFFCHAIN_CHAIN_TX_POOL_H_
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/transaction.h"
+#include "support/status.h"
+
+namespace onoff::chain {
+
+class TxPool {
+ public:
+  // Rejects duplicate transaction hashes.
+  Status Add(const Transaction& tx);
+
+  // Removes and returns up to `max_count` transactions.
+  std::vector<Transaction> Take(size_t max_count);
+
+  size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+  // True while the transaction is pending (not yet taken).
+  bool Contains(const Hash32& tx_hash) const {
+    return seen_.count(HashKey(tx_hash)) > 0;
+  }
+
+ private:
+  static std::string HashKey(const Hash32& h) {
+    return std::string(reinterpret_cast<const char*>(h.data()), h.size());
+  }
+
+  std::deque<Transaction> pending_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace onoff::chain
+
+#endif  // ONOFFCHAIN_CHAIN_TX_POOL_H_

@@ -1,0 +1,81 @@
+#include "chain/validator.h"
+
+namespace onoff::chain {
+
+namespace {
+
+std::string BlockRef(uint64_t number) {
+  return "block " + std::to_string(number);
+}
+
+}  // namespace
+
+Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
+                   const ChainConfig& config) {
+  if (blocks.empty()) {
+    return Status::InvalidArgument("chain has no genesis block");
+  }
+
+  // Rebuild from genesis on a replica node.
+  Blockchain replica(config);
+  for (const auto& [addr, amount] : alloc) {
+    replica.FundAccount(addr, amount);
+  }
+  if (replica.blocks()[0].Hash() != blocks[0].Hash()) {
+    return Status::VerificationFailed(
+        "genesis mismatch: wrong config or allocation");
+  }
+
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    const Block& block = blocks[i];
+    if (block.header.number != i) {
+      return Status::VerificationFailed(BlockRef(i) + ": bad block number");
+    }
+    if (block.header.parent_hash != blocks[i - 1].Hash()) {
+      return Status::VerificationFailed(BlockRef(i) +
+                                        ": parent hash mismatch");
+    }
+    if (block.header.timestamp < blocks[i - 1].header.timestamp) {
+      return Status::VerificationFailed(BlockRef(i) +
+                                        ": timestamp went backwards");
+    }
+    // Re-execute the block's transactions at its recorded timestamp.
+    replica.AdvanceTimeTo(block.header.timestamp);
+    for (const Transaction& tx : block.transactions) {
+      Status st = replica.SubmitTransaction(tx).status();
+      if (!st.ok()) {
+        return Status::VerificationFailed(BlockRef(i) +
+                                          ": transaction rejected on replay: " +
+                                          st.message());
+      }
+    }
+    const Block& replayed = replica.MineBlock();
+    if (replayed.transactions.size() != block.transactions.size()) {
+      return Status::VerificationFailed(BlockRef(i) +
+                                        ": transaction count diverged");
+    }
+    if (replayed.header.state_root != block.header.state_root) {
+      return Status::VerificationFailed(BlockRef(i) + ": state root mismatch");
+    }
+    if (replayed.header.tx_root != block.header.tx_root) {
+      return Status::VerificationFailed(BlockRef(i) + ": tx root mismatch");
+    }
+    if (replayed.header.receipt_root != block.header.receipt_root) {
+      return Status::VerificationFailed(BlockRef(i) +
+                                        ": receipt root mismatch");
+    }
+    if (replayed.header.gas_used != block.header.gas_used) {
+      return Status::VerificationFailed(BlockRef(i) + ": gas used mismatch");
+    }
+    if (replayed.Hash() != block.Hash()) {
+      return Status::VerificationFailed(BlockRef(i) + ": header hash mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyChain(const Blockchain& chain, const GenesisAlloc& alloc) {
+  return VerifyChain(chain.blocks(), alloc, chain.config());
+}
+
+}  // namespace onoff::chain

@@ -1,0 +1,32 @@
+// Chain verification: replays a block sequence from the genesis allocation
+// on a fresh state and checks every header commitment (parent hash, state
+// root, tx/receipt roots, gas used). This is what an honest full node does
+// when it syncs — and what makes the on-chain contract's state trustworthy
+// to the protocol's participants without trusting the block producer.
+
+#ifndef ONOFFCHAIN_CHAIN_VALIDATOR_H_
+#define ONOFFCHAIN_CHAIN_VALIDATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "support/status.h"
+
+namespace onoff::chain {
+
+// The genesis allocation a verifier starts from.
+using GenesisAlloc = std::vector<std::pair<Address, U256>>;
+
+// Replays `blocks` (block 0 must be the genesis produced by a Blockchain
+// with `config` and `alloc`) and verifies all header commitments. Returns
+// OK iff the whole chain is internally consistent and reproducible.
+Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
+                   const ChainConfig& config);
+
+// Convenience: verifies a live chain against its own config.
+Status VerifyChain(const Blockchain& chain, const GenesisAlloc& alloc);
+
+}  // namespace onoff::chain
+
+#endif  // ONOFFCHAIN_CHAIN_VALIDATOR_H_

@@ -1,0 +1,59 @@
+// Synthetic contracts for the model-comparison experiments (Fig. 1): a
+// "whole contract" with n light/public functions and m heavy/private
+// functions, plus its hybrid split — an on-chain part (light functions and a
+// submitResult() entry point) and an off-chain part (heavy functions that
+// RETURN their results for local execution by participants).
+//
+// Light function i:  sstore(100+i, i+1)                (a typical state write)
+// Heavy function i:  h = keccak-chain(seed=i, k iters); sstore(200+i, h)
+// Hybrid submitResult(i, v): sstore(200+i, v) — so the hybrid chain reaches
+// the same final storage as the all-on-chain model when participants submit
+// the true off-chain results.
+
+#ifndef ONOFFCHAIN_CONTRACTS_SYNTHETIC_H_
+#define ONOFFCHAIN_CONTRACTS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "support/bytes.h"
+#include "support/status.h"
+#include "support/u256.h"
+
+namespace onoff::contracts {
+
+struct SyntheticConfig {
+  int num_light = 3;
+  int num_heavy = 3;
+  // keccak iterations per heavy function — the paper's "high-cost
+  // computation" knob.
+  uint64_t heavy_iterations = 100;
+};
+
+namespace synthetic_slots {
+inline constexpr uint64_t kLightBase = 100;
+inline constexpr uint64_t kHeavyBase = 200;
+}  // namespace synthetic_slots
+
+// All-on-chain model: every function deployed and executed by miners.
+Result<Bytes> BuildWholeRuntime(const SyntheticConfig& config);
+Result<Bytes> BuildWholeInit(const SyntheticConfig& config);
+
+// Hybrid model, on-chain part: light functions + submitResult(uint256,uint256).
+Result<Bytes> BuildHybridOnChainRuntime(const SyntheticConfig& config);
+Result<Bytes> BuildHybridOnChainInit(const SyntheticConfig& config);
+
+// Hybrid model, off-chain part: heavy functions returning their results.
+Result<Bytes> BuildHybridOffChainRuntime(const SyntheticConfig& config);
+Result<Bytes> BuildHybridOffChainInit(const SyntheticConfig& config);
+
+// Calldata for the individual functions.
+Bytes LightCalldata(int i);
+Bytes HeavyCalldata(int i);
+Bytes SubmitResultCalldata(int i, const U256& value);
+
+// The heavy computation executed natively (reference result).
+U256 NativeHeavyResult(int i, uint64_t iterations);
+
+}  // namespace onoff::contracts
+
+#endif  // ONOFFCHAIN_CONTRACTS_SYNTHETIC_H_

@@ -1,0 +1,129 @@
+#include "crypto/ripemd160.h"
+
+#include <cstring>
+
+namespace onoff {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t F(int j, uint32_t x, uint32_t y, uint32_t z) {
+  if (j < 16) return x ^ y ^ z;
+  if (j < 32) return (x & y) | (~x & z);
+  if (j < 48) return (x | ~y) ^ z;
+  if (j < 64) return (x & z) | (y & ~z);
+  return x ^ (y | ~z);
+}
+
+inline uint32_t K(int j) {
+  if (j < 16) return 0x00000000;
+  if (j < 32) return 0x5a827999;
+  if (j < 48) return 0x6ed9eba1;
+  if (j < 64) return 0x8f1bbcdc;
+  return 0xa953fd4e;
+}
+
+inline uint32_t KPrime(int j) {
+  if (j < 16) return 0x50a28be6;
+  if (j < 32) return 0x5c4dd124;
+  if (j < 48) return 0x6d703ef3;
+  if (j < 64) return 0x7a6d76e9;
+  return 0x00000000;
+}
+
+constexpr int kR[80] = {
+    0, 1, 2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+    7, 4, 13, 1,  10, 6,  15, 3,  12, 0,  9,  5,  2,  14, 11, 8,
+    3, 10, 14, 4, 9,  15, 8,  1,  2,  7,  0,  6,  13, 11, 5,  12,
+    1, 9, 11, 10, 0,  8,  12, 4,  13, 3,  7,  15, 14, 5,  6,  2,
+    4, 0, 5,  9,  7,  12, 2,  10, 14, 1,  3,  8,  11, 6,  15, 13};
+
+constexpr int kRPrime[80] = {
+    5,  14, 7,  0, 9,  2,  11, 4,  13, 6,  15, 8,  1,  10, 3,  12,
+    6,  11, 3,  7, 0,  13, 5,  10, 14, 15, 8,  12, 4,  9,  1,  2,
+    15, 5,  1,  3, 7,  14, 6,  9,  11, 8,  12, 2,  10, 0,  4,  13,
+    8,  6,  4,  1, 3,  11, 15, 0,  5,  12, 2,  13, 9,  7,  10, 14,
+    12, 15, 10, 4, 1,  5,  8,  7,  6,  2,  13, 14, 0,  3,  9,  11};
+
+constexpr int kS[80] = {
+    11, 14, 15, 12, 5,  8,  7,  9,  11, 13, 14, 15, 6,  7,  9,  8,
+    7,  6,  8,  13, 11, 9,  7,  15, 7,  12, 15, 9,  11, 7,  13, 12,
+    11, 13, 6,  7,  14, 9,  13, 15, 14, 8,  13, 6,  5,  12, 7,  5,
+    11, 12, 14, 15, 14, 15, 9,  8,  9,  14, 5,  6,  8,  6,  5,  12,
+    9,  15, 5,  11, 6,  8,  13, 12, 5,  12, 13, 14, 11, 8,  5,  6};
+
+constexpr int kSPrime[80] = {
+    8,  9,  9,  11, 13, 15, 15, 5,  7,  7,  8,  11, 14, 14, 12, 6,
+    9,  13, 15, 7,  12, 8,  9,  11, 7,  7,  12, 7,  6,  15, 13, 11,
+    9,  7,  15, 11, 8,  6,  6,  14, 12, 13, 5,  14, 13, 13, 7,  5,
+    15, 5,  8,  11, 14, 14, 6,  14, 6,  9,  12, 9,  12, 5,  15, 8,
+    8,  5,  12, 9,  12, 5,  14, 6,  8,  13, 6,  5,  15, 13, 11, 11};
+
+struct Ripemd160State {
+  uint32_t h[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0};
+
+  void Compress(const uint8_t* block) {
+    uint32_t x[16];
+    for (int i = 0; i < 16; ++i) {
+      x[i] = uint32_t(block[i * 4]) | (uint32_t(block[i * 4 + 1]) << 8) |
+             (uint32_t(block[i * 4 + 2]) << 16) |
+             (uint32_t(block[i * 4 + 3]) << 24);
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    uint32_t ap = h[0], bp = h[1], cp = h[2], dp = h[3], ep = h[4];
+    for (int j = 0; j < 80; ++j) {
+      uint32_t t = Rotl(a + F(j, b, c, d) + x[kR[j]] + K(j), kS[j]) + e;
+      a = e;
+      e = d;
+      d = Rotl(c, 10);
+      c = b;
+      b = t;
+      t = Rotl(ap + F(79 - j, bp, cp, dp) + x[kRPrime[j]] + KPrime(j),
+               kSPrime[j]) +
+          ep;
+      ap = ep;
+      ep = dp;
+      dp = Rotl(cp, 10);
+      cp = bp;
+      bp = t;
+    }
+    uint32_t t = h[1] + c + dp;
+    h[1] = h[2] + d + ep;
+    h[2] = h[3] + e + ap;
+    h[3] = h[4] + a + bp;
+    h[4] = h[0] + b + cp;
+    h[0] = t;
+  }
+};
+
+}  // namespace
+
+std::array<uint8_t, 20> Ripemd160(BytesView data) {
+  Ripemd160State st;
+  size_t full_blocks = data.size() / 64;
+  for (size_t i = 0; i < full_blocks; ++i) st.Compress(data.data() + i * 64);
+
+  uint8_t tail[128] = {0};
+  size_t rem = data.size() - full_blocks * 64;
+  if (rem > 0) std::memcpy(tail, data.data() + full_blocks * 64, rem);
+  tail[rem] = 0x80;
+  size_t tail_len = (rem + 1 + 8 <= 64) ? 64 : 128;
+  uint64_t bit_len = static_cast<uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 8 + i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  st.Compress(tail);
+  if (tail_len == 128) st.Compress(tail + 64);
+
+  std::array<uint8_t, 20> out;
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<uint8_t>(st.h[i]);
+    out[i * 4 + 1] = static_cast<uint8_t>(st.h[i] >> 8);
+    out[i * 4 + 2] = static_cast<uint8_t>(st.h[i] >> 16);
+    out[i * 4 + 3] = static_cast<uint8_t>(st.h[i] >> 24);
+  }
+  return out;
+}
+
+}  // namespace onoff

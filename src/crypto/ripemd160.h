@@ -1,0 +1,17 @@
+// RIPEMD-160, backing the Ethereum precompile at address 0x3.
+
+#ifndef ONOFFCHAIN_CRYPTO_RIPEMD160_H_
+#define ONOFFCHAIN_CRYPTO_RIPEMD160_H_
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace onoff {
+
+std::array<uint8_t, 20> Ripemd160(BytesView data);
+
+}  // namespace onoff
+
+#endif  // ONOFFCHAIN_CRYPTO_RIPEMD160_H_

@@ -1,0 +1,25 @@
+// SHA-256 and HMAC-SHA-256.
+//
+// SHA-256 backs the Ethereum precompile at address 0x2 and the RFC 6979
+// deterministic-nonce construction used by the ECDSA signer; HMAC-SHA-256 is
+// the PRF inside RFC 6979.
+
+#ifndef ONOFFCHAIN_CRYPTO_SHA256_H_
+#define ONOFFCHAIN_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace onoff {
+
+// One-shot SHA-256.
+std::array<uint8_t, 32> Sha256(BytesView data);
+
+// HMAC-SHA-256 with arbitrary-length key.
+std::array<uint8_t, 32> HmacSha256(BytesView key, BytesView data);
+
+}  // namespace onoff
+
+#endif  // ONOFFCHAIN_CRYPTO_SHA256_H_

@@ -1,0 +1,227 @@
+#include "easm/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace onoff::easm {
+
+namespace {
+
+// Width in bytes of the minimal push for `v` (at least 1).
+int MinPushWidth(const U256& v) {
+  int bits = v.BitLength();
+  int bytes = (bits + 7) / 8;
+  return bytes == 0 ? 1 : bytes;
+}
+
+void AppendPush(Bytes& out, int width, const U256& value) {
+  out.push_back(static_cast<uint8_t>(0x5f + width));
+  auto be = value.ToBigEndian();
+  out.insert(out.end(), be.end() - width, be.end());
+}
+
+struct Token {
+  std::string text;
+  int line;
+};
+
+std::vector<Token> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == ';') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < source.size() &&
+           !std::isspace(static_cast<unsigned char>(source[i])) &&
+           source[i] != ';') {
+      ++i;
+    }
+    tokens.push_back({std::string(source.substr(start, i - start)), line});
+  }
+  return tokens;
+}
+
+Result<U256> ParseLiteral(const std::string& text, int line) {
+  Result<U256> v = (text.size() > 2 && text[0] == '0' &&
+                    (text[1] == 'x' || text[1] == 'X'))
+                       ? U256::FromHex(text)
+                       : U256::FromDecimal(text);
+  if (!v.ok()) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": bad literal '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Bytes> Assemble(std::string_view source) {
+  std::vector<Token> tokens = Tokenize(source);
+  CodeBuilder builder;
+  std::map<std::string, CodeBuilder::Label> labels;
+
+  auto label_of = [&](const std::string& name) {
+    auto it = labels.find(name);
+    if (it != labels.end()) return it->second;
+    CodeBuilder::Label l = builder.NewLabel();
+    labels.emplace(name, l);
+    return l;
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    const std::string& t = tok.text;
+    if (t.back() == ':') {
+      builder.Bind(label_of(t.substr(0, t.size() - 1)));
+      continue;
+    }
+    if (t[0] == '@') {
+      return Status::InvalidArgument(
+          "line " + std::to_string(tok.line) +
+          ": label reference must follow PUSH: '" + t + "'");
+    }
+    if (t == "DB") {
+      if (i + 1 >= tokens.size()) {
+        return Status::InvalidArgument("DB needs a hex operand");
+      }
+      ONOFF_ASSIGN_OR_RETURN(Bytes raw, FromHex(tokens[++i].text));
+      builder.Raw(raw);
+      continue;
+    }
+    if (t == "PUSH" || (t.size() > 4 && t.substr(0, 4) == "PUSH" &&
+                        std::isdigit(static_cast<unsigned char>(t[4])))) {
+      if (i + 1 >= tokens.size()) {
+        return Status::InvalidArgument("line " + std::to_string(tok.line) +
+                                       ": PUSH needs an operand");
+      }
+      const std::string& operand = tokens[++i].text;
+      if (operand[0] == '@') {
+        builder.PushLabel(label_of(operand.substr(1)));
+        continue;
+      }
+      ONOFF_ASSIGN_OR_RETURN(U256 value, ParseLiteral(operand, tok.line));
+      if (t == "PUSH") {
+        builder.Push(value);
+      } else {
+        int width = std::stoi(t.substr(4));
+        if (width < 1 || width > 32 || MinPushWidth(value) > width) {
+          return Status::InvalidArgument("line " + std::to_string(tok.line) +
+                                         ": literal does not fit " + t);
+        }
+        builder.PushN(width, value);
+      }
+      continue;
+    }
+    auto op = evm::OpcodeFromName(t);
+    if (!op.has_value()) {
+      return Status::InvalidArgument("line " + std::to_string(tok.line) +
+                                     ": unknown mnemonic '" + t + "'");
+    }
+    if (evm::IsPush(*op)) {
+      return Status::InvalidArgument("line " + std::to_string(tok.line) +
+                                     ": " + t + " needs an operand");
+    }
+    builder.Op(static_cast<evm::Opcode>(*op));
+  }
+  return builder.Build();
+}
+
+std::string Disassemble(BytesView code) {
+  std::ostringstream out;
+  char offset_buf[32];
+  for (size_t i = 0; i < code.size(); ++i) {
+    uint8_t op = code[i];
+    const evm::OpcodeInfo& info = evm::GetOpcodeInfo(op);
+    std::snprintf(offset_buf, sizeof(offset_buf), "0x%04zx: ", i);
+    out << offset_buf;
+    if (!info.defined) {
+      std::snprintf(offset_buf, sizeof(offset_buf), "0x%02x", op);
+      out << "UNDEFINED " << offset_buf << "\n";
+      continue;
+    }
+    out << info.name;
+    if (evm::IsPush(op)) {
+      int n = evm::PushSize(op);
+      Bytes imm;
+      for (int j = 0; j < n; ++j) {
+        imm.push_back(i + 1 + j < code.size() ? code[i + 1 + j] : 0);
+      }
+      out << " 0x" << ToHex(imm);
+      i += n;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+CodeBuilder& CodeBuilder::Op(evm::Opcode op) {
+  code_.push_back(static_cast<uint8_t>(op));
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::Push(const U256& value) {
+  AppendPush(code_, MinPushWidth(value), value);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::PushN(int width, const U256& value) {
+  AppendPush(code_, width, value);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::PushLabel(Label label) {
+  code_.push_back(0x61);  // PUSH2
+  fixups_.push_back({code_.size(), label});
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::Raw(BytesView data) {
+  Append(code_, data);
+  return *this;
+}
+
+CodeBuilder::Label CodeBuilder::NewLabel() {
+  label_offsets_.push_back(-1);
+  return label_offsets_.size() - 1;
+}
+
+CodeBuilder& CodeBuilder::Bind(Label label) {
+  label_offsets_[label] = static_cast<ssize_t>(code_.size());
+  code_.push_back(static_cast<uint8_t>(evm::Opcode::JUMPDEST));
+  return *this;
+}
+
+Result<Bytes> CodeBuilder::Build() const {
+  Bytes out = code_;
+  for (const Fixup& fix : fixups_) {
+    ssize_t target = label_offsets_[fix.label];
+    if (target < 0) {
+      return Status::FailedPrecondition("unbound label in bytecode");
+    }
+    if (target > 0xffff) {
+      return Status::OutOfRange("label offset exceeds PUSH2 range");
+    }
+    out[fix.code_offset] = static_cast<uint8_t>(target >> 8);
+    out[fix.code_offset + 1] = static_cast<uint8_t>(target & 0xff);
+  }
+  return out;
+}
+
+}  // namespace onoff::easm

@@ -1,0 +1,80 @@
+// A small EVM assembler and disassembler.
+//
+// Text form: one or more whitespace-separated tokens; `;` starts a comment.
+//   PUSH1 0x60        explicit-width push with immediate
+//   PUSH 1000         auto-width push (smallest PUSHn that fits)
+//   dest:             label definition
+//   PUSH @dest        label reference (assembled as PUSH2 <offset>)
+//   JUMPDEST ADD ...  plain opcodes
+//   DB 0xdeadbeef     raw data bytes
+//
+// `CodeBuilder` is the programmatic equivalent used by the contract code
+// generator: append opcodes/pushes, bind labels, then Build() patches label
+// references.
+
+#ifndef ONOFFCHAIN_EASM_ASSEMBLER_H_
+#define ONOFFCHAIN_EASM_ASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "evm/opcodes.h"
+#include "support/bytes.h"
+#include "support/status.h"
+#include "support/u256.h"
+
+namespace onoff::easm {
+
+// Assembles text into bytecode.
+Result<Bytes> Assemble(std::string_view source);
+
+// Renders bytecode as one instruction per line ("0x0000: PUSH1 0x60").
+std::string Disassemble(BytesView code);
+
+// Programmatic bytecode builder with label patching.
+class CodeBuilder {
+ public:
+  using Label = size_t;
+
+  CodeBuilder() = default;
+
+  // Appends a plain opcode.
+  CodeBuilder& Op(evm::Opcode op);
+  // Appends the smallest PUSHn holding `value`.
+  CodeBuilder& Push(const U256& value);
+  CodeBuilder& Push(uint64_t value) { return Push(U256(value)); }
+  // Appends a PUSHn with an explicit width (1..32 bytes).
+  CodeBuilder& PushN(int width, const U256& value);
+  // Appends PUSH2 <label offset>, patched at Build time.
+  CodeBuilder& PushLabel(Label label);
+  // Appends raw bytes verbatim.
+  CodeBuilder& Raw(BytesView data);
+
+  // Creates a fresh unbound label.
+  Label NewLabel();
+  // Binds `label` to the current offset and emits JUMPDEST.
+  CodeBuilder& Bind(Label label);
+
+  // Current code offset.
+  size_t size() const { return code_.size(); }
+
+  // Patches label references and returns the bytecode. Fails if any
+  // referenced label was never bound.
+  Result<Bytes> Build() const;
+
+ private:
+  struct Fixup {
+    size_t code_offset;  // where the 2-byte immediate lives
+    Label label;
+  };
+
+  Bytes code_;
+  std::vector<ssize_t> label_offsets_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace onoff::easm
+
+#endif  // ONOFFCHAIN_EASM_ASSEMBLER_H_

@@ -1,0 +1,82 @@
+// The Ethereum gas schedule (Byzantium/Constantinople values — the fee
+// regime in force on Kovan when the paper ran its evaluation). Reproducing
+// Table II depends on these constants, so they follow the Yellow Paper names.
+
+#ifndef ONOFFCHAIN_EVM_GAS_H_
+#define ONOFFCHAIN_EVM_GAS_H_
+
+#include <cstdint>
+
+namespace onoff::evm::gas {
+
+// Transaction-level.
+inline constexpr uint64_t kTx = 21000;            // G_transaction
+inline constexpr uint64_t kTxCreate = 32000;      // G_txcreate (create tx)
+inline constexpr uint64_t kTxDataZero = 4;        // per zero calldata byte
+inline constexpr uint64_t kTxDataNonZero = 68;    // per non-zero calldata byte
+
+// Opcode tiers.
+inline constexpr uint64_t kZero = 0;
+inline constexpr uint64_t kBase = 2;
+inline constexpr uint64_t kVeryLow = 3;
+inline constexpr uint64_t kLow = 5;
+inline constexpr uint64_t kMid = 8;
+inline constexpr uint64_t kHigh = 10;
+
+// Specific operations.
+inline constexpr uint64_t kExp = 10;
+inline constexpr uint64_t kExpByte = 50;          // EIP-160
+inline constexpr uint64_t kSha3 = 30;
+inline constexpr uint64_t kSha3Word = 6;
+inline constexpr uint64_t kBalance = 400;         // EIP-150
+inline constexpr uint64_t kExtCode = 700;         // EIP-150
+inline constexpr uint64_t kSload = 200;           // EIP-150
+inline constexpr uint64_t kSstoreSet = 20000;     // zero -> non-zero
+inline constexpr uint64_t kSstoreReset = 5000;    // non-zero -> any
+inline constexpr uint64_t kSstoreRefund = 15000;  // non-zero -> zero refund
+inline constexpr uint64_t kJumpdest = 1;
+inline constexpr uint64_t kBlockhash = 20;
+inline constexpr uint64_t kLog = 375;
+inline constexpr uint64_t kLogTopic = 375;
+inline constexpr uint64_t kLogData = 8;           // per byte
+inline constexpr uint64_t kCopy = 3;              // per word copied
+
+// Calls and creation.
+inline constexpr uint64_t kCall = 700;            // EIP-150
+inline constexpr uint64_t kCallValue = 9000;
+inline constexpr uint64_t kCallStipend = 2300;
+inline constexpr uint64_t kCallNewAccount = 25000;
+inline constexpr uint64_t kCreate = 32000;
+inline constexpr uint64_t kCodeDeposit = 200;     // per byte of deployed code
+inline constexpr uint64_t kSelfdestruct = 5000;
+inline constexpr uint64_t kSelfdestructRefund = 24000;
+
+// Memory.
+inline constexpr uint64_t kMemory = 3;            // per word
+inline constexpr uint64_t kQuadCoeffDiv = 512;    // word^2 / 512
+
+// Precompile pricing.
+inline constexpr uint64_t kEcrecover = 3000;
+inline constexpr uint64_t kSha256Base = 60;
+inline constexpr uint64_t kSha256Word = 12;
+inline constexpr uint64_t kRipemd160Base = 600;
+inline constexpr uint64_t kRipemd160Word = 120;
+inline constexpr uint64_t kIdentityBase = 15;
+inline constexpr uint64_t kIdentityWord = 3;
+
+// Limits.
+inline constexpr int kMaxCallDepth = 1024;
+inline constexpr size_t kMaxStack = 1024;
+inline constexpr size_t kMaxCodeSize = 24576;     // EIP-170
+
+// Total memory-expansion cost up to `words`.
+inline constexpr uint64_t MemoryCost(uint64_t words) {
+  return kMemory * words + words * words / kQuadCoeffDiv;
+}
+
+// Ceil-div bytes to 32-byte words.
+inline constexpr uint64_t ToWords(uint64_t bytes) { return (bytes + 31) / 32; }
+
+}  // namespace onoff::evm::gas
+
+#endif  // ONOFFCHAIN_EVM_GAS_H_

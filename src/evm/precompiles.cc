@@ -1,0 +1,106 @@
+#include "evm/precompiles.h"
+
+#include "crypto/keccak.h"
+#include "crypto/ripemd160.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+#include "evm/gas.h"
+#include "support/u256.h"
+
+namespace onoff::evm {
+
+namespace {
+
+// Pads/truncates input to exactly `n` bytes (precompile convention: missing
+// input reads as zeros).
+Bytes PadTo(BytesView input, size_t n) {
+  Bytes out(n, 0);
+  size_t take = std::min(input.size(), n);
+  std::copy(input.begin(), input.begin() + take, out.begin());
+  return out;
+}
+
+PrecompileResult Ecrecover(BytesView input, uint64_t gas) {
+  PrecompileResult res;
+  res.gas_cost = gas::kEcrecover;
+  if (gas < res.gas_cost) return res;  // out of gas
+  res.success = true;                  // ecrecover never halts; bad input
+                                       // returns empty output
+  Bytes in = PadTo(input, 128);
+  Hash32 digest;
+  std::copy(in.begin(), in.begin() + 32, digest.begin());
+  U256 v = U256::FromBigEndianTruncating(BytesView(in.data() + 32, 32));
+  U256 r = U256::FromBigEndianTruncating(BytesView(in.data() + 64, 32));
+  U256 s = U256::FromBigEndianTruncating(BytesView(in.data() + 96, 32));
+  if (!v.FitsUint64() || (v.low64() != 27 && v.low64() != 28)) return res;
+  auto addr = secp256k1::RecoverAddress(digest, static_cast<uint8_t>(v.low64()),
+                                        r, s);
+  if (!addr.ok()) return res;
+  // Left-pad the 20-byte address to a 32-byte word.
+  res.output = addr->ToWord().ToBytes();
+  return res;
+}
+
+PrecompileResult Sha256Pre(BytesView input, uint64_t gas) {
+  PrecompileResult res;
+  res.gas_cost = gas::kSha256Base + gas::kSha256Word * gas::ToWords(input.size());
+  if (gas < res.gas_cost) return res;
+  res.success = true;
+  auto h = Sha256(input);
+  res.output.assign(h.begin(), h.end());
+  return res;
+}
+
+PrecompileResult Ripemd160Pre(BytesView input, uint64_t gas) {
+  PrecompileResult res;
+  res.gas_cost =
+      gas::kRipemd160Base + gas::kRipemd160Word * gas::ToWords(input.size());
+  if (gas < res.gas_cost) return res;
+  res.success = true;
+  auto h = Ripemd160(input);
+  // Left-padded to 32 bytes.
+  res.output.assign(32, 0);
+  std::copy(h.begin(), h.end(), res.output.begin() + 12);
+  return res;
+}
+
+PrecompileResult Identity(BytesView input, uint64_t gas) {
+  PrecompileResult res;
+  res.gas_cost =
+      gas::kIdentityBase + gas::kIdentityWord * gas::ToWords(input.size());
+  if (gas < res.gas_cost) return res;
+  res.success = true;
+  res.output.assign(input.begin(), input.end());
+  return res;
+}
+
+// Returns 0 if not a precompile, else the precompile index.
+int PrecompileIndex(const Address& addr) {
+  const auto& b = addr.bytes();
+  for (size_t i = 0; i + 1 < b.size(); ++i) {
+    if (b[i] != 0) return 0;
+  }
+  return (b[19] >= 1 && b[19] <= 4) ? b[19] : 0;
+}
+
+}  // namespace
+
+bool IsPrecompile(const Address& addr) { return PrecompileIndex(addr) != 0; }
+
+std::optional<PrecompileResult> RunPrecompile(const Address& addr,
+                                              BytesView input, uint64_t gas) {
+  switch (PrecompileIndex(addr)) {
+    case 1:
+      return Ecrecover(input, gas);
+    case 2:
+      return Sha256Pre(input, gas);
+    case 3:
+      return Ripemd160Pre(input, gas);
+    case 4:
+      return Identity(input, gas);
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace onoff::evm

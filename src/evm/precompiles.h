@@ -1,0 +1,33 @@
+// The four classic Ethereum precompiled contracts (addresses 0x1..0x4):
+// ecrecover, sha256, ripemd160 and identity. `ecrecover` is the one the
+// paper's deployVerifiedInstance() relies on to verify participants'
+// signatures over the off-chain contract bytecode.
+
+#ifndef ONOFFCHAIN_EVM_PRECOMPILES_H_
+#define ONOFFCHAIN_EVM_PRECOMPILES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "support/address.h"
+#include "support/bytes.h"
+
+namespace onoff::evm {
+
+struct PrecompileResult {
+  bool success = false;     // false = exceptional halt (consumes all gas)
+  uint64_t gas_cost = 0;
+  Bytes output;
+};
+
+// Returns true iff `addr` is a precompile address (0x1..0x4).
+bool IsPrecompile(const Address& addr);
+
+// Runs the precompile at `addr` on `input` with `gas` available. Returns
+// nullopt if `addr` is not a precompile.
+std::optional<PrecompileResult> RunPrecompile(const Address& addr,
+                                              BytesView input, uint64_t gas);
+
+}  // namespace onoff::evm
+
+#endif  // ONOFFCHAIN_EVM_PRECOMPILES_H_

@@ -1,0 +1,41 @@
+#include "onoff/message_bus.h"
+
+namespace onoff::core {
+
+void MessageBus::Send(Message message) {
+  ++messages_sent_;
+  bytes_sent_ += message.payload.size();
+  if (drop_ && drop_(message)) return;
+  if (tamper_) tamper_(message);
+  inboxes_[message.to].push_back(std::move(message));
+}
+
+void MessageBus::Broadcast(const Address& from,
+                           const std::vector<Address>& recipients,
+                           const std::string& topic, const Bytes& payload) {
+  for (const Address& to : recipients) {
+    if (to == from) continue;
+    Send(Message{from, to, topic, payload});
+  }
+}
+
+Result<Message> MessageBus::Receive(const Address& addr,
+                                    const std::string& topic) {
+  auto it = inboxes_.find(addr);
+  if (it == inboxes_.end()) return Status::NotFound("inbox empty");
+  for (auto msg_it = it->second.begin(); msg_it != it->second.end(); ++msg_it) {
+    if (msg_it->topic == topic) {
+      Message out = std::move(*msg_it);
+      it->second.erase(msg_it);
+      return out;
+    }
+  }
+  return Status::NotFound("no message with topic '" + topic + "'");
+}
+
+size_t MessageBus::PendingFor(const Address& addr) const {
+  auto it = inboxes_.find(addr);
+  return it == inboxes_.end() ? 0 : it->second.size();
+}
+
+}  // namespace onoff::core

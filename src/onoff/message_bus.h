@@ -1,0 +1,64 @@
+// A Whisper-like off-chain message channel between participants.
+//
+// The paper uses Ethereum Whisper only to exchange signed copies of the
+// off-chain contract; any broadcast channel works. This in-process bus adds
+// adversarial hooks (drop / tamper) so tests and benches can exercise the
+// protocol's behaviour under a faulty or hostile network.
+
+#ifndef ONOFFCHAIN_ONOFF_MESSAGE_BUS_H_
+#define ONOFFCHAIN_ONOFF_MESSAGE_BUS_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/address.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace onoff::core {
+
+struct Message {
+  Address from;
+  Address to;
+  std::string topic;
+  Bytes payload;
+};
+
+class MessageBus {
+ public:
+  // Delivers to the recipient's inbox (or drops/tampers per the hooks).
+  void Send(Message message);
+  // Broadcast helper: one copy per recipient.
+  void Broadcast(const Address& from, const std::vector<Address>& recipients,
+                 const std::string& topic, const Bytes& payload);
+
+  // Pops the oldest message for `addr` with `topic` (NotFound when empty).
+  Result<Message> Receive(const Address& addr, const std::string& topic);
+  size_t PendingFor(const Address& addr) const;
+
+  // ---- Adversarial hooks ----
+  // Called per message; return true to drop it.
+  using DropFn = std::function<bool(const Message&)>;
+  // Called per message; may mutate the payload in flight.
+  using TamperFn = std::function<void(Message&)>;
+  void set_drop_hook(DropFn fn) { drop_ = std::move(fn); }
+  void set_tamper_hook(TamperFn fn) { tamper_ = std::move(fn); }
+
+  // ---- Accounting (for the privacy/overhead benches) ----
+  size_t messages_sent() const { return messages_sent_; }
+  size_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  std::unordered_map<Address, std::deque<Message>> inboxes_;
+  DropFn drop_;
+  TamperFn tamper_;
+  size_t messages_sent_ = 0;
+  size_t bytes_sent_ = 0;
+};
+
+}  // namespace onoff::core
+
+#endif  // ONOFFCHAIN_ONOFF_MESSAGE_BUS_H_

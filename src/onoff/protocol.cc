@@ -1,0 +1,297 @@
+#include "onoff/protocol.h"
+
+namespace onoff::core {
+
+namespace {
+
+constexpr char kSignedCopyTopic[] = "signed-copy";
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kSplitGenerate:
+      return "split/generate";
+    case Stage::kDeploySign:
+      return "deploy/sign";
+    case Stage::kSubmitChallenge:
+      return "submit/challenge";
+    case Stage::kDisputeResolve:
+      return "dispute/resolve";
+  }
+  return "unknown";
+}
+
+const char* SettlementName(Settlement settlement) {
+  switch (settlement) {
+    case Settlement::kAbortedUnsigned:
+      return "aborted-unsigned";
+    case Settlement::kAbortedTampered:
+      return "aborted-tampered";
+    case Settlement::kRefunded:
+      return "refunded";
+    case Settlement::kOptimistic:
+      return "optimistic";
+    case Settlement::kDisputed:
+      return "disputed";
+  }
+  return "unknown";
+}
+
+BettingProtocol::BettingProtocol(chain::Blockchain* chain, MessageBus* bus,
+                                 secp256k1::PrivateKey alice,
+                                 secp256k1::PrivateKey bob,
+                                 contracts::OffchainConfig offchain_template,
+                                 U256 deposit_amount, ProtocolTiming timing)
+    : chain_(chain),
+      bus_(bus),
+      alice_(std::move(alice)),
+      bob_(std::move(bob)),
+      offchain_(std::move(offchain_template)),
+      deposit_amount_(deposit_amount),
+      timing_(timing) {
+  offchain_.alice = alice_.EthAddress();
+  offchain_.bob = bob_.EthAddress();
+}
+
+Result<chain::Receipt> BettingProtocol::Transact(
+    const secp256k1::PrivateKey& from, std::optional<Address> to,
+    const U256& value, Bytes data, uint64_t gas_limit, StageReport* stage) {
+  size_t data_size = data.size();
+  ONOFF_ASSIGN_OR_RETURN(
+      chain::Receipt receipt,
+      chain_->Execute(from, to, value, std::move(data), gas_limit));
+  stage->gas_used += receipt.gas_used;
+  stage->onchain_bytes += data_size;
+  stage->transactions += 1;
+  return receipt;
+}
+
+Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
+                                            const Behavior& bob_behavior) {
+  ProtocolReport report;
+  uint64_t now = chain_->Now();
+
+  contracts::BettingConfig betting;
+  betting.alice = alice_.EthAddress();
+  betting.bob = bob_.EthAddress();
+  betting.deposit_amount = deposit_amount_;
+  betting.t1 = now + timing_.t1_offset;
+  betting.t2 = now + timing_.t2_offset;
+  betting.t3 = now + timing_.t3_offset;
+
+  // ---- Stage 1: split/generate ----
+  StageReport& s1 = report.stages[static_cast<int>(Stage::kSplitGenerate)];
+  ONOFF_ASSIGN_OR_RETURN(Bytes onchain_init,
+                         contracts::BuildOnChainInit(betting));
+  ONOFF_ASSIGN_OR_RETURN(Bytes offchain_init,
+                         contracts::BuildOffChainInit(offchain_));
+  (void)s1;  // generation is purely local: no gas, no messages
+
+  // ---- Stage 2: deploy/sign ----
+  StageReport& s2 = report.stages[static_cast<int>(Stage::kDeploySign)];
+  // Rule 1: Alice deploys the on-chain contract before T0.
+  ONOFF_ASSIGN_OR_RETURN(
+      chain::Receipt deploy_receipt,
+      Transact(alice_, std::nullopt, U256(), onchain_init, 4'000'000, &s2));
+  if (!deploy_receipt.success || deploy_receipt.contract_address.IsZero()) {
+    return Status::Internal("on-chain contract deployment failed");
+  }
+  Address onchain = deploy_receipt.contract_address;
+  report.onchain_contract = onchain;
+  s2.onchain_bytes += chain_->GetCode(onchain).size();
+
+  // Both participants must hold a fully signed copy before any deposit.
+  // Each signs their own locally generated copy and broadcasts it over the
+  // Whisper-like bus; each then RECEIVES the counterparty's message and
+  // verifies (a) the bytecode matches their own deterministic compilation
+  // and (b) the attached signature is genuine. Any drop, tamper or refusal
+  // aborts the game before money moves (incentive safety).
+  size_t msgs_before = bus_->messages_sent();
+  size_t bytes_before = bus_->bytes_sent();
+  std::vector<Address> participants = {alice_.EthAddress(), bob_.EthAddress()};
+  bool signing_ok = true;
+  if (alice_behavior.sign_offchain_copy) {
+    SignedCopy mine(offchain_init);
+    mine.AddSignature(alice_);
+    bus_->Broadcast(alice_.EthAddress(), participants, kSignedCopyTopic,
+                    mine.Serialize());
+  } else {
+    signing_ok = false;
+  }
+  if (bob_behavior.sign_offchain_copy) {
+    SignedCopy mine(offchain_init);
+    mine.AddSignature(bob_);
+    bus_->Broadcast(bob_.EthAddress(), participants, kSignedCopyTopic,
+                    mine.Serialize());
+  } else {
+    signing_ok = false;
+  }
+  s2.offchain_messages += bus_->messages_sent() - msgs_before;
+  s2.offchain_bytes += bus_->bytes_sent() - bytes_before;
+
+  if (!signing_ok) {
+    report.settlement = Settlement::kAbortedUnsigned;
+    report.correct_payout = true;  // nobody lost anything
+    return report;
+  }
+
+  // Receive + verify the counterparty's signature; assemble the full copy.
+  SignedCopy copy(offchain_init);
+  auto ingest = [&](const secp256k1::PrivateKey& me,
+                    const Address& from) -> bool {
+    auto msg = bus_->Receive(me.EthAddress(), kSignedCopyTopic);
+    if (!msg.ok()) return false;  // dropped in flight
+    auto received = SignedCopy::Deserialize(msg->payload);
+    if (!received.ok()) return false;  // mangled in flight
+    // The counterparty must have signed EXACTLY my compilation output
+    // ("all the participants should use the same version of compiler").
+    if (received->bytecode() != offchain_init) return false;
+    if (!received->VerifyComplete({from}).ok()) return false;
+    auto sig = received->SignatureOf(from);
+    copy.AttachSignature(from, *sig);
+    return true;
+  };
+  bool alice_ok = ingest(alice_, bob_.EthAddress());
+  bool bob_ok = ingest(bob_, alice_.EthAddress());
+  copy.AddSignature(alice_);  // own signatures are attached locally
+  copy.AddSignature(bob_);
+  if (!alice_ok || !bob_ok || !copy.VerifyComplete(participants).ok()) {
+    report.settlement = Settlement::kAbortedTampered;
+    report.correct_payout = true;  // aborted before any deposit
+    return report;
+  }
+
+  // ---- Stage 3: submit/challenge (deposits + off-chain execution) ----
+  StageReport& s3 = report.stages[static_cast<int>(Stage::kSubmitChallenge)];
+  bool alice_deposited = false;
+  bool bob_deposited = false;
+  if (alice_behavior.make_deposit) {
+    ONOFF_ASSIGN_OR_RETURN(
+        chain::Receipt r,
+        Transact(alice_, onchain, deposit_amount_,
+                 contracts::DepositCalldata(), 300'000, &s3));
+    alice_deposited = r.success;
+  }
+  if (bob_behavior.make_deposit) {
+    ONOFF_ASSIGN_OR_RETURN(
+        chain::Receipt r,
+        Transact(bob_, onchain, deposit_amount_, contracts::DepositCalldata(),
+                 300'000, &s3));
+    bob_deposited = r.success;
+  }
+
+  if (!alice_deposited || !bob_deposited) {
+    // Rule 2/3: whoever deposited takes a refund (round one before T1 or
+    // round two between T1 and T2).
+    chain_->AdvanceTimeTo(betting.t1);
+    if (alice_deposited) {
+      ONOFF_RETURN_NOT_OK(Transact(alice_, onchain, U256(),
+                                   contracts::RefundRoundTwoCalldata(),
+                                   300'000, &s3)
+                              .status());
+    }
+    if (bob_deposited) {
+      ONOFF_RETURN_NOT_OK(Transact(bob_, onchain, U256(),
+                                   contracts::RefundRoundTwoCalldata(),
+                                   300'000, &s3)
+                              .status());
+    }
+    report.settlement = Settlement::kRefunded;
+    report.correct_payout = true;
+    return report;
+  }
+
+  // Rule 4: after T2 both participants execute the off-chain contract
+  // locally (each on their own private EVM) and reach unanimous agreement.
+  chain_->AdvanceTimeTo(betting.t2);
+  auto run_locally = [&](const secp256k1::PrivateKey& who) -> Result<bool> {
+    chain::Blockchain local;  // private local chain, never published
+    local.FundAccount(who.EthAddress(), contracts::Ether(1));
+    ONOFF_ASSIGN_OR_RETURN(
+        chain::Receipt r,
+        local.Execute(who, std::nullopt, U256(), copy.bytecode(), 4'000'000));
+    if (!r.success) return Status::Internal("local off-chain deploy failed");
+    auto res = local.CallReadOnly(who.EthAddress(), r.contract_address,
+                                  contracts::GetWinnerCalldata());
+    if (!res.ok()) return Status::Internal("local off-chain execution failed");
+    return !U256::FromBigEndianTruncating(res.output).IsZero();
+  };
+  ONOFF_ASSIGN_OR_RETURN(bool alice_view, run_locally(alice_));
+  ONOFF_ASSIGN_OR_RETURN(bool bob_view, run_locally(bob_));
+  if (alice_view != bob_view) {
+    return Status::Internal("honest local executions diverged");
+  }
+  report.bob_won = bob_view;
+
+  const secp256k1::PrivateKey& loser = report.bob_won ? alice_ : bob_;
+  const secp256k1::PrivateKey& winner = report.bob_won ? bob_ : alice_;
+  const Behavior& loser_behavior =
+      report.bob_won ? alice_behavior : bob_behavior;
+  const Behavior& winner_behavior =
+      report.bob_won ? bob_behavior : alice_behavior;
+
+  U256 winner_before = chain_->GetBalance(winner.EthAddress());
+
+  if (loser_behavior.admit_loss) {
+    // Optimistic path: the loser calls reassign() before T3.
+    ONOFF_ASSIGN_OR_RETURN(
+        chain::Receipt r,
+        Transact(loser, onchain, U256(), contracts::ReassignCalldata(),
+                 300'000, &s3));
+    if (!r.success) return Status::Internal("reassign unexpectedly failed");
+    report.settlement = Settlement::kOptimistic;
+    report.private_bytes_revealed = 0;
+    U256 winner_after = chain_->GetBalance(winner.EthAddress());
+    report.correct_payout =
+        winner_after == winner_before + deposit_amount_ * U256(2);
+    return report;
+  }
+
+  // ---- Stage 4: dispute/resolve ----
+  StageReport& s4 = report.stages[static_cast<int>(Stage::kDisputeResolve)];
+  chain_->AdvanceTimeTo(betting.t3);
+  if (!winner_behavior.pursue_dispute) {
+    // Nobody enforces: the pot stays locked. (Modelled for completeness.)
+    report.settlement = Settlement::kDisputed;
+    report.correct_payout = false;
+    return report;
+  }
+  // Rule 5: the winner reveals the signed copy on-chain.
+  ONOFF_ASSIGN_OR_RETURN(secp256k1::Signature sig_a,
+                         copy.SignatureOf(alice_.EthAddress()));
+  ONOFF_ASSIGN_OR_RETURN(secp256k1::Signature sig_b,
+                         copy.SignatureOf(bob_.EthAddress()));
+  Bytes dispute_calldata = contracts::DeployVerifiedInstanceCalldata(
+      copy.bytecode(), sig_a.v, sig_a.r, sig_a.s, sig_b.v, sig_b.r, sig_b.s);
+  report.private_bytes_revealed = dispute_calldata.size();
+  ONOFF_ASSIGN_OR_RETURN(
+      chain::Receipt deploy_r,
+      Transact(winner, onchain, U256(), std::move(dispute_calldata),
+               6'000'000, &s4));
+  if (!deploy_r.success) {
+    return Status::Internal("deployVerifiedInstance failed");
+  }
+  Address instance = Address::FromWord(chain_->GetStorage(
+      onchain, U256(contracts::betting_slots::kDeployedAddr)));
+  report.verified_instance = instance;
+  s4.onchain_bytes += chain_->GetCode(instance).size();
+
+  ONOFF_ASSIGN_OR_RETURN(
+      chain::Receipt resolve_r,
+      Transact(winner, instance,
+               U256(), contracts::ReturnDisputeResolutionCalldata(onchain),
+               6'000'000, &s4));
+  if (!resolve_r.success) {
+    return Status::Internal("returnDisputeResolution failed");
+  }
+
+  report.settlement = Settlement::kDisputed;
+  U256 winner_after = chain_->GetBalance(winner.EthAddress());
+  U256 spent(deploy_r.gas_used + resolve_r.gas_used);
+  report.correct_payout =
+      winner_after + spent == winner_before + deposit_amount_ * U256(2);
+  return report;
+}
+
+}  // namespace onoff::core

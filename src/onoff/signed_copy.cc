@@ -1,0 +1,85 @@
+#include "onoff/signed_copy.h"
+
+#include "rlp/rlp.h"
+
+namespace onoff::core {
+
+void SignedCopy::AddSignature(const secp256k1::PrivateKey& key) {
+  auto sig = secp256k1::Sign(BytecodeHash(), key);
+  AttachSignature(key.EthAddress(), *sig);
+}
+
+void SignedCopy::AttachSignature(const Address& signer,
+                                 const secp256k1::Signature& signature) {
+  for (Entry& e : signatures_) {
+    if (e.signer == signer) {
+      e.signature = signature;
+      return;
+    }
+  }
+  signatures_.push_back(Entry{signer, signature});
+}
+
+Result<secp256k1::Signature> SignedCopy::SignatureOf(
+    const Address& signer) const {
+  for (const Entry& e : signatures_) {
+    if (e.signer == signer) return e.signature;
+  }
+  return Status::NotFound("no signature from " + signer.ToHex());
+}
+
+Status SignedCopy::VerifyComplete(const std::vector<Address>& required) const {
+  Hash32 digest = BytecodeHash();
+  for (const Address& addr : required) {
+    auto sig = SignatureOf(addr);
+    if (!sig.ok()) {
+      return Status::VerificationFailed("missing signature from " +
+                                        addr.ToHex());
+    }
+    auto recovered =
+        secp256k1::RecoverAddress(digest, sig->v, sig->r, sig->s);
+    if (!recovered.ok() || *recovered != addr) {
+      return Status::VerificationFailed("invalid signature from " +
+                                        addr.ToHex());
+    }
+  }
+  return Status::OK();
+}
+
+Bytes SignedCopy::Serialize() const {
+  std::vector<rlp::Item> sig_items;
+  for (const Entry& e : signatures_) {
+    std::vector<rlp::Item> pair;
+    pair.push_back(rlp::Item::String(e.signer.view()));
+    pair.push_back(rlp::Item::String(e.signature.Serialize()));
+    sig_items.push_back(rlp::Item::List(std::move(pair)));
+  }
+  std::vector<rlp::Item> top;
+  top.push_back(rlp::Item::String(bytecode_));
+  top.push_back(rlp::Item::List(std::move(sig_items)));
+  return rlp::Encode(rlp::Item::List(std::move(top)));
+}
+
+Result<SignedCopy> SignedCopy::Deserialize(BytesView data) {
+  ONOFF_ASSIGN_OR_RETURN(rlp::Item item, rlp::Decode(data));
+  if (!item.IsList() || item.list().size() != 2 || !item.list()[0].IsString() ||
+      !item.list()[1].IsList()) {
+    return Status::InvalidArgument("malformed signed copy");
+  }
+  SignedCopy copy(item.list()[0].string());
+  for (const rlp::Item& pair : item.list()[1].list()) {
+    if (!pair.IsList() || pair.list().size() != 2 ||
+        !pair.list()[0].IsString() || !pair.list()[1].IsString()) {
+      return Status::InvalidArgument("malformed signature entry");
+    }
+    ONOFF_ASSIGN_OR_RETURN(Address signer,
+                           Address::FromBytes(pair.list()[0].string()));
+    ONOFF_ASSIGN_OR_RETURN(
+        secp256k1::Signature sig,
+        secp256k1::Signature::Deserialize(pair.list()[1].string()));
+    copy.AttachSignature(signer, sig);
+  }
+  return copy;
+}
+
+}  // namespace onoff::core

@@ -1,0 +1,60 @@
+// The signed copy of the off-chain contract (paper §III, deploy/sign stage):
+// the contract's deployment bytecode together with every participant's ECDSA
+// signature over keccak256(bytecode). A participant must hold a fully signed
+// copy before interacting with the on-chain contract, because it is their
+// only weapon in a dispute.
+
+#ifndef ONOFFCHAIN_ONOFF_SIGNED_COPY_H_
+#define ONOFFCHAIN_ONOFF_SIGNED_COPY_H_
+
+#include <vector>
+
+#include "crypto/keccak.h"
+#include "crypto/secp256k1.h"
+#include "support/address.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace onoff::core {
+
+class SignedCopy {
+ public:
+  SignedCopy() = default;
+  explicit SignedCopy(Bytes bytecode) : bytecode_(std::move(bytecode)) {}
+
+  const Bytes& bytecode() const { return bytecode_; }
+  Hash32 BytecodeHash() const { return Keccak256(bytecode_); }
+
+  // Adds this participant's signature (the JavaScript `ecsign` step of
+  // Algorithm 4, done natively).
+  void AddSignature(const secp256k1::PrivateKey& key);
+  // Attaches an externally produced signature.
+  void AttachSignature(const Address& signer,
+                       const secp256k1::Signature& signature);
+
+  // Returns the signature by `signer`, or NotFound.
+  Result<secp256k1::Signature> SignatureOf(const Address& signer) const;
+  size_t signature_count() const { return signatures_.size(); }
+
+  // Verifies that every address in `required` has a valid signature over the
+  // bytecode hash (the integrity check honest participants run before
+  // touching the on-chain contract).
+  Status VerifyComplete(const std::vector<Address>& required) const;
+
+  // Wire format: RLP([bytecode, [[signer, sig65], ...]]).
+  Bytes Serialize() const;
+  static Result<SignedCopy> Deserialize(BytesView data);
+
+ private:
+  struct Entry {
+    Address signer;
+    secp256k1::Signature signature;
+  };
+
+  Bytes bytecode_;
+  std::vector<Entry> signatures_;
+};
+
+}  // namespace onoff::core
+
+#endif  // ONOFFCHAIN_ONOFF_SIGNED_COPY_H_

@@ -1,0 +1,105 @@
+// The paper's split/generate stage as a reusable API (§II.B, §III).
+//
+// A whole contract is described as a list of functions, each tagged
+// light/public or heavy/private. `SplitContract` generates the two
+// contracts:
+//
+//  * ON-CHAIN: all light functions verbatim, padded with
+//      - submitResult(uint256)        (optimistic submit, participantOnly)
+//      - finalizeResult()             (after the challenge period)
+//      - deployVerifiedInstance(bytes,uint8,bytes32,bytes32,uint8,bytes32,
+//                               bytes32)  (challenge: verify the signed copy
+//                                          and CREATE the verified instance)
+//      - enforceResult(uint256)       (deployedAddrOnly; overrides any
+//                                      unfinalized proposal)
+//  * OFF-CHAIN: all heavy functions (returning their result words), padded
+//      with returnDisputeResolution(address) which recomputes the designated
+//      resolver function and pushes its result into enforceResult().
+//
+// The result lifecycle on-chain:
+//   submitResult(r) -> [challenge period] -> finalizeResult()       (honest)
+//   submitResult(r') -> deployVerifiedInstance(signed copy)
+//                    -> returnDisputeResolution() -> enforceResult(r) (dispute)
+
+#ifndef ONOFFCHAIN_ONOFF_SPLIT_CONTRACT_H_
+#define ONOFFCHAIN_ONOFF_SPLIT_CONTRACT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "contracts/codegen.h"
+#include "onoff/signed_copy.h"
+#include "support/address.h"
+#include "support/bytes.h"
+#include "support/status.h"
+#include "support/u256.h"
+
+namespace onoff::core {
+
+// One function of the whole contract.
+struct FunctionDef {
+  std::string signature;
+  // The classification of §II.B: heavy/private functions go off-chain.
+  bool heavy = false;
+  // Emits the body. Light bodies leave the stack empty; heavy bodies leave
+  // their result word on the stack (the splitter terminates them with STOP /
+  // RETURN respectively).
+  std::function<void(contracts::ContractWriter&)> body;
+};
+
+struct SplitConfig {
+  // All interested participants (>= 2). The generated
+  // deployVerifiedInstance() verifies one ECDSA signature per participant,
+  // in this order; its ABI signature therefore depends on the party count:
+  //   deployVerifiedInstance(bytes[,uint8,bytes32,bytes32]*n)
+  std::vector<Address> participants;
+  // Seconds a submitted result can be challenged before finalizeResult().
+  uint64_t challenge_period_seconds = 60;
+  // Which heavy function's result resolves the contract (the paper's
+  // reveal()); index into the heavy-function subsequence.
+  int resolver_index = 0;
+};
+
+// The n-party deployVerifiedInstance ABI signature for `n` participants.
+std::string DeploySignatureFor(size_t n);
+
+// Reserved storage slots in the generated on-chain contract.
+namespace split_slots {
+inline constexpr uint64_t kDeployedAddr = 0xF0;
+inline constexpr uint64_t kFinalResult = 0xF1;
+inline constexpr uint64_t kResultReady = 0xF2;
+inline constexpr uint64_t kProposedResult = 0xF3;
+inline constexpr uint64_t kProposedAt = 0xF4;
+}  // namespace split_slots
+
+struct SplitContracts {
+  Bytes onchain_runtime;
+  Bytes onchain_init;
+  Bytes offchain_runtime;
+  Bytes offchain_init;
+  std::vector<std::string> onchain_signatures;   // incl. padded extras
+  std::vector<std::string> offchain_signatures;  // incl. padded extra
+};
+
+// Splits `functions` per their tags and generates both contracts.
+Result<SplitContracts> SplitContract(const SplitConfig& config,
+                                     const std::vector<FunctionDef>& functions);
+
+// Builds the whole (unsplit) contract — the all-on-chain baseline: light
+// bodies end with STOP, heavy bodies store their result word to
+// split_slots::kFinalResult and set kResultReady.
+Result<Bytes> BuildWholeContract(const std::vector<FunctionDef>& functions);
+
+// ---- Calldata for the padded extra functions ----
+Bytes SubmitResultCalldata(const U256& result);
+Bytes FinalizeResultCalldata();
+// Orders the signatures (participant_a first) out of the signed copy.
+Result<Bytes> DeployVerifiedInstanceCalldata(const SignedCopy& copy,
+                                             const SplitConfig& config);
+Bytes ReturnDisputeResolutionCalldata(const Address& onchain_addr);
+Bytes EnforceResultCalldata(const U256& result);
+
+}  // namespace onoff::core
+
+#endif  // ONOFFCHAIN_ONOFF_SPLIT_CONTRACT_H_

@@ -1,0 +1,170 @@
+#include "rlp/rlp.h"
+
+namespace onoff::rlp {
+
+namespace {
+
+// Big-endian minimal encoding of a length.
+Bytes LengthBytes(size_t len) {
+  Bytes out;
+  while (len > 0) {
+    out.insert(out.begin(), static_cast<uint8_t>(len & 0xff));
+    len >>= 8;
+  }
+  return out;
+}
+
+void EncodeLength(size_t len, uint8_t short_base, uint8_t long_base,
+                  Bytes& out) {
+  if (len <= 55) {
+    out.push_back(static_cast<uint8_t>(short_base + len));
+  } else {
+    Bytes lb = LengthBytes(len);
+    out.push_back(static_cast<uint8_t>(long_base + lb.size()));
+    Append(out, lb);
+  }
+}
+
+struct Cursor {
+  BytesView data;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= data.size(); }
+  size_t Remaining() const { return data.size() - pos; }
+};
+
+Result<Item> DecodeItem(Cursor& cur);
+
+Result<size_t> ReadLongLength(Cursor& cur, size_t num_bytes) {
+  if (num_bytes == 0 || num_bytes > 8) {
+    return Status::InvalidArgument("RLP: bad long-length size");
+  }
+  if (cur.Remaining() < num_bytes) {
+    return Status::InvalidArgument("RLP: truncated long length");
+  }
+  if (cur.data[cur.pos] == 0) {
+    return Status::InvalidArgument("RLP: long length has leading zero");
+  }
+  size_t len = 0;
+  for (size_t i = 0; i < num_bytes; ++i) {
+    len = (len << 8) | cur.data[cur.pos + i];
+  }
+  cur.pos += num_bytes;
+  if (len <= 55) {
+    return Status::InvalidArgument("RLP: non-canonical long length");
+  }
+  return len;
+}
+
+Result<Item> DecodeItem(Cursor& cur) {
+  if (cur.AtEnd()) return Status::InvalidArgument("RLP: empty input");
+  uint8_t prefix = cur.data[cur.pos++];
+
+  if (prefix <= 0x7f) {
+    // Single byte, itself.
+    return Item::String(Bytes{prefix});
+  }
+  if (prefix <= 0xb7) {
+    size_t len = prefix - 0x80;
+    if (cur.Remaining() < len) {
+      return Status::InvalidArgument("RLP: truncated string");
+    }
+    Bytes s(cur.data.begin() + cur.pos, cur.data.begin() + cur.pos + len);
+    cur.pos += len;
+    if (len == 1 && s[0] <= 0x7f) {
+      return Status::InvalidArgument("RLP: non-canonical single byte");
+    }
+    return Item::String(std::move(s));
+  }
+  if (prefix <= 0xbf) {
+    ONOFF_ASSIGN_OR_RETURN(size_t len, ReadLongLength(cur, prefix - 0xb7));
+    if (cur.Remaining() < len) {
+      return Status::InvalidArgument("RLP: truncated long string");
+    }
+    Bytes s(cur.data.begin() + cur.pos, cur.data.begin() + cur.pos + len);
+    cur.pos += len;
+    return Item::String(std::move(s));
+  }
+  // List.
+  size_t payload_len;
+  if (prefix <= 0xf7) {
+    payload_len = prefix - 0xc0;
+  } else {
+    ONOFF_ASSIGN_OR_RETURN(payload_len, ReadLongLength(cur, prefix - 0xf7));
+  }
+  if (cur.Remaining() < payload_len) {
+    return Status::InvalidArgument("RLP: truncated list");
+  }
+  size_t end = cur.pos + payload_len;
+  std::vector<Item> items;
+  while (cur.pos < end) {
+    Cursor sub{cur.data.subspan(0, end), cur.pos};
+    ONOFF_ASSIGN_OR_RETURN(Item child, DecodeItem(sub));
+    cur.pos = sub.pos;
+    items.push_back(std::move(child));
+  }
+  if (cur.pos != end) {
+    return Status::InvalidArgument("RLP: list payload overrun");
+  }
+  return Item::List(std::move(items));
+}
+
+}  // namespace
+
+Result<U256> Item::AsScalar() const {
+  if (!IsString()) return Status::InvalidArgument("RLP: scalar must be string");
+  if (string_.size() > 32) {
+    return Status::InvalidArgument("RLP: scalar exceeds 32 bytes");
+  }
+  if (!string_.empty() && string_[0] == 0) {
+    return Status::InvalidArgument("RLP: scalar has leading zero");
+  }
+  return U256::FromBigEndianTruncating(string_);
+}
+
+Result<uint64_t> Item::AsUint64() const {
+  ONOFF_ASSIGN_OR_RETURN(U256 v, AsScalar());
+  if (!v.FitsUint64()) return Status::OutOfRange("RLP: scalar exceeds uint64");
+  return v.low64();
+}
+
+Bytes Encode(const Item& item) {
+  if (item.IsString()) {
+    const Bytes& s = item.string();
+    if (s.size() == 1 && s[0] <= 0x7f) return s;
+    Bytes out;
+    EncodeLength(s.size(), 0x80, 0xb7, out);
+    Append(out, s);
+    return out;
+  }
+  Bytes payload;
+  for (const Item& child : item.list()) {
+    Append(payload, Encode(child));
+  }
+  Bytes out;
+  EncodeLength(payload.size(), 0xc0, 0xf7, out);
+  Append(out, payload);
+  return out;
+}
+
+Bytes EncodeString(BytesView data) { return Encode(Item::String(data)); }
+
+Bytes EncodeList(const std::vector<Bytes>& encoded_children) {
+  Bytes payload;
+  for (const Bytes& child : encoded_children) Append(payload, child);
+  Bytes out;
+  EncodeLength(payload.size(), 0xc0, 0xf7, out);
+  Append(out, payload);
+  return out;
+}
+
+Result<Item> Decode(BytesView data) {
+  Cursor cur{data, 0};
+  ONOFF_ASSIGN_OR_RETURN(Item item, DecodeItem(cur));
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("RLP: trailing bytes after item");
+  }
+  return item;
+}
+
+}  // namespace onoff::rlp

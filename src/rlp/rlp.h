@@ -1,0 +1,80 @@
+// Recursive Length Prefix (RLP) encoding — Ethereum's canonical
+// serialization for transactions, blocks, trie nodes and account records.
+
+#ifndef ONOFFCHAIN_RLP_RLP_H_
+#define ONOFFCHAIN_RLP_RLP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/status.h"
+#include "support/u256.h"
+
+namespace onoff::rlp {
+
+// An RLP item is either a byte string or a list of items.
+class Item {
+ public:
+  enum class Kind { kString, kList };
+
+  // Byte-string item.
+  static Item String(Bytes data) {
+    Item it(Kind::kString);
+    it.string_ = std::move(data);
+    return it;
+  }
+  static Item String(BytesView data) {
+    return String(Bytes(data.begin(), data.end()));
+  }
+  static Item String(std::string_view s) { return String(BytesOf(s)); }
+  // Big-endian minimal integer (Ethereum "scalar" convention: 0 -> empty).
+  static Item Scalar(const U256& v) { return String(v.ToBigEndianTrimmed()); }
+  static Item Scalar(uint64_t v) { return Scalar(U256(v)); }
+  // List item.
+  static Item List(std::vector<Item> items) {
+    Item it(Kind::kList);
+    it.list_ = std::move(items);
+    return it;
+  }
+
+  Kind kind() const { return kind_; }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsList() const { return kind_ == Kind::kList; }
+
+  const Bytes& string() const { return string_; }
+  const std::vector<Item>& list() const { return list_; }
+
+  // Interprets a string item as a big-endian scalar (must be <= 32 bytes,
+  // no leading zero byte per Ethereum's canonical scalar rule).
+  Result<U256> AsScalar() const;
+  Result<uint64_t> AsUint64() const;
+
+  bool operator==(const Item& o) const {
+    if (kind_ != o.kind_) return false;
+    return kind_ == Kind::kString ? string_ == o.string_ : list_ == o.list_;
+  }
+
+ private:
+  explicit Item(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Bytes string_;
+  std::vector<Item> list_;
+};
+
+// Serializes an item.
+Bytes Encode(const Item& item);
+
+// Convenience encoders.
+Bytes EncodeString(BytesView data);
+Bytes EncodeList(const std::vector<Bytes>& encoded_children);
+
+// Parses exactly one item consuming the whole input.
+Result<Item> Decode(BytesView data);
+
+}  // namespace onoff::rlp
+
+#endif  // ONOFFCHAIN_RLP_RLP_H_

@@ -1,0 +1,258 @@
+#include "state/world_state.h"
+
+#include <algorithm>
+
+#include "rlp/rlp.h"
+#include "trie/trie.h"
+
+namespace onoff::state {
+
+namespace {
+
+const Bytes kEmptyCode;
+
+}  // namespace
+
+const Account* WorldState::Find(const Address& addr) const {
+  auto it = accounts_.find(addr);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Account& WorldState::GetOrCreate(const Address& addr) {
+  auto it = accounts_.find(addr);
+  if (it != accounts_.end()) return it->second;
+  journal_.push_back(AccountCreated{addr});
+  return accounts_[addr];
+}
+
+bool WorldState::Exists(const Address& addr) const {
+  return Find(addr) != nullptr;
+}
+
+void WorldState::CreateAccount(const Address& addr) { GetOrCreate(addr); }
+
+void WorldState::DeleteAccount(const Address& addr) {
+  auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return;
+  journal_.push_back(AccountDeleted{addr, std::move(it->second)});
+  accounts_.erase(it);
+}
+
+U256 WorldState::GetBalance(const Address& addr) const {
+  const Account* acc = Find(addr);
+  return acc == nullptr ? U256() : acc->balance;
+}
+
+void WorldState::AddBalance(const Address& addr, const U256& amount) {
+  Account& acc = GetOrCreate(addr);
+  journal_.push_back(BalanceChange{addr, acc.balance});
+  acc.balance += amount;
+}
+
+Status WorldState::SubBalance(const Address& addr, const U256& amount) {
+  Account& acc = GetOrCreate(addr);
+  if (acc.balance < amount) {
+    return Status::FailedPrecondition("insufficient balance");
+  }
+  journal_.push_back(BalanceChange{addr, acc.balance});
+  acc.balance -= amount;
+  return Status::OK();
+}
+
+Status WorldState::Transfer(const Address& from, const Address& to,
+                            const U256& amount) {
+  ONOFF_RETURN_NOT_OK(SubBalance(from, amount));
+  AddBalance(to, amount);
+  return Status::OK();
+}
+
+uint64_t WorldState::GetNonce(const Address& addr) const {
+  const Account* acc = Find(addr);
+  return acc == nullptr ? 0 : acc->nonce;
+}
+
+void WorldState::SetNonce(const Address& addr, uint64_t nonce) {
+  Account& acc = GetOrCreate(addr);
+  journal_.push_back(NonceChange{addr, acc.nonce});
+  acc.nonce = nonce;
+}
+
+void WorldState::IncrementNonce(const Address& addr) {
+  SetNonce(addr, GetNonce(addr) + 1);
+}
+
+const Bytes& WorldState::GetCode(const Address& addr) const {
+  const Account* acc = Find(addr);
+  return acc == nullptr ? kEmptyCode : acc->code;
+}
+
+void WorldState::SetCode(const Address& addr, Bytes code) {
+  Account& acc = GetOrCreate(addr);
+  journal_.push_back(CodeChange{addr, std::move(acc.code)});
+  acc.code = std::move(code);
+}
+
+Hash32 WorldState::GetCodeHash(const Address& addr) const {
+  return Keccak256(GetCode(addr));
+}
+
+U256 WorldState::GetStorage(const Address& addr, const U256& key) const {
+  const Account* acc = Find(addr);
+  if (acc == nullptr) return U256();
+  auto it = acc->storage.find(key);
+  return it == acc->storage.end() ? U256() : it->second;
+}
+
+void WorldState::SetStorage(const Address& addr, const U256& key,
+                            const U256& value) {
+  Account& acc = GetOrCreate(addr);
+  U256 prev;
+  auto it = acc.storage.find(key);
+  if (it != acc.storage.end()) prev = it->second;
+  journal_.push_back(StorageChange{addr, key, prev});
+  if (value.IsZero()) {
+    acc.storage.erase(key);
+  } else {
+    acc.storage[key] = value;
+  }
+}
+
+void WorldState::RevertToSnapshot(Snapshot snap) {
+  while (journal_.size() > snap) {
+    JournalEntry entry = std::move(journal_.back());
+    journal_.pop_back();
+    std::visit(
+        [this](auto&& e) {
+          using T = std::decay_t<decltype(e)>;
+          if constexpr (std::is_same_v<T, BalanceChange>) {
+            accounts_[e.addr].balance = e.prev;
+          } else if constexpr (std::is_same_v<T, NonceChange>) {
+            accounts_[e.addr].nonce = e.prev;
+          } else if constexpr (std::is_same_v<T, CodeChange>) {
+            accounts_[e.addr].code = std::move(e.prev);
+          } else if constexpr (std::is_same_v<T, StorageChange>) {
+            Account& acc = accounts_[e.addr];
+            if (e.prev.IsZero()) {
+              acc.storage.erase(e.key);
+            } else {
+              acc.storage[e.key] = e.prev;
+            }
+          } else if constexpr (std::is_same_v<T, AccountCreated>) {
+            accounts_.erase(e.addr);
+          } else if constexpr (std::is_same_v<T, AccountDeleted>) {
+            accounts_[e.addr] = std::move(e.prev);
+          }
+        },
+        std::move(entry));
+  }
+}
+
+namespace {
+
+// Per-account storage trie (non-zero slots only).
+trie::SecureTrie BuildStorageTrie(const Account& acc) {
+  trie::SecureTrie storage_trie;
+  for (const auto& [key, value] : acc.storage) {
+    if (value.IsZero()) continue;
+    Bytes key_bytes = key.ToBytes();
+    Bytes value_rlp = rlp::Encode(rlp::Item::Scalar(value));
+    storage_trie.Put(key_bytes, value_rlp);
+  }
+  return storage_trie;
+}
+
+// RLP([nonce, balance, storageRoot, codeHash]).
+Bytes EncodeAccountRlp(const Account& acc, const Hash32& storage_root) {
+  Hash32 code_hash = Keccak256(acc.code);
+  std::vector<rlp::Item> fields;
+  fields.push_back(rlp::Item::Scalar(acc.nonce));
+  fields.push_back(rlp::Item::Scalar(acc.balance));
+  fields.push_back(
+      rlp::Item::String(BytesView(storage_root.data(), storage_root.size())));
+  fields.push_back(
+      rlp::Item::String(BytesView(code_hash.data(), code_hash.size())));
+  return rlp::Encode(rlp::Item::List(std::move(fields)));
+}
+
+trie::SecureTrie BuildStateTrie(
+    const std::unordered_map<Address, Account>& accounts) {
+  trie::SecureTrie state_trie;
+  for (const auto& [addr, acc] : accounts) {
+    Hash32 storage_root = BuildStorageTrie(acc).RootHash();
+    state_trie.Put(addr.view(), EncodeAccountRlp(acc, storage_root));
+  }
+  return state_trie;
+}
+
+}  // namespace
+
+Hash32 WorldState::StateRoot() const {
+  return BuildStateTrie(accounts_).RootHash();
+}
+
+WorldState::Proof WorldState::ProveAccount(const Address& addr) const {
+  Proof proof;
+  proof.account_proof = BuildStateTrie(accounts_).Prove(addr.view());
+  return proof;
+}
+
+WorldState::Proof WorldState::ProveStorage(const Address& addr,
+                                           const U256& key) const {
+  Proof proof = ProveAccount(addr);
+  auto it = accounts_.find(addr);
+  if (it != accounts_.end()) {
+    Bytes key_bytes = key.ToBytes();
+    proof.storage_proof = BuildStorageTrie(it->second).Prove(key_bytes);
+  }
+  return proof;
+}
+
+Result<std::optional<WorldState::AccountInfo>> WorldState::VerifyAccountProof(
+    const Hash32& state_root, const Address& addr,
+    const std::vector<Bytes>& account_proof) {
+  ONOFF_ASSIGN_OR_RETURN(
+      std::optional<Bytes> record,
+      trie::SecureTrie::VerifyProof(state_root, addr.view(), account_proof));
+  if (!record.has_value()) return std::optional<AccountInfo>(std::nullopt);
+  ONOFF_ASSIGN_OR_RETURN(rlp::Item item, rlp::Decode(*record));
+  if (!item.IsList() || item.list().size() != 4) {
+    return Status::VerificationFailed("malformed account record in proof");
+  }
+  AccountInfo info;
+  ONOFF_ASSIGN_OR_RETURN(U256 nonce, item.list()[0].AsScalar());
+  if (!nonce.FitsUint64()) {
+    return Status::VerificationFailed("account nonce out of range");
+  }
+  info.nonce = nonce.low64();
+  ONOFF_ASSIGN_OR_RETURN(info.balance, item.list()[1].AsScalar());
+  const Bytes& sr = item.list()[2].string();
+  const Bytes& ch = item.list()[3].string();
+  if (sr.size() != 32 || ch.size() != 32) {
+    return Status::VerificationFailed("account hashes have bad length");
+  }
+  std::copy(sr.begin(), sr.end(), info.storage_root.begin());
+  std::copy(ch.begin(), ch.end(), info.code_hash.begin());
+  return std::optional<AccountInfo>(info);
+}
+
+Result<U256> WorldState::VerifyStorageProof(const Hash32& storage_root,
+                                            const U256& key,
+                                            const std::vector<Bytes>& proof) {
+  Bytes key_bytes = key.ToBytes();
+  ONOFF_ASSIGN_OR_RETURN(
+      std::optional<Bytes> value_rlp,
+      trie::SecureTrie::VerifyProof(storage_root, key_bytes, proof));
+  if (!value_rlp.has_value()) return U256();
+  ONOFF_ASSIGN_OR_RETURN(rlp::Item item, rlp::Decode(*value_rlp));
+  return item.AsScalar();
+}
+
+std::vector<Address> WorldState::Addresses() const {
+  std::vector<Address> out;
+  out.reserve(accounts_.size());
+  for (const auto& [addr, acc] : accounts_) out.push_back(addr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace onoff::state

@@ -1,0 +1,164 @@
+// The world state: accounts (EOAs and contract accounts), balances, nonces,
+// code and storage, with journaled snapshot/revert — the mutable substrate
+// the EVM executes against.
+
+#ifndef ONOFFCHAIN_STATE_WORLD_STATE_H_
+#define ONOFFCHAIN_STATE_WORLD_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "crypto/keccak.h"
+#include "support/address.h"
+#include "support/bytes.h"
+#include "support/status.h"
+#include "support/u256.h"
+
+namespace onoff::state {
+
+// One account record. An EOA has empty code; a contract account (CA) carries
+// code and storage.
+struct Account {
+  uint64_t nonce = 0;
+  U256 balance;
+  Bytes code;
+  std::unordered_map<U256, U256> storage;
+
+  bool IsContract() const { return !code.empty(); }
+  // Empty per EIP-161: no code, zero nonce, zero balance.
+  bool IsEmpty() const {
+    return nonce == 0 && balance.IsZero() && code.empty();
+  }
+};
+
+class WorldState {
+ public:
+  using Snapshot = size_t;
+
+  WorldState() = default;
+  // Deliberately move-only: accidental copies of a whole chain state are
+  // almost always bugs.
+  WorldState(const WorldState&) = delete;
+  WorldState& operator=(const WorldState&) = delete;
+  WorldState(WorldState&&) = default;
+  WorldState& operator=(WorldState&&) = default;
+
+  // ---- Account lifecycle ----
+  bool Exists(const Address& addr) const;
+  // Creates the account if absent; returns it either way.
+  void CreateAccount(const Address& addr);
+  // Removes the account entirely (SELFDESTRUCT).
+  void DeleteAccount(const Address& addr);
+
+  // ---- Balances ----
+  U256 GetBalance(const Address& addr) const;
+  void AddBalance(const Address& addr, const U256& amount);
+  // Fails if the balance is insufficient.
+  Status SubBalance(const Address& addr, const U256& amount);
+  // Unconditional transfer helper used by the EVM after its own check.
+  Status Transfer(const Address& from, const Address& to, const U256& amount);
+
+  // ---- Nonces ----
+  uint64_t GetNonce(const Address& addr) const;
+  void SetNonce(const Address& addr, uint64_t nonce);
+  void IncrementNonce(const Address& addr);
+
+  // ---- Code ----
+  const Bytes& GetCode(const Address& addr) const;
+  void SetCode(const Address& addr, Bytes code);
+  Hash32 GetCodeHash(const Address& addr) const;
+
+  // ---- Storage ----
+  U256 GetStorage(const Address& addr, const U256& key) const;
+  void SetStorage(const Address& addr, const U256& key, const U256& value);
+
+  // ---- Journaling ----
+  // Captures a revert point. Snapshots nest: reverting to an earlier snapshot
+  // undoes everything after it.
+  Snapshot TakeSnapshot() const { return journal_.size(); }
+  void RevertToSnapshot(Snapshot snap);
+  // Drops journal entries (e.g. at the end of a transaction); snapshots taken
+  // before this call become invalid.
+  void ClearJournal() { journal_.clear(); }
+
+  // ---- Commitment ----
+  // keccak state root over the secure Merkle Patricia trie of RLP-encoded
+  // accounts ([nonce, balance, storageRoot, codeHash]), exactly as Ethereum.
+  Hash32 StateRoot() const;
+
+  // ---- Light-client proofs ----
+  // The decoded on-trie account record.
+  struct AccountInfo {
+    uint64_t nonce = 0;
+    U256 balance;
+    Hash32 storage_root{};
+    Hash32 code_hash{};
+  };
+
+  // A Merkle proof of one account and (optionally) one storage slot against
+  // the state root. A client holding only a trusted block header can check
+  // it without any other state.
+  struct Proof {
+    std::vector<Bytes> account_proof;  // secure state trie nodes
+    std::vector<Bytes> storage_proof;  // secure storage trie nodes (optional)
+  };
+
+  // Builds an account (+ storage slot) proof against the CURRENT state.
+  Proof ProveAccount(const Address& addr) const;
+  Proof ProveStorage(const Address& addr, const U256& key) const;
+
+  // Verifies an account proof. Returns the account record, or nullopt when
+  // the proof demonstrates the account does not exist.
+  static Result<std::optional<AccountInfo>> VerifyAccountProof(
+      const Hash32& state_root, const Address& addr,
+      const std::vector<Bytes>& account_proof);
+  // Verifies a storage-slot proof against an account's storage root.
+  // Returns the slot value (zero when proven absent).
+  static Result<U256> VerifyStorageProof(const Hash32& storage_root,
+                                         const U256& key,
+                                         const std::vector<Bytes>& proof);
+
+  // All addresses with a live account (for inspection/tests).
+  std::vector<Address> Addresses() const;
+
+ private:
+  struct BalanceChange {
+    Address addr;
+    U256 prev;
+  };
+  struct NonceChange {
+    Address addr;
+    uint64_t prev;
+  };
+  struct CodeChange {
+    Address addr;
+    Bytes prev;
+  };
+  struct StorageChange {
+    Address addr;
+    U256 key;
+    U256 prev;
+  };
+  struct AccountCreated {
+    Address addr;
+  };
+  struct AccountDeleted {
+    Address addr;
+    Account prev;
+  };
+  using JournalEntry =
+      std::variant<BalanceChange, NonceChange, CodeChange, StorageChange,
+                   AccountCreated, AccountDeleted>;
+
+  const Account* Find(const Address& addr) const;
+  Account& GetOrCreate(const Address& addr);
+
+  std::unordered_map<Address, Account> accounts_;
+  mutable std::vector<JournalEntry> journal_;
+};
+
+}  // namespace onoff::state
+
+#endif  // ONOFFCHAIN_STATE_WORLD_STATE_H_

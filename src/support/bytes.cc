@@ -1,0 +1,75 @@
+#include "support/bytes.h"
+
+namespace onoff {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+// Returns the value of a hex digit or -1.
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string ToHex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string ToHex0x(BytesView data) { return "0x" + ToHex(data); }
+
+Result<Bytes> FromHex(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("invalid hex digit");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void Append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes Concat(std::initializer_list<BytesView> parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) Append(out, p);
+  return out;
+}
+
+bool ConstantTimeEqual(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+Bytes BytesOf(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+}  // namespace onoff

@@ -1,0 +1,43 @@
+// Byte-buffer aliases and hex utilities shared across the library.
+
+#ifndef ONOFFCHAIN_SUPPORT_BYTES_H_
+#define ONOFFCHAIN_SUPPORT_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace onoff {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+// Lowercase hex without "0x" prefix.
+std::string ToHex(BytesView data);
+
+// Lowercase hex with "0x" prefix (Ethereum convention).
+std::string ToHex0x(BytesView data);
+
+// Parses hex (with or without "0x" prefix, case-insensitive). The string must
+// have even length.
+Result<Bytes> FromHex(std::string_view hex);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, BytesView src);
+
+// Concatenates any number of byte views.
+Bytes Concat(std::initializer_list<BytesView> parts);
+
+// Constant-time equality (for signature/digest comparisons).
+bool ConstantTimeEqual(BytesView a, BytesView b);
+
+// Bytes from a string's raw characters.
+Bytes BytesOf(std::string_view s);
+
+}  // namespace onoff
+
+#endif  // ONOFFCHAIN_SUPPORT_BYTES_H_

@@ -1,0 +1,155 @@
+// Status / Result<T> error propagation for the onoffchain library.
+//
+// The core library does not use exceptions (Arrow/RocksDB idiom): fallible
+// operations return a Status, or a Result<T> which is either a value or a
+// Status. Use the ONOFF_RETURN_NOT_OK / ONOFF_ASSIGN_OR_RETURN macros to
+// propagate errors up the call stack.
+
+#ifndef ONOFFCHAIN_SUPPORT_STATUS_H_
+#define ONOFFCHAIN_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace onoff {
+
+// Broad error category, mirroring the failure classes of the system: input
+// decoding, cryptographic verification, VM execution, chain validation, and
+// protocol (framework) violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kVerificationFailed,  // signature/integrity checks
+  kExecutionReverted,   // EVM REVERT
+  kOutOfGas,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status VerificationFailed(std::string msg) {
+    return Status(StatusCode::kVerificationFailed, std::move(msg));
+  }
+  static Status ExecutionReverted(std::string msg) {
+    return Status(StatusCode::kExecutionReverted, std::move(msg));
+  }
+  static Status OutOfGas(std::string msg) {
+    return Status(StatusCode::kOutOfGas, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace onoff
+
+// Propagates a non-OK Status from an expression returning Status.
+#define ONOFF_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::onoff::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define ONOFF_CONCAT_IMPL(x, y) x##y
+#define ONOFF_CONCAT(x, y) ONOFF_CONCAT_IMPL(x, y)
+
+// Evaluates an expression returning Result<T>; on success binds the value to
+// `lhs`, otherwise returns the error Status.
+#define ONOFF_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  ONOFF_ASSIGN_OR_RETURN_IMPL(ONOFF_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define ONOFF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // ONOFFCHAIN_SUPPORT_STATUS_H_

@@ -1,0 +1,407 @@
+#include "support/u256.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace onoff {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// 512-bit little-endian limb vector used for MulMod intermediates.
+using Limbs8 = std::array<uint64_t, 8>;
+
+// Full 256x256 -> 512 bit product.
+Limbs8 MulFull(const U256& a, const U256& b) {
+  Limbs8 out{};
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.limb(i)) * b.limb(j) + out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out[i + 4] = carry;
+  }
+  return out;
+}
+
+int BitLength8(const Limbs8& v) {
+  for (int i = 7; i >= 0; --i) {
+    if (v[i] != 0) return i * 64 + 64 - __builtin_clzll(v[i]);
+  }
+  return 0;
+}
+
+// v -= m << shift, assuming no borrow out (caller guarantees v >= m<<shift).
+void SubShifted(Limbs8& v, const U256& m, int shift) {
+  int limb_shift = shift / 64;
+  int bit_shift = shift % 64;
+  // Build shifted m as 8 limbs.
+  Limbs8 sm{};
+  for (int i = 0; i < 4; ++i) {
+    uint64_t lo = m.limb(i) << bit_shift;
+    sm[i + limb_shift] |= lo;
+    if (bit_shift != 0 && i + limb_shift + 1 < 8) {
+      sm[i + limb_shift + 1] |= m.limb(i) >> (64 - bit_shift);
+    }
+  }
+  uint64_t borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    u128 lhs = v[i];
+    u128 rhs = static_cast<u128>(sm[i]) + borrow;
+    if (lhs >= rhs) {
+      v[i] = static_cast<uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      v[i] = static_cast<uint64_t>((u128(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  assert(borrow == 0);
+}
+
+// Compares v (512-bit) against m << shift.
+bool GreaterEqualShifted(const Limbs8& v, const U256& m, int shift) {
+  int limb_shift = shift / 64;
+  int bit_shift = shift % 64;
+  Limbs8 sm{};
+  for (int i = 0; i < 4; ++i) {
+    sm[i + limb_shift] |= m.limb(i) << bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < 8) {
+      sm[i + limb_shift + 1] |= m.limb(i) >> (64 - bit_shift);
+    }
+  }
+  for (int i = 7; i >= 0; --i) {
+    if (v[i] != sm[i]) return v[i] > sm[i];
+  }
+  return true;
+}
+
+// 512-bit value mod m (m != 0), via shift-subtract long division.
+U256 Mod512(Limbs8 v, const U256& m) {
+  int mbits = m.BitLength();
+  int vbits = BitLength8(v);
+  for (int shift = vbits - mbits; shift >= 0; --shift) {
+    if (GreaterEqualShifted(v, m, shift)) {
+      SubShifted(v, m, shift);
+    }
+  }
+  return U256(v[3], v[2], v[1], v[0]);
+}
+
+}  // namespace
+
+Result<U256> U256::FromHex(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.empty() || hex.size() > 64) {
+    return Status::InvalidArgument("U256 hex must have 1..64 digits");
+  }
+  U256 out;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("invalid hex digit in U256");
+    }
+    out = (out << 4) | U256(static_cast<uint64_t>(v));
+  }
+  return out;
+}
+
+Result<U256> U256::FromDecimal(std::string_view dec) {
+  if (dec.empty()) return Status::InvalidArgument("empty decimal");
+  U256 out;
+  const U256 ten(10);
+  for (char c : dec) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid decimal digit");
+    }
+    U256 next = out * ten + U256(static_cast<uint64_t>(c - '0'));
+    // Overflow check: next must be >= out when multiplying by 10 unless wrap.
+    if (next < out) return Status::OutOfRange("decimal exceeds 2^256");
+    out = next;
+  }
+  return out;
+}
+
+Result<U256> U256::FromBigEndian(BytesView bytes) {
+  if (bytes.size() > 32) {
+    return Status::InvalidArgument("U256 big-endian input exceeds 32 bytes");
+  }
+  return FromBigEndianTruncating(bytes);
+}
+
+U256 U256::FromBigEndianTruncating(BytesView bytes) {
+  if (bytes.size() > 32) bytes = bytes.subspan(bytes.size() - 32);
+  U256 out;
+  for (uint8_t b : bytes) {
+    out = (out << 8) | U256(static_cast<uint64_t>(b));
+  }
+  return out;
+}
+
+std::array<uint8_t, 32> U256::ToBigEndian() const {
+  std::array<uint8_t, 32> out{};
+  for (int i = 0; i < 32; ++i) {
+    out[31 - i] = static_cast<uint8_t>(limbs_[i / 8] >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+Bytes U256::ToBytes() const {
+  auto arr = ToBigEndian();
+  return Bytes(arr.begin(), arr.end());
+}
+
+Bytes U256::ToBigEndianTrimmed() const {
+  auto arr = ToBigEndian();
+  size_t start = 0;
+  while (start < 32 && arr[start] == 0) ++start;
+  return Bytes(arr.begin() + start, arr.end());
+}
+
+std::string U256::ToHexFull() const {
+  auto arr = ToBigEndian();
+  return onoff::ToHex(arr);
+}
+
+std::string U256::ToHex() const {
+  std::string full = ToHexFull();
+  size_t start = full.find_first_not_of('0');
+  if (start == std::string::npos) return "0x0";
+  return "0x" + full.substr(start);
+}
+
+std::string U256::ToDecimal() const {
+  if (IsZero()) return "0";
+  U256 v = *this;
+  std::string out;
+  const U256 ten(10);
+  while (!v.IsZero()) {
+    DivModResult dm = onoff::DivMod(v, ten);
+    out.push_back(static_cast<char>('0' + dm.remainder.low64()));
+    v = dm.quotient;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+int U256::BitLength() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i] != 0) return i * 64 + 64 - __builtin_clzll(limbs_[i]);
+  }
+  return 0;
+}
+
+U256 U256::operator+(const U256& o) const {
+  U256 out;
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 sum = static_cast<u128>(limbs_[i]) + o.limbs_[i] + carry;
+    out.limbs_[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  return out;
+}
+
+U256 U256::operator-(const U256& o) const {
+  U256 out;
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 lhs = limbs_[i];
+    u128 rhs = static_cast<u128>(o.limbs_[i]) + borrow;
+    if (lhs >= rhs) {
+      out.limbs_[i] = static_cast<uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out.limbs_[i] = static_cast<uint64_t>((u128(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  return out;
+}
+
+U256 U256::operator*(const U256& o) const {
+  Limbs8 full = MulFull(*this, o);
+  return U256(full[3], full[2], full[1], full[0]);
+}
+
+DivModResult DivMod(const U256& num, const U256& den) {
+  if (den.IsZero()) return {U256(), U256()};
+  if (num < den) return {U256(), num};
+  // Fast path: both fit in 64 bits.
+  if (num.FitsUint64() && den.FitsUint64()) {
+    return {U256(num.low64() / den.low64()), U256(num.low64() % den.low64())};
+  }
+  U256 quotient;
+  U256 rem = num;
+  int shift = num.BitLength() - den.BitLength();
+  U256 shifted_den = den << static_cast<unsigned>(shift);
+  for (; shift >= 0; --shift) {
+    if (rem >= shifted_den) {
+      rem -= shifted_den;
+      quotient.SetBit(shift);
+    }
+    shifted_den = shifted_den >> 1;
+  }
+  return {quotient, rem};
+}
+
+U256 U256::operator/(const U256& o) const { return onoff::DivMod(*this, o).quotient; }
+U256 U256::operator%(const U256& o) const { return onoff::DivMod(*this, o).remainder; }
+
+U256 U256::SDiv(const U256& o) const {
+  if (o.IsZero()) return U256();
+  bool neg_num = IsNegative();
+  bool neg_den = o.IsNegative();
+  U256 a = neg_num ? -*this : *this;
+  U256 b = neg_den ? -o : o;
+  U256 q = a / b;
+  return (neg_num != neg_den) ? -q : q;
+}
+
+U256 U256::SMod(const U256& o) const {
+  if (o.IsZero()) return U256();
+  bool neg_num = IsNegative();
+  U256 a = neg_num ? -*this : *this;
+  U256 b = o.IsNegative() ? -o : o;
+  U256 r = a % b;
+  return neg_num ? -r : r;
+}
+
+U256 U256::AddMod(const U256& a, const U256& b, const U256& m) {
+  if (m.IsZero()) return U256();
+  // Compute the 257-bit sum as 8 limbs, then reduce.
+  Limbs8 sum{};
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 s = static_cast<u128>(a.limb(i)) + b.limb(i) + carry;
+    sum[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  sum[4] = carry;
+  return Mod512(sum, m);
+}
+
+U256 U256::MulMod(const U256& a, const U256& b, const U256& m) {
+  if (m.IsZero()) return U256();
+  return Mod512(MulFull(a, b), m);
+}
+
+U256 U256::Exp(const U256& e) const {
+  U256 base = *this;
+  U256 result(1);
+  for (int i = 0; i < e.BitLength(); ++i) {
+    if (e.Bit(i)) result *= base;
+    base *= base;
+  }
+  return result;
+}
+
+U256 U256::operator&(const U256& o) const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] & o.limbs_[i];
+  return out;
+}
+
+U256 U256::operator|(const U256& o) const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] | o.limbs_[i];
+  return out;
+}
+
+U256 U256::operator^(const U256& o) const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] ^ o.limbs_[i];
+  return out;
+}
+
+U256 U256::operator~() const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limbs_[i] = ~limbs_[i];
+  return out;
+}
+
+U256 U256::operator<<(unsigned n) const {
+  if (n >= 256) return U256();
+  U256 out;
+  unsigned limb_shift = n / 64;
+  unsigned bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    uint64_t v = 0;
+    int src = i - static_cast<int>(limb_shift);
+    if (src >= 0) {
+      v = limbs_[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) {
+        v |= limbs_[src - 1] >> (64 - bit_shift);
+      }
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+U256 U256::operator>>(unsigned n) const {
+  if (n >= 256) return U256();
+  U256 out;
+  unsigned limb_shift = n / 64;
+  unsigned bit_shift = n % 64;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = 0;
+    unsigned src = i + limb_shift;
+    if (src < 4) {
+      v = limbs_[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < 4) {
+        v |= limbs_[src + 1] << (64 - bit_shift);
+      }
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+U256 U256::Sar(unsigned n) const {
+  if (!IsNegative()) return *this >> n;
+  if (n >= 256) return ~U256();
+  // Shift right then set the top n bits.
+  U256 out = *this >> n;
+  U256 mask = (~U256()) << (256 - n);
+  return out | mask;
+}
+
+U256 U256::SignExtend(unsigned byte_index) const {
+  if (byte_index >= 31) return *this;
+  int sign_bit = static_cast<int>(byte_index) * 8 + 7;
+  if (!Bit(sign_bit)) {
+    // Clear everything above.
+    U256 mask = ((~U256()) >> static_cast<unsigned>(255 - sign_bit));
+    return *this & mask;
+  }
+  U256 mask = (~U256()) << static_cast<unsigned>(sign_bit + 1);
+  return *this | mask;
+}
+
+bool U256::operator<(const U256& o) const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i];
+  }
+  return false;
+}
+
+bool U256::SLess(const U256& o) const {
+  bool an = IsNegative();
+  bool bn = o.IsNegative();
+  if (an != bn) return an;
+  return *this < o;
+}
+
+}  // namespace onoff

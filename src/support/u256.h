@@ -1,0 +1,139 @@
+// 256-bit unsigned integer with the arithmetic the EVM and secp256k1 need.
+//
+// Representation: four 64-bit little-endian limbs (limb 0 is least
+// significant). All arithmetic wraps modulo 2^256 unless stated otherwise.
+// Signed operations interpret the value as two's complement, matching EVM
+// SDIV/SMOD/SLT/SGT/SAR/SIGNEXTEND semantics.
+
+#ifndef ONOFFCHAIN_SUPPORT_U256_H_
+#define ONOFFCHAIN_SUPPORT_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace onoff {
+
+class U256 {
+ public:
+  constexpr U256() : limbs_{0, 0, 0, 0} {}
+  constexpr U256(uint64_t v) : limbs_{v, 0, 0, 0} {}  // NOLINT: deliberate
+  constexpr U256(uint64_t l3, uint64_t l2, uint64_t l1, uint64_t l0)
+      : limbs_{l0, l1, l2, l3} {}
+
+  // Parses a hex string (optionally "0x"-prefixed, at most 64 digits).
+  static Result<U256> FromHex(std::string_view hex);
+  // Parses a decimal string.
+  static Result<U256> FromDecimal(std::string_view dec);
+  // Big-endian bytes, at most 32; shorter inputs are left-padded with zeros.
+  static Result<U256> FromBigEndian(BytesView bytes);
+  // As FromBigEndian but truncates inputs longer than 32 bytes to their low
+  // 32 bytes (EVM calldata convention never needs this; trie keys may).
+  static U256 FromBigEndianTruncating(BytesView bytes);
+
+  // 32 big-endian bytes, zero-padded.
+  std::array<uint8_t, 32> ToBigEndian() const;
+  Bytes ToBytes() const;  // same as ToBigEndian, as a Bytes
+  // Minimal big-endian representation (empty for zero).
+  Bytes ToBigEndianTrimmed() const;
+  // 64-digit zero-padded lowercase hex, no prefix.
+  std::string ToHexFull() const;
+  // Minimal hex with "0x" prefix ("0x0" for zero).
+  std::string ToHex() const;
+  std::string ToDecimal() const;
+
+  uint64_t limb(int i) const { return limbs_[i]; }
+  bool IsZero() const {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  // Low 64 bits; callers must check FitsUint64 when truncation matters.
+  uint64_t low64() const { return limbs_[0]; }
+  bool FitsUint64() const {
+    return (limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  // Index of the highest set bit plus one (0 for zero).
+  int BitLength() const;
+  bool Bit(int i) const {
+    return (limbs_[i / 64] >> (i % 64)) & 1;
+  }
+  void SetBit(int i) { limbs_[i / 64] |= uint64_t{1} << (i % 64); }
+  // Sign bit for two's-complement interpretation.
+  bool IsNegative() const { return (limbs_[3] >> 63) != 0; }
+
+  // Wrapping arithmetic (mod 2^256).
+  U256 operator+(const U256& o) const;
+  U256 operator-(const U256& o) const;
+  U256 operator*(const U256& o) const;
+  U256 operator-() const { return U256() - *this; }
+
+  // Division/modulo; division by zero yields zero (EVM semantics).
+  U256 operator/(const U256& o) const;
+  U256 operator%(const U256& o) const;
+  // Signed division/modulo with EVM SDIV/SMOD semantics.
+  U256 SDiv(const U256& o) const;
+  U256 SMod(const U256& o) const;
+
+  // (a + b) mod m and (a * b) mod m with 512-bit intermediates.
+  static U256 AddMod(const U256& a, const U256& b, const U256& m);
+  static U256 MulMod(const U256& a, const U256& b, const U256& m);
+  // a^e mod 2^256 (EVM EXP).
+  U256 Exp(const U256& e) const;
+
+  // Bitwise.
+  U256 operator&(const U256& o) const;
+  U256 operator|(const U256& o) const;
+  U256 operator^(const U256& o) const;
+  U256 operator~() const;
+  U256 operator<<(unsigned n) const;
+  U256 operator>>(unsigned n) const;
+  // Arithmetic shift right (EVM SAR).
+  U256 Sar(unsigned n) const;
+  // EVM SIGNEXTEND: extends the sign of byte `byte_index` (0 = LSB).
+  U256 SignExtend(unsigned byte_index) const;
+
+  U256& operator+=(const U256& o) { return *this = *this + o; }
+  U256& operator-=(const U256& o) { return *this = *this - o; }
+  U256& operator*=(const U256& o) { return *this = *this * o; }
+
+  bool operator==(const U256& o) const { return limbs_ == o.limbs_; }
+  bool operator!=(const U256& o) const { return !(*this == o); }
+  bool operator<(const U256& o) const;
+  bool operator>(const U256& o) const { return o < *this; }
+  bool operator<=(const U256& o) const { return !(o < *this); }
+  bool operator>=(const U256& o) const { return !(*this < o); }
+  // Signed comparison (EVM SLT).
+  bool SLess(const U256& o) const;
+
+ private:
+  // limbs_[0] = least significant.
+  std::array<uint64_t, 4> limbs_;
+};
+
+// Quotient and remainder in one pass; division by zero yields {0, 0}.
+struct DivModResult {
+  U256 quotient;
+  U256 remainder;
+};
+DivModResult DivMod(const U256& num, const U256& den);
+
+}  // namespace onoff
+
+// Hash support so U256 can key unordered maps (e.g. contract storage).
+template <>
+struct std::hash<onoff::U256> {
+  size_t operator()(const onoff::U256& v) const noexcept {
+    // Storage keys are usually small integers or keccak outputs; fold all
+    // limbs so both distributions hash well.
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 4; ++i) {
+      h ^= v.limb(i) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+#endif  // ONOFFCHAIN_SUPPORT_U256_H_

@@ -1,0 +1,113 @@
+// Merkle Patricia Trie — Ethereum's authenticated key/value structure.
+//
+// `Trie` implements the raw hexary trie over nibble paths with the standard
+// node kinds (leaf / extension / branch), hex-prefix path encoding, and the
+// embed-if-shorter-than-32-bytes node reference rule, so root hashes match
+// Ethereum exactly. `SecureTrie` hashes keys with keccak256 first, which is
+// what the world state and per-account storage tries use.
+
+#ifndef ONOFFCHAIN_TRIE_TRIE_H_
+#define ONOFFCHAIN_TRIE_TRIE_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/keccak.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace onoff::trie {
+
+namespace internal {
+struct Node;
+}  // namespace internal
+
+class Trie {
+ public:
+  Trie();
+  ~Trie();
+  Trie(Trie&&) noexcept;
+  Trie& operator=(Trie&&) noexcept;
+  Trie(const Trie&) = delete;
+  Trie& operator=(const Trie&) = delete;
+
+  // Inserts or overwrites; an empty value deletes the key (Ethereum rule).
+  void Put(BytesView key, BytesView value);
+  // Removes the key if present.
+  void Delete(BytesView key);
+  // Returns the stored value, or NotFound.
+  Result<Bytes> Get(BytesView key) const;
+  bool Contains(BytesView key) const { return Get(key).ok(); }
+
+  // Keccak commitment to the whole content. Order-independent: any insert
+  // sequence producing the same map yields the same root.
+  Hash32 RootHash() const;
+
+  // keccak256(rlp("")) — the root of an empty trie.
+  static Hash32 EmptyRoot();
+
+  bool IsEmpty() const { return root_ == nullptr; }
+
+  // Merkle proof: the RLP encodings of the hashed nodes along the lookup
+  // path, root node first. Works for absent keys too (an exclusion proof is
+  // the path to the divergence point). Empty tries yield an empty proof.
+  std::vector<Bytes> Prove(BytesView key) const;
+
+  // Verifies `proof` against `root` for `key`. Returns the proven value,
+  // nullopt when the proof demonstrates absence, or an error when the proof
+  // is inconsistent with the root (tampered/truncated/misordered).
+  static Result<std::optional<Bytes>> VerifyProof(
+      const Hash32& root, BytesView key, const std::vector<Bytes>& proof);
+
+ private:
+  std::unique_ptr<internal::Node> root_;
+};
+
+// Trie keyed by keccak256(key): used for state and storage tries.
+class SecureTrie {
+ public:
+  void Put(BytesView key, BytesView value) {
+    Hash32 h = Keccak256(key);
+    inner_.Put(BytesView(h.data(), h.size()), value);
+  }
+  void Delete(BytesView key) {
+    Hash32 h = Keccak256(key);
+    inner_.Delete(BytesView(h.data(), h.size()));
+  }
+  Result<Bytes> Get(BytesView key) const {
+    Hash32 h = Keccak256(key);
+    return inner_.Get(BytesView(h.data(), h.size()));
+  }
+  Hash32 RootHash() const { return inner_.RootHash(); }
+  bool IsEmpty() const { return inner_.IsEmpty(); }
+
+  // Merkle proof over the keccak-hashed key space.
+  std::vector<Bytes> Prove(BytesView key) const {
+    Hash32 h = Keccak256(key);
+    return inner_.Prove(BytesView(h.data(), h.size()));
+  }
+  static Result<std::optional<Bytes>> VerifyProof(
+      const Hash32& root, BytesView key, const std::vector<Bytes>& proof) {
+    Hash32 h = Keccak256(key);
+    return Trie::VerifyProof(root, BytesView(h.data(), h.size()), proof);
+  }
+
+ private:
+  Trie inner_;
+};
+
+// Hex-prefix encoding of a nibble path (exposed for tests).
+Bytes HexPrefixEncode(const std::vector<uint8_t>& nibbles, bool is_leaf);
+// Inverse: decodes a hex-prefix path into nibbles and the leaf flag.
+struct HexPrefixPath {
+  std::vector<uint8_t> nibbles;
+  bool is_leaf = false;
+};
+Result<HexPrefixPath> HexPrefixDecode(BytesView encoded);
+std::vector<uint8_t> BytesToNibbles(BytesView key);
+
+}  // namespace onoff::trie
+
+#endif  // ONOFFCHAIN_TRIE_TRIE_H_

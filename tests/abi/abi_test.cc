@@ -1,0 +1,112 @@
+#include "abi/abi.h"
+
+#include <gtest/gtest.h>
+
+namespace onoff::abi {
+namespace {
+
+TEST(AbiTest, KnownSelectors) {
+  // Canonical ERC-20 selectors.
+  EXPECT_EQ(ToHex(SelectorOf("transfer(address,uint256)")), "a9059cbb");
+  EXPECT_EQ(ToHex(SelectorOf("balanceOf(address)")), "70a08231");
+  EXPECT_EQ(ToHex(SelectorOf("deposit()")), "d0e30db0");
+}
+
+TEST(AbiTest, EncodeStaticArgs) {
+  auto addr = Address::FromHex("0x1234567890123456789012345678901234567890");
+  ASSERT_TRUE(addr.ok());
+  Bytes enc = EncodeArgs({Value::Uint(U256(5)), Value::Addr(*addr),
+                          Value::Bool(true)});
+  ASSERT_EQ(enc.size(), 96u);
+  EXPECT_EQ(U256::FromBigEndianTruncating(BytesView(enc.data(), 32)), U256(5));
+  EXPECT_EQ(Address::FromWord(
+                U256::FromBigEndianTruncating(BytesView(enc.data() + 32, 32))),
+            *addr);
+  EXPECT_EQ(U256::FromBigEndianTruncating(BytesView(enc.data() + 64, 32)),
+            U256(1));
+}
+
+TEST(AbiTest, EncodeDynamicBytes) {
+  // f(uint256, bytes): head = [value, offset=0x40], tail = [len, data].
+  Bytes payload = {0xde, 0xad, 0xbe, 0xef, 0x99};
+  Bytes enc = EncodeArgs({Value::Uint(U256(7)), Value::DynBytes(payload)});
+  ASSERT_EQ(enc.size(), 32u + 32u + 32u + 32u);  // head(2) + len + padded data
+  EXPECT_EQ(U256::FromBigEndianTruncating(BytesView(enc.data() + 32, 32)),
+            U256(64));  // offset to tail
+  EXPECT_EQ(U256::FromBigEndianTruncating(BytesView(enc.data() + 64, 32)),
+            U256(5));  // length
+  EXPECT_EQ(Bytes(enc.begin() + 96, enc.begin() + 101), payload);
+  // Padding is zero.
+  for (size_t i = 101; i < enc.size(); ++i) EXPECT_EQ(enc[i], 0);
+}
+
+TEST(AbiTest, EncodeCallPrependsSelector) {
+  Bytes call = EncodeCall("deposit()", {});
+  ASSERT_EQ(call.size(), 4u);
+  EXPECT_EQ(ToHex(call), "d0e30db0");
+
+  Bytes call2 = EncodeCall("set(uint256)", {Value::Uint(U256(3))});
+  EXPECT_EQ(call2.size(), 36u);
+}
+
+TEST(AbiTest, RoundTripAllTypes) {
+  auto addr = Address::FromHex("0xaabbccddeeff00112233445566778899aabbccdd");
+  ASSERT_TRUE(addr.ok());
+  Bytes blob = BytesOf("the signed off-chain contract bytecode blob");
+  std::vector<Value> args = {
+      Value::Uint(U256(42)),          Value::Addr(*addr),
+      Value::Bool(true),              Value::Bytes32(U256(0xdead)),
+      Value::DynBytes(blob),          Value::Uint(~U256()),
+  };
+  Bytes enc = EncodeArgs(args);
+  auto dec = DecodeArgs(enc, {Type::kUint256, Type::kAddress, Type::kBool,
+                              Type::kBytes32, Type::kBytes, Type::kUint256});
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  ASSERT_EQ(dec->size(), 6u);
+  EXPECT_EQ((*dec)[0].AsUint(), U256(42));
+  EXPECT_EQ((*dec)[1].AsAddress(), *addr);
+  EXPECT_TRUE((*dec)[2].AsBool());
+  EXPECT_EQ((*dec)[3].AsUint(), U256(0xdead));
+  EXPECT_EQ((*dec)[4].AsBytes(), blob);
+  EXPECT_EQ((*dec)[5].AsUint(), ~U256());
+}
+
+TEST(AbiTest, MultipleDynamicArgs) {
+  Bytes a = BytesOf("first");
+  Bytes b = BytesOf("second blob that is longer than one word.......!");
+  Bytes enc = EncodeArgs({Value::DynBytes(a), Value::DynBytes(b)});
+  auto dec = DecodeArgs(enc, {Type::kBytes, Type::kBytes});
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ((*dec)[0].AsBytes(), a);
+  EXPECT_EQ((*dec)[1].AsBytes(), b);
+}
+
+TEST(AbiTest, EmptyDynamicBytes) {
+  Bytes enc = EncodeArgs({Value::DynBytes({})});
+  auto dec = DecodeArgs(enc, {Type::kBytes});
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE((*dec)[0].AsBytes().empty());
+}
+
+TEST(AbiTest, DecodeErrors) {
+  // Head too short.
+  EXPECT_FALSE(DecodeArgs(Bytes(31, 0), {Type::kUint256}).ok());
+  // Bytes offset out of range.
+  Bytes bad_offset = U256(9999).ToBytes();
+  EXPECT_FALSE(DecodeArgs(bad_offset, {Type::kBytes}).ok());
+  // Bytes length out of range.
+  Bytes bad_len = U256(32).ToBytes();
+  Bytes huge = U256(1000).ToBytes();
+  Append(bad_len, huge);
+  EXPECT_FALSE(DecodeArgs(bad_len, {Type::kBytes}).ok());
+}
+
+TEST(AbiTest, DecodeOne) {
+  Bytes enc = EncodeArgs({Value::Bool(true)});
+  auto v = DecodeOne(enc, Type::kBool);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsBool());
+}
+
+}  // namespace
+}  // namespace onoff::abi

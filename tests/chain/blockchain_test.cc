@@ -1,0 +1,302 @@
+#include "chain/blockchain.h"
+
+#include <gtest/gtest.h>
+
+#include "easm/assembler.h"
+#include "evm/gas.h"
+
+namespace onoff::chain {
+namespace {
+
+const U256 kEther = U256(10).Exp(U256(18));
+
+class BlockchainTest : public ::testing::Test {
+ protected:
+  BlockchainTest()
+      : alice_(secp256k1::PrivateKey::FromSeed("alice")),
+        bob_(secp256k1::PrivateKey::FromSeed("bob")) {
+    chain_.FundAccount(alice_.EthAddress(), kEther * U256(100));
+    chain_.FundAccount(bob_.EthAddress(), kEther * U256(100));
+  }
+
+  Blockchain chain_;
+  secp256k1::PrivateKey alice_;
+  secp256k1::PrivateKey bob_;
+};
+
+TEST_F(BlockchainTest, GenesisBlock) {
+  ASSERT_EQ(chain_.blocks().size(), 1u);
+  EXPECT_EQ(chain_.blocks()[0].header.number, 0u);
+  EXPECT_EQ(chain_.Height(), 0u);
+}
+
+TEST_F(BlockchainTest, SimpleValueTransfer) {
+  U256 bob_before = chain_.GetBalance(bob_.EthAddress());
+  auto receipt = chain_.Execute(alice_, bob_.EthAddress(), kEther, {}, 21'000);
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_TRUE(receipt->success);
+  EXPECT_EQ(receipt->gas_used, 21'000u);
+  EXPECT_EQ(chain_.GetBalance(bob_.EthAddress()), bob_before + kEther);
+  // Alice paid value + gas (gas price 1).
+  EXPECT_EQ(chain_.GetBalance(alice_.EthAddress()),
+            kEther * U256(100) - kEther - U256(21'000));
+  // Miner got the fee.
+  EXPECT_EQ(chain_.GetBalance(Address()), U256(21'000));
+}
+
+TEST_F(BlockchainTest, NonceSequenceEnforced) {
+  Transaction tx;
+  tx.nonce = 5;  // wrong: should be 0
+  tx.gas_price = U256(1);
+  tx.gas_limit = 21'000;
+  tx.to = bob_.EthAddress();
+  tx.value = U256(1);
+  tx.Sign(alice_);
+  auto hash = chain_.SubmitTransaction(tx);
+  ASSERT_TRUE(hash.ok());
+  chain_.MineBlock();
+  auto receipt = chain_.GetReceipt(*hash);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+  EXPECT_EQ(receipt->gas_used, 0u);  // invalid txs burn nothing
+}
+
+TEST_F(BlockchainTest, NonceIncrementsPerTransaction) {
+  EXPECT_EQ(chain_.GetNonce(alice_.EthAddress()), 0u);
+  ASSERT_TRUE(chain_.Execute(alice_, bob_.EthAddress(), U256(1), {}, 21'000).ok());
+  EXPECT_EQ(chain_.GetNonce(alice_.EthAddress()), 1u);
+  ASSERT_TRUE(chain_.Execute(alice_, bob_.EthAddress(), U256(1), {}, 21'000).ok());
+  EXPECT_EQ(chain_.GetNonce(alice_.EthAddress()), 2u);
+}
+
+TEST_F(BlockchainTest, ContractDeploymentAndCall) {
+  // Init code returning runtime that echoes CALLVALUE... simpler: runtime
+  // stores 42 at slot 0 on any call.
+  // Runtime: PUSH1 42 PUSH1 0 SSTORE STOP = 602a60005500
+  // Init: PUSH6 <runtime> PUSH1 0 MSTORE ... easier via CODECOPY pattern:
+  auto init = easm::Assemble(R"(
+    PUSH1 0x06
+    PUSH @runtime PUSH1 0x01 ADD
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 0x06 PUSH1 0x00 RETURN
+    runtime: DB 0x602a60005500
+  )");
+  ASSERT_TRUE(init.ok());
+
+  auto receipt = chain_.Execute(alice_, std::nullopt, U256(), *init, 500'000);
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_TRUE(receipt->success) << std::string(receipt->output.begin(),
+                                               receipt->output.end());
+  Address contract = receipt->contract_address;
+  EXPECT_FALSE(contract.IsZero());
+  EXPECT_EQ(chain_.GetCode(contract).size(), 6u);
+  EXPECT_EQ(contract, evm::Evm::ContractAddress(alice_.EthAddress(), 0));
+
+  // Call it; storage slot 0 becomes 42.
+  auto call_receipt = chain_.Execute(alice_, contract, U256(), {}, 100'000);
+  ASSERT_TRUE(call_receipt.ok());
+  EXPECT_TRUE(call_receipt->success);
+  EXPECT_EQ(chain_.GetStorage(contract, U256(0)), U256(42));
+}
+
+TEST_F(BlockchainTest, DeploymentGasMatchesFormula) {
+  // Deploying N bytes of runtime code costs
+  // 21000 + 32000 + calldata + execution + 200*N.
+  auto init = easm::Assemble(R"(
+    PUSH1 0x06
+    PUSH @runtime PUSH1 0x01 ADD
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 0x06 PUSH1 0x00 RETURN
+    runtime: DB 0x602a60005500
+  )");
+  ASSERT_TRUE(init.ok());
+  auto receipt = chain_.Execute(alice_, std::nullopt, U256(), *init, 500'000);
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_TRUE(receipt->success);
+  Transaction probe;
+  probe.to = std::nullopt;
+  probe.data = *init;
+  uint64_t intrinsic = probe.IntrinsicGas();
+  // Execution: 5 pushes (15) + ADD (3) + CODECOPY (3 + 3*1 words) + RETURN
+  // memory expansion (3) ... assert the deposit dominates as expected.
+  uint64_t expected_min = intrinsic + 200 * 6;
+  EXPECT_GE(receipt->gas_used, expected_min);
+  EXPECT_LT(receipt->gas_used, expected_min + 100);
+}
+
+TEST_F(BlockchainTest, RevertedCallRefundsRemainingGas) {
+  auto init = easm::Assemble(R"(
+    PUSH1 0x05
+    PUSH @runtime PUSH1 0x01 ADD
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 0x05 PUSH1 0x00 RETURN
+    runtime: DB 0x60006000fd00
+  )");  // runtime: PUSH1 0 PUSH1 0 REVERT
+  ASSERT_TRUE(init.ok());
+  auto deploy = chain_.Execute(alice_, std::nullopt, U256(), *init, 500'000);
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(deploy->success);
+
+  U256 before = chain_.GetBalance(alice_.EthAddress());
+  auto receipt = chain_.Execute(alice_, deploy->contract_address, U256(), {},
+                                100'000);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+  // Only 21000 + a few gas consumed, the rest refunded.
+  EXPECT_LT(receipt->gas_used, 22'000u);
+  EXPECT_EQ(chain_.GetBalance(alice_.EthAddress()),
+            before - U256(receipt->gas_used));
+}
+
+TEST_F(BlockchainTest, InsufficientBalanceRejectedAtApply) {
+  auto poor = secp256k1::PrivateKey::FromSeed("poor");
+  Transaction tx;
+  tx.nonce = 0;
+  tx.gas_price = U256(1);
+  tx.gas_limit = 21'000;
+  tx.to = bob_.EthAddress();
+  tx.value = U256(1);
+  tx.Sign(poor);
+  auto hash = chain_.SubmitTransaction(tx);
+  ASSERT_TRUE(hash.ok());
+  chain_.MineBlock();
+  auto receipt = chain_.GetReceipt(*hash);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+}
+
+TEST_F(BlockchainTest, SubmitValidation) {
+  Transaction tx;
+  tx.nonce = 0;
+  tx.gas_price = U256(1);
+  tx.gas_limit = 20'000;  // below intrinsic
+  tx.to = bob_.EthAddress();
+  tx.Sign(alice_);
+  EXPECT_FALSE(chain_.SubmitTransaction(tx).ok());
+  tx.gas_limit = 9'000'000;  // above block limit
+  tx.Sign(alice_);
+  EXPECT_FALSE(chain_.SubmitTransaction(tx).ok());
+  // Unsigned tx has no recoverable sender.
+  Transaction unsigned_tx;
+  unsigned_tx.gas_limit = 21'000;
+  unsigned_tx.to = bob_.EthAddress();
+  EXPECT_FALSE(chain_.SubmitTransaction(unsigned_tx).ok());
+}
+
+TEST_F(BlockchainTest, DuplicateSubmissionRejected) {
+  Transaction tx;
+  tx.nonce = 0;
+  tx.gas_price = U256(1);
+  tx.gas_limit = 21'000;
+  tx.to = bob_.EthAddress();
+  tx.value = U256(5);
+  tx.Sign(alice_);
+  EXPECT_TRUE(chain_.SubmitTransaction(tx).ok());
+  EXPECT_FALSE(chain_.SubmitTransaction(tx).ok());
+}
+
+TEST_F(BlockchainTest, BlockChainingAndTimestamps) {
+  uint64_t t0 = chain_.Now();
+  const Block& b1 = chain_.MineBlock();
+  EXPECT_EQ(b1.header.number, 1u);
+  EXPECT_EQ(b1.header.timestamp, t0);
+  const Block& b2 = chain_.MineBlock();
+  EXPECT_EQ(b2.header.parent_hash, chain_.blocks()[1].Hash());
+  EXPECT_GT(b2.header.timestamp, t0);
+  chain_.AdvanceTime(1000);
+  const Block& b3 = chain_.MineBlock();
+  EXPECT_GE(b3.header.timestamp, t0 + 1000);
+}
+
+TEST_F(BlockchainTest, StateRootInHeaderMatchesState) {
+  ASSERT_TRUE(chain_.Execute(alice_, bob_.EthAddress(), U256(9), {}, 21'000).ok());
+  EXPECT_EQ(chain_.blocks().back().header.state_root, chain_.state().StateRoot());
+}
+
+TEST_F(BlockchainTest, CallReadOnlyDoesNotMutate) {
+  auto init = easm::Assemble(R"(
+    PUSH1 0x06
+    PUSH @runtime PUSH1 0x01 ADD
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 0x06 PUSH1 0x00 RETURN
+    runtime: DB 0x602a60005500
+  )");
+  ASSERT_TRUE(init.ok());
+  auto deploy = chain_.Execute(alice_, std::nullopt, U256(), *init, 500'000);
+  ASSERT_TRUE(deploy.ok());
+  Address contract = deploy->contract_address;
+  Hash32 root_before = chain_.state().StateRoot();
+  auto res = chain_.CallReadOnly(alice_.EthAddress(), contract, {});
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(chain_.state().StateRoot(), root_before);
+  EXPECT_TRUE(chain_.GetStorage(contract, U256(0)).IsZero());
+}
+
+TEST_F(BlockchainTest, ManyTransactionsInOneBlock) {
+  for (int i = 0; i < 10; ++i) {
+    Transaction tx;
+    tx.nonce = i;
+    tx.gas_price = U256(1);
+    tx.gas_limit = 21'000;
+    tx.to = bob_.EthAddress();
+    tx.value = U256(1);
+    tx.Sign(alice_);
+    ASSERT_TRUE(chain_.SubmitTransaction(tx).ok());
+  }
+  const Block& block = chain_.MineBlock();
+  EXPECT_EQ(block.transactions.size(), 10u);
+  EXPECT_EQ(block.header.gas_used, 210'000u);
+  EXPECT_EQ(chain_.GetNonce(alice_.EthAddress()), 10u);
+  EXPECT_EQ(chain_.TotalGasUsed(), 210'000u);
+}
+
+TEST_F(BlockchainTest, GetLogsFiltersByAddressAndTopic) {
+  // Contract emitting LOG1 with topic 0x07 and 32 bytes of data per call.
+  auto init = easm::Assemble(R"(
+    PUSH1 0x0e
+    PUSH @runtime PUSH1 0x01 ADD
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 0x0e PUSH1 0x00 RETURN
+    runtime: DB 0x6042600052600760206000a100
+  )");
+  ASSERT_TRUE(init.ok());
+  auto deploy = chain_.Execute(alice_, std::nullopt, U256(), *init, 500'000);
+  ASSERT_TRUE(deploy->success);
+  Address emitter = deploy->contract_address;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(chain_.Execute(alice_, emitter, U256(), {}, 100'000)->success);
+  }
+  // All logs from the emitter.
+  Blockchain::LogQuery q;
+  q.address = emitter;
+  auto logs = chain_.GetLogs(q);
+  ASSERT_EQ(logs.size(), 3u);
+  EXPECT_EQ(logs[0].topics[0], U256(7));
+  EXPECT_EQ(U256::FromBigEndianTruncating(logs[0].data), U256(0x42));
+  // Topic filter: matching and non-matching.
+  q.topic0 = U256(7);
+  EXPECT_EQ(chain_.GetLogs(q).size(), 3u);
+  q.topic0 = U256(8);
+  EXPECT_TRUE(chain_.GetLogs(q).empty());
+  // Block-range filter.
+  Blockchain::LogQuery range;
+  range.address = emitter;
+  range.from_block = chain_.Height();  // only the last block
+  EXPECT_EQ(chain_.GetLogs(range).size(), 1u);
+  // Address filter excludes other contracts.
+  Blockchain::LogQuery other;
+  other.address = bob_.EthAddress();
+  EXPECT_TRUE(chain_.GetLogs(other).empty());
+}
+
+TEST_F(BlockchainTest, ReceiptLookupMissing) {
+  EXPECT_FALSE(chain_.GetReceipt(Hash32{}).ok());
+}
+
+}  // namespace
+}  // namespace onoff::chain

@@ -1,0 +1,148 @@
+#include "chain/network.h"
+
+#include <gtest/gtest.h>
+
+#include "contracts/betting.h"  // Ether()
+#include "easm/assembler.h"
+
+namespace onoff::chain {
+namespace {
+
+using contracts::Ether;
+using secp256k1::PrivateKey;
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : alice_(PrivateKey::FromSeed("alice")), bob_(PrivateKey::FromSeed("bob")) {
+    alloc_ = {{alice_.EthAddress(), Ether(100)},
+              {bob_.EthAddress(), Ether(100)}};
+    producer_ = std::make_unique<Node>("producer", ChainConfig{}, alloc_);
+    for (int i = 0; i < 3; ++i) {
+      replicas_.push_back(std::make_unique<Node>(
+          "replica" + std::to_string(i), ChainConfig{}, alloc_));
+    }
+    net_.AddNode(producer_.get());
+    for (auto& r : replicas_) net_.AddNode(r.get());
+  }
+
+  Transaction Transfer(uint64_t nonce, const U256& amount) {
+    Transaction tx;
+    tx.nonce = nonce;
+    tx.gas_price = U256(1);
+    tx.gas_limit = 21'000;
+    tx.to = bob_.EthAddress();
+    tx.value = amount;
+    tx.Sign(alice_);
+    return tx;
+  }
+
+  PrivateKey alice_;
+  PrivateKey bob_;
+  GenesisAlloc alloc_;
+  std::unique_ptr<Node> producer_;
+  std::vector<std::unique_ptr<Node>> replicas_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, IdenticalGenesis) {
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->HeadHash(), producer_->HeadHash());
+  }
+}
+
+TEST_F(NetworkTest, ReplicasConvergeOnBroadcast) {
+  ASSERT_TRUE(producer_->SubmitTransaction(Transfer(0, Ether(1))).ok());
+  EXPECT_EQ(net_.ProduceAndBroadcast(producer_.get()), 3u);
+  ASSERT_TRUE(producer_->SubmitTransaction(Transfer(1, Ether(2))).ok());
+  EXPECT_EQ(net_.ProduceAndBroadcast(producer_.get()), 3u);
+
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->Height(), producer_->Height());
+    EXPECT_EQ(r->HeadHash(), producer_->HeadHash());
+    EXPECT_EQ(r->chain().GetBalance(bob_.EthAddress()),
+              producer_->chain().GetBalance(bob_.EthAddress()));
+    EXPECT_EQ(r->chain().state().StateRoot(),
+              producer_->chain().state().StateRoot());
+    EXPECT_EQ(r->rejected_blocks(), 0u);
+  }
+}
+
+TEST_F(NetworkTest, TamperedBlockRejectedWithoutCorruption) {
+  ASSERT_TRUE(producer_->SubmitTransaction(Transfer(0, Ether(1))).ok());
+  Block block = producer_->ProduceBlock();
+  // A byzantine producer inflates the transfer before gossiping.
+  Block forged = block;
+  forged.transactions[0].value = Ether(50);
+  EXPECT_EQ(net_.BroadcastBlock(producer_.get(), forged), 0u);
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->Height(), 0u);
+    EXPECT_EQ(r->rejected_blocks(), 1u);
+    EXPECT_EQ(r->chain().GetBalance(bob_.EthAddress()), Ether(100));
+  }
+  // The honest block still goes through afterwards.
+  EXPECT_EQ(net_.BroadcastBlock(producer_.get(), block), 3u);
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->HeadHash(), producer_->HeadHash());
+  }
+}
+
+TEST_F(NetworkTest, ForgedStateRootRejected) {
+  Block block = producer_->ProduceBlock();
+  Block forged = block;
+  forged.header.state_root[5] ^= 0x42;
+  EXPECT_EQ(net_.BroadcastBlock(producer_.get(), forged), 0u);
+}
+
+TEST_F(NetworkTest, LateJoinerSyncsFromHistory) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(producer_->SubmitTransaction(Transfer(i, Ether(1))).ok());
+    net_.ProduceAndBroadcast(producer_.get());
+  }
+  Node late("latecomer", ChainConfig{}, alloc_);
+  Status st = late.SyncFrom(producer_->chain().blocks());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(late.Height(), producer_->Height());
+  EXPECT_EQ(late.HeadHash(), producer_->HeadHash());
+  EXPECT_EQ(late.chain().GetBalance(bob_.EthAddress()), Ether(104));
+}
+
+TEST_F(NetworkTest, ContractStatePropagates) {
+  // Deploy a contract through the network and confirm every replica can
+  // serve the same storage proofs.
+  auto init = easm::Assemble(R"(
+    PUSH1 0x06
+    PUSH @runtime PUSH1 0x01 ADD
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 0x06 PUSH1 0x00 RETURN
+    runtime: DB 0x602a60005500
+  )");
+  ASSERT_TRUE(init.ok());
+  Transaction deploy;
+  deploy.nonce = 0;
+  deploy.gas_price = U256(1);
+  deploy.gas_limit = 500'000;
+  deploy.to = std::nullopt;
+  deploy.data = *init;
+  deploy.Sign(alice_);
+  ASSERT_TRUE(producer_->SubmitTransaction(deploy).ok());
+  ASSERT_EQ(net_.ProduceAndBroadcast(producer_.get()), 3u);
+  Address contract =
+      evm::Evm::ContractAddress(alice_.EthAddress(), 0);
+  Transaction call;
+  call.nonce = 1;
+  call.gas_price = U256(1);
+  call.gas_limit = 100'000;
+  call.to = contract;
+  call.Sign(alice_);
+  ASSERT_TRUE(producer_->SubmitTransaction(call).ok());
+  ASSERT_EQ(net_.ProduceAndBroadcast(producer_.get()), 3u);
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->chain().GetStorage(contract, U256(0)), U256(42));
+    EXPECT_EQ(r->chain().GetCode(contract).size(), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace onoff::chain

@@ -1,0 +1,102 @@
+#include "chain/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "evm/gas.h"
+
+namespace onoff::chain {
+namespace {
+
+Transaction MakeTx() {
+  Transaction tx;
+  tx.nonce = 7;
+  tx.gas_price = U256(20);
+  tx.gas_limit = 100'000;
+  auto to = Address::FromHex("0x1111111111111111111111111111111111111111");
+  tx.to = *to;
+  tx.value = U256(1'000'000);
+  tx.data = Bytes{0x01, 0x00, 0x02};
+  return tx;
+}
+
+TEST(TransactionTest, SignAndRecoverSender) {
+  auto key = secp256k1::PrivateKey::FromSeed("tx-sender");
+  Transaction tx = MakeTx();
+  tx.Sign(key);
+  auto sender = tx.Sender();
+  ASSERT_TRUE(sender.ok());
+  EXPECT_EQ(*sender, key.EthAddress());
+}
+
+TEST(TransactionTest, TamperedFieldChangesSender) {
+  auto key = secp256k1::PrivateKey::FromSeed("tx-sender");
+  Transaction tx = MakeTx();
+  tx.Sign(key);
+  tx.value += U256(1);  // tamper after signing
+  auto sender = tx.Sender();
+  // Recovery either fails or yields a different address — never the signer.
+  if (sender.ok()) {
+    EXPECT_NE(*sender, key.EthAddress());
+  }
+}
+
+TEST(TransactionTest, EncodeDecodeRoundTrip) {
+  auto key = secp256k1::PrivateKey::FromSeed("round-trip");
+  Transaction tx = MakeTx();
+  tx.Sign(key);
+  Bytes wire = tx.Encode();
+  auto decoded = Transaction::Decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->nonce, tx.nonce);
+  EXPECT_EQ(decoded->gas_price, tx.gas_price);
+  EXPECT_EQ(decoded->gas_limit, tx.gas_limit);
+  EXPECT_EQ(decoded->to, tx.to);
+  EXPECT_EQ(decoded->value, tx.value);
+  EXPECT_EQ(decoded->data, tx.data);
+  EXPECT_EQ(decoded->signature, tx.signature);
+  EXPECT_EQ(decoded->Hash(), tx.Hash());
+}
+
+TEST(TransactionTest, ContractCreationEncoding) {
+  auto key = secp256k1::PrivateKey::FromSeed("creator");
+  Transaction tx = MakeTx();
+  tx.to = std::nullopt;
+  tx.Sign(key);
+  EXPECT_TRUE(tx.IsContractCreation());
+  auto decoded = Transaction::Decode(tx.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->IsContractCreation());
+}
+
+TEST(TransactionTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Transaction::Decode(Bytes{0x01, 0x02}).ok());
+  EXPECT_FALSE(Transaction::Decode(Bytes{0xc0}).ok());  // empty list
+}
+
+TEST(TransactionTest, IntrinsicGas) {
+  Transaction tx = MakeTx();
+  tx.data = Bytes{0x01, 0x00, 0x02};  // 2 non-zero + 1 zero
+  EXPECT_EQ(tx.IntrinsicGas(),
+            evm::gas::kTx + 2 * evm::gas::kTxDataNonZero + evm::gas::kTxDataZero);
+  tx.to = std::nullopt;
+  EXPECT_EQ(tx.IntrinsicGas(), evm::gas::kTx + evm::gas::kTxCreate +
+                                   2 * evm::gas::kTxDataNonZero +
+                                   evm::gas::kTxDataZero);
+  tx.data.clear();
+  tx.to = Address();
+  EXPECT_EQ(tx.IntrinsicGas(), evm::gas::kTx);
+}
+
+TEST(TransactionTest, DistinctHashes) {
+  auto key = secp256k1::PrivateKey::FromSeed("hashes");
+  Transaction a = MakeTx();
+  a.Sign(key);
+  Transaction b = MakeTx();
+  b.nonce = 8;
+  b.Sign(key);
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_NE(a.SigningHash(), b.SigningHash());
+}
+
+}  // namespace
+}  // namespace onoff::chain

@@ -1,0 +1,120 @@
+#include "chain/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "contracts/betting.h"  // Ether()
+#include "easm/assembler.h"
+
+namespace onoff::chain {
+namespace {
+
+using contracts::Ether;
+using secp256k1::PrivateKey;
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  ValidatorTest()
+      : alice_(PrivateKey::FromSeed("alice")), bob_(PrivateKey::FromSeed("bob")) {
+    alloc_ = {{alice_.EthAddress(), Ether(100)}, {bob_.EthAddress(), Ether(50)}};
+    for (const auto& [addr, amount] : alloc_) chain_.FundAccount(addr, amount);
+  }
+
+  // A chain with transfers, a deployment, contract calls and empty blocks.
+  void BuildActivity() {
+    ASSERT_TRUE(chain_.Execute(alice_, bob_.EthAddress(), Ether(1), {}, 21'000)
+                    .ok());
+    chain_.MineBlock();  // empty block
+    chain_.AdvanceTime(500);
+    auto init = easm::Assemble(R"(
+      PUSH1 0x06
+      PUSH @runtime PUSH1 0x01 ADD
+      PUSH1 0x00
+      CODECOPY
+      PUSH1 0x06 PUSH1 0x00 RETURN
+      runtime: DB 0x602a60005500
+    )");
+    ASSERT_TRUE(init.ok());
+    auto deploy = chain_.Execute(alice_, std::nullopt, U256(), *init, 500'000);
+    ASSERT_TRUE(deploy.ok());
+    ASSERT_TRUE(deploy->success);
+    ASSERT_TRUE(chain_
+                    .Execute(bob_, deploy->contract_address, U256(), {},
+                             100'000)
+                    .ok());
+  }
+
+  Blockchain chain_;
+  PrivateKey alice_;
+  PrivateKey bob_;
+  GenesisAlloc alloc_;
+};
+
+TEST_F(ValidatorTest, FreshChainVerifies) {
+  EXPECT_TRUE(VerifyChain(chain_, alloc_).ok());
+}
+
+TEST_F(ValidatorTest, ActiveChainVerifies) {
+  BuildActivity();
+  Status st = VerifyChain(chain_, alloc_);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(ValidatorTest, WrongAllocationRejected) {
+  BuildActivity();
+  GenesisAlloc wrong = {{alice_.EthAddress(), Ether(1)}};
+  Status st = VerifyChain(chain_, wrong);
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(ValidatorTest, TamperedTransactionDetected) {
+  BuildActivity();
+  std::vector<Block> blocks = chain_.blocks();
+  // Inflate the value of a mined transfer.
+  for (auto& block : blocks) {
+    for (auto& tx : block.transactions) {
+      if (tx.value == Ether(1)) {
+        tx.value = Ether(2);
+      }
+    }
+  }
+  Status st = VerifyChain(blocks, alloc_, chain_.config());
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(ValidatorTest, TamperedStateRootDetected) {
+  BuildActivity();
+  std::vector<Block> blocks = chain_.blocks();
+  blocks.back().header.state_root[0] ^= 0xff;
+  Status st = VerifyChain(blocks, alloc_, chain_.config());
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(ValidatorTest, ReorderedBlocksDetected) {
+  BuildActivity();
+  std::vector<Block> blocks = chain_.blocks();
+  ASSERT_GE(blocks.size(), 3u);
+  std::swap(blocks[1], blocks[2]);
+  Status st = VerifyChain(blocks, alloc_, chain_.config());
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(ValidatorTest, DroppedTransactionDetected) {
+  BuildActivity();
+  std::vector<Block> blocks = chain_.blocks();
+  for (auto& block : blocks) {
+    if (!block.transactions.empty()) {
+      block.transactions.pop_back();
+      break;
+    }
+  }
+  Status st = VerifyChain(blocks, alloc_, chain_.config());
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(ValidatorTest, EmptyChainRejected) {
+  EXPECT_EQ(VerifyChain({}, alloc_, chain_.config()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace onoff::chain

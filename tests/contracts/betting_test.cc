@@ -1,0 +1,499 @@
+#include "contracts/betting.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "crypto/secp256k1.h"
+
+namespace onoff::contracts {
+namespace {
+
+using chain::Blockchain;
+using secp256k1::PrivateKey;
+
+class BettingContractTest : public ::testing::Test {
+ protected:
+  BettingContractTest()
+      : alice_(PrivateKey::FromSeed("alice")),
+        bob_(PrivateKey::FromSeed("bob")),
+        carol_(PrivateKey::FromSeed("carol")) {
+    chain_.FundAccount(alice_.EthAddress(), Ether(10));
+    chain_.FundAccount(bob_.EthAddress(), Ether(10));
+    chain_.FundAccount(carol_.EthAddress(), Ether(10));
+
+    uint64_t now = chain_.Now();
+    config_.alice = alice_.EthAddress();
+    config_.bob = bob_.EthAddress();
+    config_.deposit_amount = Ether(1);
+    config_.t1 = now + 100;
+    config_.t2 = now + 200;
+    config_.t3 = now + 300;
+
+    offchain_.alice = alice_.EthAddress();
+    offchain_.bob = bob_.EthAddress();
+    offchain_.secret_alice = U256(0xa11ce);
+    offchain_.secret_bob = U256(0xb0b);
+    offchain_.reveal_iterations = 10;
+  }
+
+  // Deploys the on-chain contract from Alice; returns its address.
+  Address Deploy() {
+    auto init = BuildOnChainInit(config_);
+    EXPECT_TRUE(init.ok()) << init.status().ToString();
+    auto receipt = chain_.Execute(alice_, std::nullopt, U256(), *init, 3'000'000);
+    EXPECT_TRUE(receipt.ok());
+    EXPECT_TRUE(receipt->success) << std::string(receipt->output.begin(),
+                                                 receipt->output.end());
+    return receipt->contract_address;
+  }
+
+  chain::Receipt Call(const PrivateKey& from, const Address& to, Bytes data,
+                      const U256& value = U256(), uint64_t gas = 2'000'000) {
+    auto receipt = chain_.Execute(from, to, value, std::move(data), gas);
+    EXPECT_TRUE(receipt.ok()) << receipt.status().ToString();
+    return *receipt;
+  }
+
+  void DepositBoth(const Address& contract) {
+    EXPECT_TRUE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+    EXPECT_TRUE(Call(bob_, contract, DepositCalldata(), Ether(1)).success);
+  }
+
+  // The signed copy: both participants sign keccak256(offchain init code).
+  struct SignedCopy {
+    Bytes bytecode;
+    secp256k1::Signature sig_alice;
+    secp256k1::Signature sig_bob;
+  };
+  SignedCopy MakeSignedCopy() {
+    auto init = BuildOffChainInit(offchain_);
+    EXPECT_TRUE(init.ok());
+    Hash32 digest = Keccak256(*init);
+    auto sa = secp256k1::Sign(digest, alice_);
+    auto sb = secp256k1::Sign(digest, bob_);
+    EXPECT_TRUE(sa.ok());
+    EXPECT_TRUE(sb.ok());
+    return {*init, *sa, *sb};
+  }
+
+  Bytes DisputeCalldata(const SignedCopy& copy) {
+    return DeployVerifiedInstanceCalldata(
+        copy.bytecode, copy.sig_alice.v, copy.sig_alice.r, copy.sig_alice.s,
+        copy.sig_bob.v, copy.sig_bob.r, copy.sig_bob.s);
+  }
+
+  Blockchain chain_;
+  PrivateKey alice_;
+  PrivateKey bob_;
+  PrivateKey carol_;
+  BettingConfig config_;
+  OffchainConfig offchain_;
+};
+
+TEST_F(BettingContractTest, DepositsRecordBalances) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  EXPECT_EQ(chain_.GetStorage(contract, U256(betting_slots::kBalanceAlice)),
+            Ether(1));
+  EXPECT_EQ(chain_.GetStorage(contract, U256(betting_slots::kBalanceBob)),
+            Ether(1));
+  EXPECT_EQ(chain_.GetBalance(contract), Ether(2));
+}
+
+TEST_F(BettingContractTest, DepositRejectsWrongAmount) {
+  Address contract = Deploy();
+  EXPECT_FALSE(Call(alice_, contract, DepositCalldata(), Ether(2)).success);
+  EXPECT_FALSE(Call(alice_, contract, DepositCalldata(), U256(1)).success);
+  EXPECT_EQ(chain_.GetBalance(contract), U256(0));
+}
+
+TEST_F(BettingContractTest, DepositRejectsNonParticipant) {
+  Address contract = Deploy();
+  EXPECT_FALSE(Call(carol_, contract, DepositCalldata(), Ether(1)).success);
+}
+
+TEST_F(BettingContractTest, DepositRejectsDouble) {
+  Address contract = Deploy();
+  EXPECT_TRUE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+  EXPECT_FALSE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+}
+
+TEST_F(BettingContractTest, DepositRejectsAfterT1) {
+  Address contract = Deploy();
+  chain_.AdvanceTimeTo(config_.t1);
+  EXPECT_FALSE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+}
+
+TEST_F(BettingContractTest, UnknownSelectorReverts) {
+  Address contract = Deploy();
+  EXPECT_FALSE(Call(alice_, contract, BytesOf("garbage!")).success);
+  // Plain ether send (no calldata) also reverts.
+  EXPECT_FALSE(Call(alice_, contract, {}, Ether(1)).success);
+}
+
+TEST_F(BettingContractTest, RefundRoundOneReturnsDeposit) {
+  Address contract = Deploy();
+  EXPECT_TRUE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+  U256 before = chain_.GetBalance(alice_.EthAddress());
+  auto receipt = Call(alice_, contract, RefundRoundOneCalldata());
+  EXPECT_TRUE(receipt.success);
+  EXPECT_EQ(chain_.GetBalance(alice_.EthAddress()),
+            before + Ether(1) - U256(receipt.gas_used));
+  EXPECT_TRUE(
+      chain_.GetStorage(contract, U256(betting_slots::kBalanceAlice)).IsZero());
+  // A second refund attempt fails (balance is zero).
+  EXPECT_FALSE(Call(alice_, contract, RefundRoundOneCalldata()).success);
+}
+
+TEST_F(BettingContractTest, RefundRoundTwoRequiresAmountNotMet) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t1);
+  // Both deposited: refundRoundTwo must fail.
+  EXPECT_FALSE(Call(alice_, contract, RefundRoundTwoCalldata()).success);
+}
+
+TEST_F(BettingContractTest, RefundRoundTwoWorksWhenOnlyOneDeposited) {
+  Address contract = Deploy();
+  EXPECT_TRUE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+  // Before T1 refundRoundTwo is out of its window.
+  EXPECT_FALSE(Call(alice_, contract, RefundRoundTwoCalldata()).success);
+  chain_.AdvanceTimeTo(config_.t1);
+  auto receipt = Call(alice_, contract, RefundRoundTwoCalldata());
+  EXPECT_TRUE(receipt.success);
+  EXPECT_TRUE(
+      chain_.GetStorage(contract, U256(betting_slots::kBalanceAlice)).IsZero());
+  // After T2 the window closes.
+  chain_.AdvanceTimeTo(config_.t2);
+  EXPECT_FALSE(Call(bob_, contract, RefundRoundTwoCalldata()).success);
+}
+
+TEST_F(BettingContractTest, ReassignPaysCounterparty) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t2);
+  U256 bob_before = chain_.GetBalance(bob_.EthAddress());
+  // Alice (the loser) admits defeat: Bob receives both deposits.
+  auto receipt = Call(alice_, contract, ReassignCalldata());
+  EXPECT_TRUE(receipt.success);
+  EXPECT_EQ(chain_.GetBalance(bob_.EthAddress()), bob_before + Ether(2));
+  EXPECT_EQ(chain_.GetBalance(contract), U256(0));
+  EXPECT_EQ(chain_.GetStorage(contract, U256(betting_slots::kResolved)),
+            U256(1));
+  // Resolution is final: reassign cannot run twice.
+  EXPECT_FALSE(Call(bob_, contract, ReassignCalldata()).success);
+}
+
+TEST_F(BettingContractTest, ReassignOutsideWindowFails) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  EXPECT_FALSE(Call(alice_, contract, ReassignCalldata()).success);  // < T2
+  chain_.AdvanceTimeTo(config_.t3);
+  EXPECT_FALSE(Call(alice_, contract, ReassignCalldata()).success);  // >= T3
+}
+
+TEST_F(BettingContractTest, ReassignRequiresBothDeposits) {
+  Address contract = Deploy();
+  EXPECT_TRUE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+  chain_.AdvanceTimeTo(config_.t2);
+  EXPECT_FALSE(Call(alice_, contract, ReassignCalldata()).success);
+}
+
+TEST_F(BettingContractTest, DisputePathEnforcesTrueResult) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  // The loser refuses to call reassign(); T3 passes.
+  chain_.AdvanceTimeTo(config_.t3);
+
+  SignedCopy copy = MakeSignedCopy();
+  auto deploy_receipt = Call(bob_, contract, DisputeCalldata(copy), U256(),
+                             5'000'000);
+  ASSERT_TRUE(deploy_receipt.success)
+      << std::string(deploy_receipt.output.begin(),
+                     deploy_receipt.output.end());
+  // deployedAddr recorded and the verified instance carries the off-chain
+  // runtime code.
+  U256 deployed_word =
+      chain_.GetStorage(contract, U256(betting_slots::kDeployedAddr));
+  ASSERT_FALSE(deployed_word.IsZero());
+  Address instance = Address::FromWord(deployed_word);
+  auto runtime = BuildOffChainRuntime(offchain_);
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_EQ(chain_.GetCode(instance), *runtime);
+
+  // Anyone certified can now trigger the resolution.
+  bool bob_wins = ComputeWinner(offchain_);
+  U256 alice_before = chain_.GetBalance(alice_.EthAddress());
+  U256 bob_before = chain_.GetBalance(bob_.EthAddress());
+  auto resolve_receipt =
+      Call(bob_, instance, ReturnDisputeResolutionCalldata(contract));
+  ASSERT_TRUE(resolve_receipt.success)
+      << std::string(resolve_receipt.output.begin(),
+                     resolve_receipt.output.end());
+  EXPECT_EQ(chain_.GetStorage(contract, U256(betting_slots::kResolved)),
+            U256(1));
+  EXPECT_EQ(chain_.GetBalance(contract), U256(0));
+  if (bob_wins) {
+    EXPECT_EQ(chain_.GetBalance(bob_.EthAddress()),
+              bob_before + Ether(2) - U256(resolve_receipt.gas_used));
+  } else {
+    EXPECT_EQ(chain_.GetBalance(alice_.EthAddress()), alice_before + Ether(2));
+  }
+  // Resolution cannot be replayed.
+  EXPECT_FALSE(
+      Call(bob_, instance, ReturnDisputeResolutionCalldata(contract)).success);
+}
+
+TEST_F(BettingContractTest, DisputeRejectsTamperedBytecode) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t3);
+  SignedCopy copy = MakeSignedCopy();
+  // A dishonest participant rewrites the off-chain logic but keeps the old
+  // signatures: integrity verification must fail.
+  OffchainConfig forged = offchain_;
+  forged.secret_alice = U256(0xbad);
+  auto forged_init = BuildOffChainInit(forged);
+  ASSERT_TRUE(forged_init.ok());
+  copy.bytecode = *forged_init;
+  EXPECT_FALSE(Call(bob_, contract, DisputeCalldata(copy), U256(), 5'000'000)
+                   .success);
+  EXPECT_TRUE(chain_.GetStorage(contract, U256(betting_slots::kDeployedAddr))
+                  .IsZero());
+}
+
+TEST_F(BettingContractTest, DisputeRejectsMissingOrForeignSignature) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t3);
+  SignedCopy copy = MakeSignedCopy();
+  // Carol signs instead of Bob: the second recover yields carol's address.
+  Hash32 digest = Keccak256(copy.bytecode);
+  auto carol_sig = secp256k1::Sign(digest, carol_);
+  ASSERT_TRUE(carol_sig.ok());
+  copy.sig_bob = *carol_sig;
+  EXPECT_FALSE(Call(bob_, contract, DisputeCalldata(copy), U256(), 5'000'000)
+                   .success);
+}
+
+TEST_F(BettingContractTest, DisputeRejectsBeforeT3) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t2);
+  SignedCopy copy = MakeSignedCopy();
+  EXPECT_FALSE(Call(bob_, contract, DisputeCalldata(copy), U256(), 5'000'000)
+                   .success);
+}
+
+TEST_F(BettingContractTest, DisputeRejectsNonParticipantCaller) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t3);
+  SignedCopy copy = MakeSignedCopy();
+  EXPECT_FALSE(Call(carol_, contract, DisputeCalldata(copy), U256(), 5'000'000)
+                   .success);
+}
+
+TEST_F(BettingContractTest, EnforceRejectsDirectCalls) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t3);
+  // Nobody can call enforceDisputeResolution directly — not even
+  // participants — before a verified instance exists...
+  EXPECT_FALSE(
+      Call(bob_, contract, EnforceDisputeResolutionCalldata(true)).success);
+  // ...and not after one exists either (msg.sender is an EOA, not the
+  // instance).
+  SignedCopy copy = MakeSignedCopy();
+  ASSERT_TRUE(
+      Call(bob_, contract, DisputeCalldata(copy), U256(), 5'000'000).success);
+  EXPECT_FALSE(
+      Call(bob_, contract, EnforceDisputeResolutionCalldata(true)).success);
+}
+
+TEST_F(BettingContractTest, VerifiedInstanceRejectsNonParticipant) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t3);
+  SignedCopy copy = MakeSignedCopy();
+  ASSERT_TRUE(
+      Call(bob_, contract, DisputeCalldata(copy), U256(), 5'000'000).success);
+  Address instance = Address::FromWord(
+      chain_.GetStorage(contract, U256(betting_slots::kDeployedAddr)));
+  EXPECT_FALSE(
+      Call(carol_, instance, ReturnDisputeResolutionCalldata(contract)).success);
+}
+
+TEST_F(BettingContractTest, GetWinnerMatchesNativeReveal) {
+  // Deploy the off-chain contract directly (as participants do locally) and
+  // compare getWinner() with the native computation across parameter sweeps.
+  for (uint64_t iters : {0ull, 1ull, 7ull, 50ull}) {
+    for (uint64_t secret : {1ull, 2ull, 0xdeadull}) {
+      OffchainConfig cfg = offchain_;
+      cfg.reveal_iterations = iters;
+      cfg.secret_bob = U256(secret);
+      auto init = BuildOffChainInit(cfg);
+      ASSERT_TRUE(init.ok());
+      auto receipt = chain_.Execute(alice_, std::nullopt, U256(), *init,
+                                    3'000'000);
+      ASSERT_TRUE(receipt.ok());
+      ASSERT_TRUE(receipt->success);
+      auto res = chain_.CallReadOnly(alice_.EthAddress(),
+                                     receipt->contract_address,
+                                     GetWinnerCalldata());
+      ASSERT_TRUE(res.ok());
+      ASSERT_EQ(res.output.size(), 32u);
+      bool onchain_winner =
+          !U256::FromBigEndianTruncating(res.output).IsZero();
+      EXPECT_EQ(onchain_winner, ComputeWinner(cfg))
+          << "iters=" << iters << " secret=" << secret;
+    }
+  }
+}
+
+// ---- Security-deposit extension (paper SIV: penalize the dishonest) ----
+
+class BettingPenaltyTest : public BettingContractTest {
+ protected:
+  BettingPenaltyTest() {
+    config_.security_deposit = Ether(1) / U256(2);  // 0.5 ether
+  }
+
+  void DepositBothWithStake(const Address& contract) {
+    EXPECT_TRUE(
+        Call(alice_, contract, DepositCalldata(), config_.TotalStake()).success);
+    EXPECT_TRUE(
+        Call(bob_, contract, DepositCalldata(), config_.TotalStake()).success);
+  }
+};
+
+TEST_F(BettingPenaltyTest, DepositRequiresFullStake) {
+  Address contract = Deploy();
+  // The bare bet amount is no longer enough.
+  EXPECT_FALSE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+  EXPECT_TRUE(
+      Call(alice_, contract, DepositCalldata(), config_.TotalStake()).success);
+}
+
+TEST_F(BettingPenaltyTest, HonestPathReturnsSecurities) {
+  Address contract = Deploy();
+  DepositBothWithStake(contract);
+  chain_.AdvanceTimeTo(config_.t2);
+  U256 alice_before = chain_.GetBalance(alice_.EthAddress());
+  U256 bob_before = chain_.GetBalance(bob_.EthAddress());
+  // Alice admits the loss: Bob gets 2 bets + his security, Alice gets her
+  // security back.
+  auto receipt = Call(alice_, contract, ReassignCalldata());
+  ASSERT_TRUE(receipt.success);
+  EXPECT_EQ(chain_.GetBalance(bob_.EthAddress()),
+            bob_before + Ether(2) + config_.security_deposit);
+  EXPECT_EQ(chain_.GetBalance(alice_.EthAddress()),
+            alice_before + config_.security_deposit - U256(receipt.gas_used));
+  EXPECT_EQ(chain_.GetBalance(contract), U256(0));
+}
+
+TEST_F(BettingPenaltyTest, DisputeForfeitsLosersSecurityToChallenger) {
+  Address contract = Deploy();
+  DepositBothWithStake(contract);
+  chain_.AdvanceTimeTo(config_.t3);  // the loser went silent
+  SignedCopy copy = MakeSignedCopy();
+  bool bob_wins = ComputeWinner(offchain_);
+  // The winner challenges (pays the dispute gas).
+  const auto& winner = bob_wins ? bob_ : alice_;
+  U256 winner_before = chain_.GetBalance(winner.EthAddress());
+  auto deploy_r = Call(winner, contract, DisputeCalldata(copy), U256(),
+                       5'000'000);
+  ASSERT_TRUE(deploy_r.success);
+  // Challenger is recorded on-chain.
+  EXPECT_EQ(Address::FromWord(chain_.GetStorage(
+                contract, U256(betting_slots::kChallenger))),
+            winner.EthAddress());
+  Address instance = Address::FromWord(
+      chain_.GetStorage(contract, U256(betting_slots::kDeployedAddr)));
+  auto resolve_r =
+      Call(winner, instance, ReturnDisputeResolutionCalldata(contract));
+  ASSERT_TRUE(resolve_r.success);
+  // Winner-as-challenger collects: the pot (2 bets), their own security,
+  // AND the loser's forfeited security as gas compensation.
+  U256 gas_spent(deploy_r.gas_used + resolve_r.gas_used);
+  EXPECT_EQ(chain_.GetBalance(winner.EthAddress()) + gas_spent,
+            winner_before + Ether(2) + config_.security_deposit * U256(2));
+  EXPECT_EQ(chain_.GetBalance(contract), U256(0));
+  // The dishonest loser ends with nothing back.
+}
+
+TEST_F(BettingPenaltyTest, RefundReturnsFullStake) {
+  Address contract = Deploy();
+  EXPECT_TRUE(
+      Call(alice_, contract, DepositCalldata(), config_.TotalStake()).success);
+  U256 before = chain_.GetBalance(alice_.EthAddress());
+  auto receipt = Call(alice_, contract, RefundRoundOneCalldata());
+  ASSERT_TRUE(receipt.success);
+  EXPECT_EQ(chain_.GetBalance(alice_.EthAddress()),
+            before + config_.TotalStake() - U256(receipt.gas_used));
+}
+
+TEST_F(BettingContractTest, TimeWindowBoundariesAreExact) {
+  Address contract = Deploy();
+  // Deposit window is [T0, T1): depositing at exactly T1-1 works...
+  chain_.AdvanceTimeTo(config_.t1 - 1);
+  EXPECT_TRUE(Call(alice_, contract, DepositCalldata(), Ether(1)).success);
+  // ...and at exactly T1 it does not.
+  chain_.AdvanceTimeTo(config_.t1);
+  EXPECT_FALSE(Call(bob_, contract, DepositCalldata(), Ether(1)).success);
+  // refundRoundTwo opens at exactly T1 (amount not met: only Alice paid).
+  EXPECT_TRUE(Call(alice_, contract, RefundRoundTwoCalldata()).success);
+}
+
+TEST_F(BettingContractTest, ReassignWindowBoundaries) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  // reassign opens at exactly T2.
+  chain_.AdvanceTimeTo(config_.t2 - 1);
+  EXPECT_FALSE(Call(alice_, contract, ReassignCalldata()).success);
+  chain_.AdvanceTimeTo(config_.t2);
+  EXPECT_TRUE(Call(alice_, contract, ReassignCalldata()).success);
+}
+
+TEST_F(BettingContractTest, DisputeWindowOpensAtExactlyT3) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  SignedCopy copy = MakeSignedCopy();
+  chain_.AdvanceTimeTo(config_.t3 - 1);
+  EXPECT_FALSE(
+      Call(bob_, contract, DisputeCalldata(copy), U256(), 5'000'000).success);
+  chain_.AdvanceTimeTo(config_.t3);
+  EXPECT_TRUE(
+      Call(bob_, contract, DisputeCalldata(copy), U256(), 5'000'000).success);
+}
+
+TEST_F(BettingContractTest, SecondVerifiedInstanceBlocked) {
+  Address contract = Deploy();
+  DepositBoth(contract);
+  chain_.AdvanceTimeTo(config_.t3);
+  SignedCopy copy = MakeSignedCopy();
+  ASSERT_TRUE(
+      Call(bob_, contract, DisputeCalldata(copy), U256(), 5'000'000).success);
+  // Even a perfectly valid second submission is rejected: only one
+  // verified instance may ever exist per contract.
+  EXPECT_FALSE(
+      Call(alice_, contract, DisputeCalldata(copy), U256(), 5'000'000).success);
+}
+
+TEST_F(BettingContractTest, DeterministicCompilation) {
+  // Same config -> bit-identical bytecode (the "same compiler" requirement).
+  auto a = BuildOffChainInit(offchain_);
+  auto b = BuildOffChainInit(offchain_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  // Different secrets -> different bytecode (the private data lives in it).
+  OffchainConfig other = offchain_;
+  other.secret_bob = U256(999);
+  auto c = BuildOffChainInit(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*a, *c);
+}
+
+}  // namespace
+}  // namespace onoff::contracts

@@ -1,0 +1,165 @@
+#include "contracts/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"  // Ether()
+#include "crypto/secp256k1.h"
+
+namespace onoff::contracts {
+namespace {
+
+using chain::Blockchain;
+using secp256k1::PrivateKey;
+
+class SyntheticContractTest : public ::testing::Test {
+ protected:
+  SyntheticContractTest() : user_(PrivateKey::FromSeed("user")) {
+    chain_.FundAccount(user_.EthAddress(), Ether(100));
+    cfg_.num_light = 2;
+    cfg_.num_heavy = 2;
+    cfg_.heavy_iterations = 25;
+  }
+
+  Address Deploy(const Bytes& init) {
+    auto receipt = chain_.Execute(user_, std::nullopt, U256(), init, 6'000'000);
+    EXPECT_TRUE(receipt.ok());
+    EXPECT_TRUE(receipt->success);
+    return receipt->contract_address;
+  }
+
+  Blockchain chain_;
+  PrivateKey user_;
+  SyntheticConfig cfg_;
+};
+
+TEST_F(SyntheticContractTest, WholeContractExecutesAllFunctions) {
+  auto init = BuildWholeInit(cfg_);
+  ASSERT_TRUE(init.ok());
+  Address contract = Deploy(*init);
+
+  for (int i = 0; i < cfg_.num_light; ++i) {
+    auto r = chain_.Execute(user_, contract, U256(), LightCalldata(i), 200'000);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->success);
+    EXPECT_EQ(chain_.GetStorage(
+                  contract, U256(synthetic_slots::kLightBase + uint64_t(i))),
+              U256(uint64_t(i) + 1));
+  }
+  for (int i = 0; i < cfg_.num_heavy; ++i) {
+    auto r = chain_.Execute(user_, contract, U256(), HeavyCalldata(i), 2'000'000);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->success);
+    EXPECT_EQ(chain_.GetStorage(
+                  contract, U256(synthetic_slots::kHeavyBase + uint64_t(i))),
+              NativeHeavyResult(i, cfg_.heavy_iterations));
+  }
+}
+
+TEST_F(SyntheticContractTest, HeavyGasScalesWithIterations) {
+  SyntheticConfig small = cfg_;
+  small.heavy_iterations = 10;
+  SyntheticConfig big = cfg_;
+  big.heavy_iterations = 1000;
+  auto init_small = BuildWholeInit(small);
+  auto init_big = BuildWholeInit(big);
+  ASSERT_TRUE(init_small.ok());
+  ASSERT_TRUE(init_big.ok());
+  Address c_small = Deploy(*init_small);
+  Address c_big = Deploy(*init_big);
+  auto r_small =
+      chain_.Execute(user_, c_small, U256(), HeavyCalldata(0), 6'000'000);
+  auto r_big = chain_.Execute(user_, c_big, U256(), HeavyCalldata(0), 6'000'000);
+  ASSERT_TRUE(r_small.ok());
+  ASSERT_TRUE(r_big.ok());
+  ASSERT_TRUE(r_small->success);
+  ASSERT_TRUE(r_big->success);
+  // ~56 gas per iteration (keccak + loop overhead); expect near-linear growth.
+  EXPECT_GT(r_big->gas_used, r_small->gas_used + 40 * 990);
+}
+
+TEST_F(SyntheticContractTest, HybridReachesSameFinalState) {
+  auto whole_init = BuildWholeInit(cfg_);
+  auto onchain_init = BuildHybridOnChainInit(cfg_);
+  auto offchain_init = BuildHybridOffChainInit(cfg_);
+  ASSERT_TRUE(whole_init.ok());
+  ASSERT_TRUE(onchain_init.ok());
+  ASSERT_TRUE(offchain_init.ok());
+
+  // All-on-chain execution.
+  Address whole = Deploy(*whole_init);
+  for (int i = 0; i < cfg_.num_light; ++i) {
+    ASSERT_TRUE(chain_.Execute(user_, whole, U256(), LightCalldata(i), 200'000)
+                    ->success);
+  }
+  for (int i = 0; i < cfg_.num_heavy; ++i) {
+    ASSERT_TRUE(
+        chain_.Execute(user_, whole, U256(), HeavyCalldata(i), 2'000'000)
+            ->success);
+  }
+
+  // Hybrid: heavy functions run off-chain (locally deployed scratch chain),
+  // results submitted on-chain.
+  Address hybrid = Deploy(*onchain_init);
+  Blockchain local;  // the participants' local EVM
+  local.FundAccount(user_.EthAddress(), Ether(10));
+  auto local_deploy =
+      local.Execute(user_, std::nullopt, U256(), *offchain_init, 6'000'000);
+  ASSERT_TRUE(local_deploy.ok());
+  ASSERT_TRUE(local_deploy->success);
+  Address local_contract = local_deploy->contract_address;
+
+  for (int i = 0; i < cfg_.num_light; ++i) {
+    ASSERT_TRUE(chain_.Execute(user_, hybrid, U256(), LightCalldata(i), 200'000)
+                    ->success);
+  }
+  for (int i = 0; i < cfg_.num_heavy; ++i) {
+    auto local_res = local.CallReadOnly(user_.EthAddress(), local_contract,
+                                        HeavyCalldata(i));
+    ASSERT_TRUE(local_res.ok());
+    U256 result = U256::FromBigEndianTruncating(local_res.output);
+    EXPECT_EQ(result, NativeHeavyResult(i, cfg_.heavy_iterations));
+    ASSERT_TRUE(chain_
+                    .Execute(user_, hybrid, U256(),
+                             SubmitResultCalldata(i, result), 200'000)
+                    ->success);
+  }
+
+  // Final storage matches between the two models.
+  for (int i = 0; i < cfg_.num_light; ++i) {
+    U256 slot(synthetic_slots::kLightBase + uint64_t(i));
+    EXPECT_EQ(chain_.GetStorage(whole, slot), chain_.GetStorage(hybrid, slot));
+  }
+  for (int i = 0; i < cfg_.num_heavy; ++i) {
+    U256 slot(synthetic_slots::kHeavyBase + uint64_t(i));
+    EXPECT_EQ(chain_.GetStorage(whole, slot), chain_.GetStorage(hybrid, slot));
+  }
+}
+
+TEST_F(SyntheticContractTest, HybridOnChainIsCheaperForHeavyWork) {
+  SyntheticConfig cfg = cfg_;
+  cfg.heavy_iterations = 2000;
+  auto whole_init = BuildWholeInit(cfg);
+  auto onchain_init = BuildHybridOnChainInit(cfg);
+  ASSERT_TRUE(whole_init.ok());
+  ASSERT_TRUE(onchain_init.ok());
+  Address whole = Deploy(*whole_init);
+  Address hybrid = Deploy(*onchain_init);
+
+  auto heavy_receipt =
+      chain_.Execute(user_, whole, U256(), HeavyCalldata(0), 6'000'000);
+  ASSERT_TRUE(heavy_receipt.ok());
+  ASSERT_TRUE(heavy_receipt->success);
+  auto submit_receipt = chain_.Execute(
+      user_, hybrid, U256(),
+      SubmitResultCalldata(0, NativeHeavyResult(0, cfg.heavy_iterations)),
+      6'000'000);
+  ASSERT_TRUE(submit_receipt.ok());
+  ASSERT_TRUE(submit_receipt->success);
+  // The hybrid model replaces the heavy on-chain execution with a cheap
+  // submit; the gap grows with heavy_iterations.
+  EXPECT_LT(submit_receipt->gas_used * 2, heavy_receipt->gas_used);
+}
+
+}  // namespace
+}  // namespace onoff::contracts

@@ -1,0 +1,36 @@
+#include "crypto/ripemd160.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/bytes.h"
+
+namespace onoff {
+namespace {
+
+std::string Ripemd160Hex(std::string_view input) {
+  auto h = Ripemd160(BytesOf(input));
+  return ToHex(BytesView(h.data(), h.size()));
+}
+
+TEST(Ripemd160Test, OriginalPaperVectors) {
+  EXPECT_EQ(Ripemd160Hex(""), "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+  EXPECT_EQ(Ripemd160Hex("a"), "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe");
+  EXPECT_EQ(Ripemd160Hex("abc"), "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+  EXPECT_EQ(Ripemd160Hex("message digest"),
+            "5d0689ef49d2fae572b881b123a85ffa21595f36");
+  EXPECT_EQ(Ripemd160Hex("abcdefghijklmnopqrstuvwxyz"),
+            "f71c27109c692c1b56bbdceb5b9d2865b3708dbc");
+  EXPECT_EQ(
+      Ripemd160Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "b0e20b6e3116640286ed3a87a5713079b21f5189");
+}
+
+TEST(Ripemd160Test, MillionA) {
+  std::string s(1000000, 'a');
+  EXPECT_EQ(Ripemd160Hex(s), "52783243c1697bdbe16d37f97f68f08325dc1528");
+}
+
+}  // namespace
+}  // namespace onoff

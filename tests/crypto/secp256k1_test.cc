@@ -1,0 +1,233 @@
+#include "crypto/secp256k1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/keccak.h"
+#include "crypto/sha256.h"
+#include "support/bytes.h"
+
+namespace onoff::secp256k1 {
+namespace {
+
+Hash32 DigestOf(std::string_view msg) { return Keccak256(BytesOf(msg)); }
+
+TEST(Secp256k1Test, CurveParameters) {
+  EXPECT_EQ(FieldPrime().ToHexFull(),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  EXPECT_EQ(GroupOrder().ToHexFull(),
+            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  EXPECT_TRUE(IsOnCurve(Generator()));
+}
+
+TEST(Secp256k1Test, GeneratorScalarMultiples) {
+  // 1*G == G
+  EXPECT_EQ(ScalarBaseMul(U256(1)), Generator());
+  // 2*G known value.
+  AffinePoint two_g = ScalarBaseMul(U256(2));
+  EXPECT_EQ(two_g.x.ToHexFull(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(two_g.y.ToHexFull(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+  EXPECT_TRUE(IsOnCurve(two_g));
+  // G + G == 2*G via the addition law.
+  EXPECT_EQ(Add(Generator(), Generator()), two_g);
+  // n*G == infinity.
+  EXPECT_TRUE(ScalarMul(Generator(), GroupOrder()).infinity);
+  // (n-1)*G + G == infinity.
+  AffinePoint n_minus_1 = ScalarBaseMul(GroupOrder() - U256(1));
+  EXPECT_TRUE(Add(n_minus_1, Generator()).infinity);
+  // (n-1)*G == -G (same x, negated y).
+  EXPECT_EQ(n_minus_1.x, Generator().x);
+  EXPECT_NE(n_minus_1.y, Generator().y);
+}
+
+TEST(Secp256k1Test, AdditionLaws) {
+  AffinePoint inf{U256(), U256(), true};
+  EXPECT_EQ(Add(Generator(), inf), Generator());
+  EXPECT_EQ(Add(inf, Generator()), Generator());
+  EXPECT_TRUE(Add(inf, inf).infinity);
+  // Associativity on a few multiples.
+  AffinePoint a = ScalarBaseMul(U256(5));
+  AffinePoint b = ScalarBaseMul(U256(11));
+  AffinePoint c = ScalarBaseMul(U256(7));
+  EXPECT_EQ(Add(Add(a, b), c), Add(a, Add(b, c)));
+  EXPECT_EQ(Add(a, b), ScalarBaseMul(U256(16)));
+}
+
+TEST(Secp256k1Test, PrivateKeyValidation) {
+  EXPECT_FALSE(PrivateKey::FromScalar(U256(0)).ok());
+  EXPECT_FALSE(PrivateKey::FromScalar(GroupOrder()).ok());
+  EXPECT_FALSE(PrivateKey::FromScalar(GroupOrder() + U256(5)).ok());
+  EXPECT_TRUE(PrivateKey::FromScalar(U256(1)).ok());
+  EXPECT_TRUE(PrivateKey::FromScalar(GroupOrder() - U256(1)).ok());
+}
+
+TEST(Secp256k1Test, Eip155AddressVector) {
+  // The EIP-155 example key: address must be
+  // 0x9d8a62f656a8d1615c1294fd71e9cfb3e4855a4f.
+  auto key = PrivateKey::FromHex(
+      "0x4646464646464646464646464646464646464646464646464646464646464646");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->EthAddress().ToHex(),
+            "0x9d8a62f656a8d1615c1294fd71e9cfb3e4855a4f");
+}
+
+TEST(Secp256k1Test, Rfc6979SatoshiVector) {
+  // Community-standard RFC6979 secp256k1 vector: key=1,
+  // digest=sha256("Satoshi Nakamoto").
+  auto key = PrivateKey::FromScalar(U256(1));
+  ASSERT_TRUE(key.ok());
+  Hash32 digest = Sha256(BytesOf("Satoshi Nakamoto"));
+  auto sig = Sign(digest, *key);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->r.ToHexFull(),
+            "934b1ea10a4b3c1757e2b0c017d0b6143ce3c9a7e6a4a49860d7a6ab210ee3d8");
+  EXPECT_EQ(sig->s.ToHexFull(),
+            "2442ce9d2b916064108014783e923ec36b49743e2ffa1c4496f01a512aafd9e5");
+}
+
+TEST(Secp256k1Test, SignVerifyRoundTrip) {
+  auto key = PrivateKey::FromSeed("alice");
+  Hash32 digest = DigestOf("the agreed off-chain contract bytecode");
+  auto sig = Sign(digest, key);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(Verify(digest, *sig, key.PublicKey()));
+  // Wrong digest fails.
+  EXPECT_FALSE(Verify(DigestOf("tampered"), *sig, key.PublicKey()));
+  // Wrong key fails.
+  EXPECT_FALSE(Verify(digest, *sig, PrivateKey::FromSeed("bob").PublicKey()));
+  // Corrupted r fails.
+  Signature bad = *sig;
+  bad.r += U256(1);
+  EXPECT_FALSE(Verify(digest, bad, key.PublicKey()));
+}
+
+TEST(Secp256k1Test, RecoverMatchesSigner) {
+  auto key = PrivateKey::FromSeed("bob");
+  Hash32 digest = DigestOf("message");
+  auto sig = Sign(digest, key);
+  ASSERT_TRUE(sig.ok());
+  auto recovered = RecoverAddress(digest, sig->v, sig->r, sig->s);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, key.EthAddress());
+  // The other recovery id yields a DIFFERENT address (or fails), never the
+  // signer's.
+  uint8_t other_v = sig->v == 27 ? 28 : 27;
+  auto other = RecoverAddress(digest, other_v, sig->r, sig->s);
+  if (other.ok()) {
+    EXPECT_NE(*other, key.EthAddress());
+  }
+}
+
+TEST(Secp256k1Test, RecoverRejectsBadInputs) {
+  auto key = PrivateKey::FromSeed("carol");
+  Hash32 digest = DigestOf("msg");
+  auto sig = Sign(digest, key);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(Recover(digest, 26, sig->r, sig->s).ok());
+  EXPECT_FALSE(Recover(digest, 29, sig->r, sig->s).ok());
+  EXPECT_FALSE(Recover(digest, sig->v, U256(0), sig->s).ok());
+  EXPECT_FALSE(Recover(digest, sig->v, sig->r, U256(0)).ok());
+  EXPECT_FALSE(Recover(digest, sig->v, GroupOrder(), sig->s).ok());
+}
+
+TEST(Secp256k1Test, LowSNormalization) {
+  // All produced signatures must have s <= n/2 (Ethereum rule).
+  U256 half_n = GroupOrder() >> 1;
+  for (int i = 0; i < 8; ++i) {
+    auto key = PrivateKey::FromSeed("signer" + std::to_string(i));
+    Hash32 digest = DigestOf("msg" + std::to_string(i));
+    auto sig = Sign(digest, key);
+    ASSERT_TRUE(sig.ok());
+    EXPECT_TRUE(sig->s <= half_n);
+    EXPECT_TRUE(sig->v == 27 || sig->v == 28);
+  }
+}
+
+TEST(Secp256k1Test, SignatureSerialization) {
+  auto key = PrivateKey::FromSeed("dave");
+  auto sig = Sign(DigestOf("x"), key);
+  ASSERT_TRUE(sig.ok());
+  Bytes raw = sig->Serialize();
+  EXPECT_EQ(raw.size(), 65u);
+  auto parsed = Signature::Deserialize(raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, *sig);
+  EXPECT_FALSE(Signature::Deserialize(Bytes(64, 0)).ok());
+}
+
+TEST(Secp256k1Test, DeterministicSigning) {
+  auto key = PrivateKey::FromSeed("erin");
+  Hash32 digest = DigestOf("same message");
+  auto s1 = Sign(digest, key);
+  auto s2 = Sign(digest, key);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);  // RFC 6979: no randomness
+}
+
+TEST(Secp256k1Test, Sec1SerializationRoundTrips) {
+  for (int i = 0; i < 8; ++i) {
+    auto key = PrivateKey::FromSeed("sec1-" + std::to_string(i));
+    AffinePoint pub = key.PublicKey();
+    // Uncompressed: 65 bytes, tag 0x04.
+    Bytes unc = SerializePoint(pub, /*compressed=*/false);
+    ASSERT_EQ(unc.size(), 65u);
+    EXPECT_EQ(unc[0], 0x04);
+    auto parsed = ParsePoint(unc);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, pub);
+    // Compressed: 33 bytes, parity tag, decompresses to the same point.
+    Bytes comp = SerializePoint(pub, /*compressed=*/true);
+    ASSERT_EQ(comp.size(), 33u);
+    EXPECT_TRUE(comp[0] == 0x02 || comp[0] == 0x03);
+    auto decompressed = ParsePoint(comp);
+    ASSERT_TRUE(decompressed.ok()) << decompressed.status().ToString();
+    EXPECT_EQ(*decompressed, pub);
+  }
+}
+
+TEST(Secp256k1Test, Sec1KnownVector) {
+  // The generator's canonical compressed form (well-known constant).
+  Bytes comp = SerializePoint(Generator(), /*compressed=*/true);
+  EXPECT_EQ(ToHex(comp),
+            "0279be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f817"
+            "98");
+}
+
+TEST(Secp256k1Test, ParsePointRejectsGarbage) {
+  EXPECT_FALSE(ParsePoint(Bytes(65, 0x04)).ok());  // not on curve
+  EXPECT_FALSE(ParsePoint(Bytes{0x05}).ok());      // bad tag
+  EXPECT_FALSE(ParsePoint(Bytes(64, 0x04)).ok());  // bad length
+  // A compressed x with no square root on the curve.
+  Bytes bad = {0x02};
+  Bytes x = (U256(5)).ToBytes();
+  Append(bad, x);
+  auto parsed = ParsePoint(bad);
+  if (parsed.ok()) {
+    EXPECT_TRUE(IsOnCurve(*parsed));  // if 5 happens to be valid, fine
+  }
+}
+
+// Property sweep: sign→recover round-trips over many keys/messages.
+class SignRecoverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignRecoverPropertyTest, RoundTrip) {
+  int i = GetParam();
+  auto key = PrivateKey::FromSeed("prop-key-" + std::to_string(i));
+  Hash32 digest = DigestOf("prop-msg-" + std::to_string(i * 7919));
+  auto sig = Sign(digest, key);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(Verify(digest, *sig, key.PublicKey()));
+  auto addr = RecoverAddress(digest, sig->v, sig->r, sig->s);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(*addr, key.EthAddress());
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyKeys, SignRecoverPropertyTest,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace onoff::secp256k1

@@ -1,0 +1,73 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/bytes.h"
+
+namespace onoff {
+namespace {
+
+std::string Sha256Hex(std::string_view input) {
+  auto h = Sha256(BytesOf(input));
+  return ToHex(BytesView(h.data(), h.size()));
+}
+
+TEST(Sha256Test, NistVectors) {
+  EXPECT_EQ(Sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // 55 bytes: fits with length in one block; 56 bytes: needs a second block.
+  EXPECT_EQ(Sha256Hex(std::string(55, 'a')),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(Sha256Hex(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+  EXPECT_EQ(Sha256Hex(std::string(64, 'a')),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256Test, MillionA) {
+  std::string s(1000000, 'a');
+  EXPECT_EQ(Sha256Hex(s),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  auto mac = HmacSha256(key, BytesOf("Hi There"));
+  EXPECT_EQ(ToHex(BytesView(mac.data(), 32)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  auto mac = HmacSha256(BytesOf("Jefe"), BytesOf("what do ya want for nothing?"));
+  EXPECT_EQ(ToHex(BytesView(mac.data(), 32)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(BytesView(mac.data(), 32)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  auto mac = HmacSha256(key, BytesOf("Test Using Larger Than Block-Size Key - "
+                                     "Hash Key First"));
+  EXPECT_EQ(ToHex(BytesView(mac.data(), 32)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+}  // namespace
+}  // namespace onoff

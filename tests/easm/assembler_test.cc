@@ -1,0 +1,142 @@
+#include "easm/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "evm/opcodes.h"
+
+namespace onoff::easm {
+namespace {
+
+using evm::Opcode;
+
+TEST(AssemblerTest, SimpleOpcodes) {
+  auto code = Assemble("PUSH1 0x60 PUSH1 0x40 MSTORE STOP");
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_EQ(ToHex(*code), "6060604052" "00");
+}
+
+TEST(AssemblerTest, CommentsAndWhitespace) {
+  auto code = Assemble(R"(
+    ; store 0x60 at 0x40
+    PUSH1 0x60   ; value
+    PUSH1 0x40   ; offset
+    MSTORE
+  )");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(ToHex(*code), "6060604052");
+}
+
+TEST(AssemblerTest, AutoWidthPush) {
+  auto code = Assemble("PUSH 0 PUSH 255 PUSH 256 PUSH 0x123456");
+  ASSERT_TRUE(code.ok());
+  // PUSH1 00, PUSH1 ff, PUSH2 0100, PUSH3 123456
+  EXPECT_EQ(ToHex(*code), "6000" "60ff" "610100" "62123456");
+}
+
+TEST(AssemblerTest, ExplicitWidthPush) {
+  auto code = Assemble("PUSH4 0xdeadbeef PUSH32 1");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ((*code)[0], 0x63);
+  EXPECT_EQ((*code)[5], 0x7f);
+  EXPECT_EQ(code->size(), 5u + 33u);
+  // Literal too wide for requested push fails.
+  EXPECT_FALSE(Assemble("PUSH1 0x1234").ok());
+}
+
+TEST(AssemblerTest, LabelsAndJumps) {
+  auto code = Assemble(R"(
+    PUSH @end JUMP
+    PUSH1 0xff    ; skipped
+    end:
+    STOP
+  )");
+  ASSERT_TRUE(code.ok());
+  // PUSH2 0006 JUMP PUSH1 ff JUMPDEST STOP
+  EXPECT_EQ(ToHex(*code), "610006" "56" "60ff" "5b" "00");
+}
+
+TEST(AssemblerTest, ForwardAndBackwardLabels) {
+  auto code = Assemble(R"(
+    loop:
+    PUSH @loop JUMP
+  )");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(ToHex(*code), "5b" "610000" "56");
+}
+
+TEST(AssemblerTest, RawData) {
+  auto code = Assemble("STOP DB 0xdeadbeef");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(ToHex(*code), "00deadbeef");
+}
+
+TEST(AssemblerTest, Errors) {
+  EXPECT_FALSE(Assemble("BOGUS").ok());
+  EXPECT_FALSE(Assemble("PUSH1").ok());       // missing operand
+  EXPECT_FALSE(Assemble("PUSH1 zz").ok());    // bad literal
+  EXPECT_FALSE(Assemble("@floating").ok());   // label ref without PUSH
+  EXPECT_FALSE(Assemble("PUSH @nowhere JUMP").ok());  // unbound label
+  EXPECT_FALSE(Assemble("DB").ok());          // missing data
+}
+
+TEST(AssemblerTest, AllNamedOpcodesRoundTrip) {
+  // Every defined non-push opcode assembles to its own byte.
+  for (int op = 0; op < 256; ++op) {
+    const auto& info = evm::GetOpcodeInfo(static_cast<uint8_t>(op));
+    if (!info.defined || evm::IsPush(static_cast<uint8_t>(op))) continue;
+    auto code = Assemble(std::string(info.name));
+    ASSERT_TRUE(code.ok()) << info.name;
+    ASSERT_EQ(code->size(), 1u) << info.name;
+    EXPECT_EQ((*code)[0], op) << info.name;
+  }
+}
+
+TEST(DisassemblerTest, RendersInstructions) {
+  auto code = Assemble("PUSH1 0x60 PUSH2 0x0102 ADD STOP");
+  ASSERT_TRUE(code.ok());
+  std::string dis = Disassemble(*code);
+  EXPECT_NE(dis.find("PUSH1 0x60"), std::string::npos);
+  EXPECT_NE(dis.find("PUSH2 0x0102"), std::string::npos);
+  EXPECT_NE(dis.find("ADD"), std::string::npos);
+  EXPECT_NE(dis.find("STOP"), std::string::npos);
+}
+
+TEST(DisassemblerTest, UndefinedBytes) {
+  std::string dis = Disassemble(Bytes{0x0c});
+  EXPECT_NE(dis.find("UNDEFINED"), std::string::npos);
+}
+
+TEST(DisassemblerTest, TruncatedPushPadsWithZeros) {
+  std::string dis = Disassemble(Bytes{0x61, 0x01});  // PUSH2 with 1 byte left
+  EXPECT_NE(dis.find("PUSH2 0x0100"), std::string::npos);
+}
+
+TEST(CodeBuilderTest, BuildsAndPatchesLabels) {
+  CodeBuilder b;
+  auto end = b.NewLabel();
+  b.PushLabel(end).Op(Opcode::JUMP).Push(uint64_t{0xff}).Bind(end).Op(
+      Opcode::STOP);
+  auto code = b.Build();
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(ToHex(*code), "610006" "56" "60ff" "5b" "00");
+}
+
+TEST(CodeBuilderTest, UnboundLabelFails) {
+  CodeBuilder b;
+  auto l = b.NewLabel();
+  b.PushLabel(l);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(CodeBuilderTest, MinimalPushWidths) {
+  CodeBuilder b;
+  b.Push(U256(0)).Push(U256(0x100)).Push(~U256());
+  auto code = b.Build();
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ((*code)[0], 0x60);  // PUSH1 0
+  EXPECT_EQ((*code)[2], 0x61);  // PUSH2
+  EXPECT_EQ((*code)[5], 0x7f);  // PUSH32
+}
+
+}  // namespace
+}  // namespace onoff::easm

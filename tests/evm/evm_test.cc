@@ -1,0 +1,467 @@
+#include "evm/evm.h"
+
+#include <gtest/gtest.h>
+
+#include "easm/assembler.h"
+#include "evm/gas.h"
+#include "state/world_state.h"
+
+namespace onoff::evm {
+namespace {
+
+Address Addr(uint8_t tag) {
+  std::array<uint8_t, 20> raw{};
+  raw[19] = tag;
+  return Address(raw);
+}
+
+const Address kSender = Addr(0xaa);
+const Address kContract = Addr(0xcc);
+constexpr uint64_t kGas = 10'000'000;
+
+class EvmTest : public ::testing::Test {
+ protected:
+  EvmTest() {
+    block_.number = 100;
+    block_.timestamp = 1'550'000'000;
+    block_.coinbase = Addr(0xee);
+    block_.gas_limit = 8'000'000;
+    tx_.origin = kSender;
+    tx_.gas_price = U256(1);
+    world_.AddBalance(kSender, U256(1'000'000'000));
+  }
+
+  // Installs `source` (assembly) at kContract and calls it.
+  ExecResult Run(const std::string& source, Bytes calldata = {},
+                 U256 value = U256(), uint64_t gas = kGas) {
+    auto code = easm::Assemble(source);
+    EXPECT_TRUE(code.ok()) << code.status().ToString();
+    world_.SetCode(kContract, *code);
+    Evm evm(&world_, block_, tx_);
+    CallMessage msg;
+    msg.caller = kSender;
+    msg.to = kContract;
+    msg.value = value;
+    msg.data = std::move(calldata);
+    msg.gas = gas;
+    return evm.Call(msg);
+  }
+
+  // Runs code that leaves one value on the stack, returning it via
+  // MSTORE+RETURN appended automatically.
+  U256 Eval(const std::string& expr_source) {
+    ExecResult res = Run(expr_source + " PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+    EXPECT_TRUE(res.ok()) << OutcomeToString(res.outcome);
+    EXPECT_EQ(res.output.size(), 32u);
+    return U256::FromBigEndianTruncating(res.output);
+  }
+
+  state::WorldState world_;
+  BlockContext block_;
+  TxContext tx_;
+};
+
+TEST_F(EvmTest, ArithmeticOps) {
+  EXPECT_EQ(Eval("PUSH1 2 PUSH1 3 ADD"), U256(5));
+  EXPECT_EQ(Eval("PUSH1 2 PUSH1 3 MUL"), U256(6));
+  EXPECT_EQ(Eval("PUSH1 2 PUSH1 7 SUB"), U256(5));  // 7 - 2
+  EXPECT_EQ(Eval("PUSH1 3 PUSH1 7 DIV"), U256(2));
+  EXPECT_EQ(Eval("PUSH1 3 PUSH1 7 MOD"), U256(1));
+  EXPECT_EQ(Eval("PUSH1 0 PUSH1 7 DIV"), U256(0));  // div by zero
+  EXPECT_EQ(Eval("PUSH1 5 PUSH1 3 PUSH1 4 ADDMOD"), U256(2));
+  EXPECT_EQ(Eval("PUSH1 5 PUSH1 3 PUSH1 4 MULMOD"), U256(2));
+  EXPECT_EQ(Eval("PUSH1 3 PUSH1 2 EXP"), U256(8));
+}
+
+TEST_F(EvmTest, ComparisonAndBitwise) {
+  EXPECT_EQ(Eval("PUSH1 3 PUSH1 2 LT"), U256(1));   // 2 < 3
+  EXPECT_EQ(Eval("PUSH1 2 PUSH1 3 GT"), U256(1));   // 3 > 2
+  EXPECT_EQ(Eval("PUSH1 5 PUSH1 5 EQ"), U256(1));
+  EXPECT_EQ(Eval("PUSH1 0 ISZERO"), U256(1));
+  EXPECT_EQ(Eval("PUSH1 0x0f PUSH1 0x3c AND"), U256(0x0c));
+  EXPECT_EQ(Eval("PUSH1 0x0f PUSH1 0x30 OR"), U256(0x3f));
+  EXPECT_EQ(Eval("PUSH1 0x0f PUSH1 0x3c XOR"), U256(0x33));
+  EXPECT_EQ(Eval("PUSH1 4 PUSH1 1 SHL"), U256(8));  // 4 << 1 (shift on top)
+  EXPECT_EQ(Eval("PUSH1 16 PUSH1 2 SHR"), U256(4));
+}
+
+TEST_F(EvmTest, SignedOps) {
+  // -6 / 3 == -2
+  EXPECT_EQ(Eval("PUSH1 3 PUSH1 6 PUSH1 0 SUB SDIV"), -U256(2));
+  // -1 < 0 signed
+  EXPECT_EQ(Eval("PUSH1 0 PUSH32 "
+                 "0xffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+                 "ffffffff SLT"),
+            U256(1));
+}
+
+TEST_F(EvmTest, MemoryOps) {
+  EXPECT_EQ(Eval("PUSH1 0x42 PUSH1 0x20 MSTORE PUSH1 0x20 MLOAD"), U256(0x42));
+  // MSTORE8 writes one byte at the given offset (big-endian word read back).
+  EXPECT_EQ(Eval("PUSH1 0xab PUSH1 0x1f MSTORE8 PUSH1 0x00 MLOAD"),
+            U256(0xab));
+  EXPECT_EQ(Eval("PUSH1 0x01 PUSH1 0x00 MSTORE PUSH1 0x00 MLOAD"), U256(1));
+}
+
+TEST_F(EvmTest, StorageOps) {
+  ExecResult res = Run("PUSH1 0x2a PUSH1 0x07 SSTORE STOP");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(world_.GetStorage(kContract, U256(7)), U256(0x2a));
+  EXPECT_EQ(Eval("PUSH1 0x07 SLOAD"), U256(0x2a));
+}
+
+TEST_F(EvmTest, SstoreGasAndRefund) {
+  // Fresh slot: 20000. Overwrite: 5000. Clear: 5000 + 15000 refund.
+  ExecResult set = Run("PUSH1 1 PUSH1 0 SSTORE STOP");
+  uint64_t used_set = kGas - set.gas_left;
+  ExecResult overwrite = Run("PUSH1 2 PUSH1 0 SSTORE STOP");
+  uint64_t used_over = kGas - overwrite.gas_left;
+  EXPECT_EQ(used_set - used_over, gas::kSstoreSet - gas::kSstoreReset);
+  ExecResult clear = Run("PUSH1 0 PUSH1 0 SSTORE STOP");
+  EXPECT_EQ(clear.refund, gas::kSstoreRefund);
+}
+
+TEST_F(EvmTest, ControlFlow) {
+  // Conditional jump over a "bad" path.
+  EXPECT_EQ(Eval(R"(
+    PUSH1 1
+    PUSH @good JUMPI
+    PUSH1 0xff PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN
+    good:
+    PUSH1 0x2a
+  )"),
+            U256(0x2a));
+}
+
+TEST_F(EvmTest, BadJumpFails) {
+  ExecResult res = Run("PUSH1 0x03 JUMP STOP");
+  EXPECT_EQ(res.outcome, Outcome::kBadJumpDestination);
+  EXPECT_EQ(res.gas_left, 0u);  // exceptional halt consumes everything
+}
+
+TEST_F(EvmTest, JumpIntoPushDataFails) {
+  // Offset 1 is inside the PUSH1 immediate even though byte is 0x5b.
+  auto code = Bytes{0x60, 0x5b, 0x56};  // PUSH1 0x5b; JUMP
+  world_.SetCode(kContract, code);
+  Evm evm(&world_, block_, tx_);
+  CallMessage msg;
+  msg.caller = kSender;
+  msg.to = kContract;
+  msg.gas = kGas;
+  // Push 1 then jump there: assemble manually: PUSH1 01 JUMP
+  world_.SetCode(kContract, Bytes{0x60, 0x01, 0x56, 0x60, 0x5b});
+  ExecResult res = evm.Call(msg);
+  EXPECT_EQ(res.outcome, Outcome::kBadJumpDestination);
+}
+
+TEST_F(EvmTest, EnvironmentOpcodes) {
+  EXPECT_EQ(Eval("CALLER"), kSender.ToWord());
+  EXPECT_EQ(Eval("ADDRESS"), kContract.ToWord());
+  EXPECT_EQ(Eval("ORIGIN"), kSender.ToWord());
+  EXPECT_EQ(Eval("TIMESTAMP"), U256(1'550'000'000));
+  EXPECT_EQ(Eval("NUMBER"), U256(100));
+  EXPECT_EQ(Eval("GASPRICE"), U256(1));
+  EXPECT_EQ(Eval("COINBASE"), Addr(0xee).ToWord());
+  EXPECT_EQ(Eval("GASLIMIT"), U256(8'000'000));
+}
+
+TEST_F(EvmTest, CallValueAndBalance) {
+  ExecResult res = Run(
+      "CALLVALUE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+      {}, U256(12345));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(U256::FromBigEndianTruncating(res.output), U256(12345));
+  // Value was transferred.
+  EXPECT_EQ(world_.GetBalance(kContract), U256(12345));
+}
+
+TEST_F(EvmTest, CalldataOpcodes) {
+  Bytes data = {0x11, 0x22, 0x33, 0x44};
+  ExecResult res = Run(
+      "PUSH1 0x00 CALLDATALOAD PUSH1 0x00 MSTORE "
+      "CALLDATASIZE PUSH1 0x20 MSTORE "
+      "PUSH1 0x40 PUSH1 0x00 RETURN",
+      data);
+  ASSERT_TRUE(res.ok());
+  // First word: data left-aligned, zero-padded right.
+  U256 word = U256::FromBigEndianTruncating(BytesView(res.output.data(), 32));
+  EXPECT_EQ(word, U256(0x11223344) << (28 * 8));
+  U256 size = U256::FromBigEndianTruncating(BytesView(res.output.data() + 32, 32));
+  EXPECT_EQ(size, U256(4));
+}
+
+TEST_F(EvmTest, Sha3MatchesKeccak) {
+  // keccak256 of 4 bytes 0xdeadbeef stored at memory 0.
+  ExecResult res = Run(
+      "PUSH4 0xdeadbeef PUSH1 0xe0 SHL PUSH1 0x00 MSTORE "
+      "PUSH1 0x04 PUSH1 0x00 SHA3 "
+      "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+  ASSERT_TRUE(res.ok());
+  Hash32 expected = Keccak256(Bytes{0xde, 0xad, 0xbe, 0xef});
+  EXPECT_EQ(Bytes(res.output), Bytes(expected.begin(), expected.end()));
+}
+
+TEST_F(EvmTest, RevertRollsBackStateButKeepsGas) {
+  ExecResult res = Run(
+      "PUSH1 0x2a PUSH1 0x00 SSTORE "   // storage write
+      "PUSH1 0x00 PUSH1 0x00 REVERT");
+  EXPECT_EQ(res.outcome, Outcome::kRevert);
+  EXPECT_GT(res.gas_left, 0u);
+  EXPECT_TRUE(world_.GetStorage(kContract, U256(0)).IsZero());
+}
+
+TEST_F(EvmTest, RevertReturnsReason) {
+  ExecResult res = Run(
+      "PUSH1 0x42 PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 REVERT");
+  EXPECT_EQ(res.outcome, Outcome::kRevert);
+  ASSERT_EQ(res.output.size(), 32u);
+  EXPECT_EQ(U256::FromBigEndianTruncating(res.output), U256(0x42));
+}
+
+TEST_F(EvmTest, OutOfGasConsumesEverything) {
+  ExecResult res = Run("PUSH1 1 PUSH1 0 SSTORE STOP", {}, U256(), 10'000);
+  EXPECT_EQ(res.outcome, Outcome::kOutOfGas);
+  EXPECT_EQ(res.gas_left, 0u);
+}
+
+TEST_F(EvmTest, StackUnderflowFails) {
+  ExecResult res = Run("ADD STOP");
+  EXPECT_EQ(res.outcome, Outcome::kStackUnderflow);
+}
+
+TEST_F(EvmTest, InvalidOpcodeFails) {
+  world_.SetCode(kContract, Bytes{0xfe});
+  Evm evm(&world_, block_, tx_);
+  CallMessage msg;
+  msg.caller = kSender;
+  msg.to = kContract;
+  msg.gas = kGas;
+  EXPECT_EQ(evm.Call(msg).outcome, Outcome::kInvalidInstruction);
+  world_.SetCode(kContract, Bytes{0x0c});  // undefined byte
+  EXPECT_EQ(evm.Call(msg).outcome, Outcome::kInvalidInstruction);
+}
+
+TEST_F(EvmTest, LogsEmitted) {
+  ExecResult res = Run(
+      "PUSH1 0x42 PUSH1 0x00 MSTORE "
+      "PUSH1 0x07 "            // topic
+      "PUSH1 0x20 PUSH1 0x00 " // size offset
+      "LOG1 STOP");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.logs.size(), 1u);
+  EXPECT_EQ(res.logs[0].address, kContract);
+  ASSERT_EQ(res.logs[0].topics.size(), 1u);
+  EXPECT_EQ(res.logs[0].topics[0], U256(7));
+  EXPECT_EQ(U256::FromBigEndianTruncating(res.logs[0].data), U256(0x42));
+}
+
+TEST_F(EvmTest, LogsDiscardedOnRevert) {
+  ExecResult res = Run(
+      "PUSH1 0x00 PUSH1 0x00 LOG0 PUSH1 0x00 PUSH1 0x00 REVERT");
+  EXPECT_EQ(res.outcome, Outcome::kRevert);
+  EXPECT_TRUE(res.logs.empty());
+}
+
+TEST_F(EvmTest, PlainTransferToEoa) {
+  Evm evm(&world_, block_, tx_);
+  CallMessage msg;
+  msg.caller = kSender;
+  msg.to = Addr(0xbb);
+  msg.value = U256(777);
+  msg.gas = 0;
+  ExecResult res = evm.Call(msg);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(world_.GetBalance(Addr(0xbb)), U256(777));
+}
+
+TEST_F(EvmTest, InsufficientBalanceFailsCleanly) {
+  Evm evm(&world_, block_, tx_);
+  CallMessage msg;
+  msg.caller = Addr(0x01);  // empty account
+  msg.to = Addr(0x02);
+  msg.value = U256(1);
+  msg.gas = 1000;
+  ExecResult res = evm.Call(msg);
+  EXPECT_EQ(res.outcome, Outcome::kInsufficientBalance);
+  EXPECT_EQ(res.gas_left, 1000u);
+}
+
+TEST_F(EvmTest, InnerCallTransfersAndReturns) {
+  // Callee at 0xdd: returns CALLVALUE.
+  auto callee = easm::Assemble(
+      "CALLVALUE PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+  ASSERT_TRUE(callee.ok());
+  world_.SetCode(Addr(0xdd), *callee);
+  world_.AddBalance(kContract, U256(500));
+  // Caller: CALL 0xdd with value 99, copy 32-byte result to mem 0, return it.
+  ExecResult res = Run(
+      "PUSH1 0x20 PUSH1 0x00 "   // out size, out offset
+      "PUSH1 0x00 PUSH1 0x00 "   // in size, in offset
+      "PUSH1 0x63 "              // value = 99
+      "PUSH1 0xdd "              // to
+      "PUSH3 0xfffff "           // gas
+      "CALL "
+      "PUSH1 0x20 MSTORE "       // store success flag at 0x20
+      "PUSH1 0x40 PUSH1 0x00 RETURN");
+  ASSERT_TRUE(res.ok()) << OutcomeToString(res.outcome);
+  EXPECT_EQ(U256::FromBigEndianTruncating(BytesView(res.output.data(), 32)),
+            U256(99));
+  EXPECT_EQ(U256::FromBigEndianTruncating(BytesView(res.output.data() + 32, 32)),
+            U256(1));  // success
+  EXPECT_EQ(world_.GetBalance(Addr(0xdd)), U256(99));
+}
+
+TEST_F(EvmTest, InnerCallRevertIsolatesState) {
+  // Callee writes storage then reverts.
+  auto callee = easm::Assemble(
+      "PUSH1 0x01 PUSH1 0x00 SSTORE PUSH1 0x00 PUSH1 0x00 REVERT");
+  ASSERT_TRUE(callee.ok());
+  world_.SetCode(Addr(0xdd), *callee);
+  ExecResult res = Run(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 "
+      "PUSH1 0xdd PUSH3 0xfffff CALL "
+      "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(U256::FromBigEndianTruncating(res.output), U256(0));  // failed
+  EXPECT_TRUE(world_.GetStorage(Addr(0xdd), U256(0)).IsZero());
+  // Caller continues executing after the failed call.
+}
+
+TEST_F(EvmTest, StaticCallBlocksSstore) {
+  auto callee = easm::Assemble("PUSH1 0x01 PUSH1 0x00 SSTORE STOP");
+  ASSERT_TRUE(callee.ok());
+  world_.SetCode(Addr(0xdd), *callee);
+  ExecResult res = Run(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 "
+      "PUSH1 0xdd PUSH3 0xfffff STATICCALL "
+      "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(U256::FromBigEndianTruncating(res.output), U256(0));  // blocked
+  EXPECT_TRUE(world_.GetStorage(Addr(0xdd), U256(0)).IsZero());
+}
+
+TEST_F(EvmTest, DelegateCallRunsInCallerStorage) {
+  // Library at 0xdd writes 0x2a to slot 3 of *its caller's* storage.
+  auto lib = easm::Assemble("PUSH1 0x2a PUSH1 0x03 SSTORE STOP");
+  ASSERT_TRUE(lib.ok());
+  world_.SetCode(Addr(0xdd), *lib);
+  ExecResult res = Run(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 "
+      "PUSH1 0xdd PUSH3 0xfffff DELEGATECALL STOP");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(world_.GetStorage(kContract, U256(3)), U256(0x2a));
+  EXPECT_TRUE(world_.GetStorage(Addr(0xdd), U256(3)).IsZero());
+}
+
+TEST_F(EvmTest, CreateDeploysContract) {
+  // Init code "602a60005260206000f3" = PUSH1 42, MSTORE at 0, RETURN 32
+  // bytes: the created contract's code becomes that 32-byte word.
+  // The caller CODECOPYs the init code from behind the `init:` label (+1 to
+  // skip the JUMPDEST the label binds) and CREATEs with it.
+  ExecResult res = Run(
+      "PUSH1 0x0a "        // size of init code
+      "PUSH @init PUSH1 0x01 ADD "  // offset (skip label JUMPDEST)
+      "PUSH1 0x00 "
+      "CODECOPY "
+      "PUSH1 0x0a PUSH1 0x00 "
+      "PUSH1 0x00 "        // value
+      "CREATE "
+      "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN "
+      "init: DB 0x602a60005260206000f3");
+  ASSERT_TRUE(res.ok()) << OutcomeToString(res.outcome);
+  U256 created_word = U256::FromBigEndianTruncating(res.output);
+  ASSERT_FALSE(created_word.IsZero());
+  Address created = Address::FromWord(created_word);
+  const Bytes& deployed = world_.GetCode(created);
+  ASSERT_EQ(deployed.size(), 32u);
+  EXPECT_EQ(deployed[31], 0x2a);
+  // The created account starts at nonce 1 (EIP-161) and the expected address.
+  EXPECT_EQ(world_.GetNonce(created), 1u);
+  EXPECT_EQ(created, Evm::ContractAddress(kContract, 0));
+}
+
+TEST_F(EvmTest, CreateAddressDerivation) {
+  Address creator = Addr(0x99);
+  Address a0 = Evm::ContractAddress(creator, 0);
+  Address a1 = Evm::ContractAddress(creator, 1);
+  EXPECT_NE(a0, a1);
+  // Known vector: address of first contract from
+  // 0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0 with nonce 0 is
+  // 0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d (famous example).
+  auto known = Address::FromHex("0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0");
+  ASSERT_TRUE(known.ok());
+  EXPECT_EQ(Evm::ContractAddress(*known, 0).ToHex(),
+            "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d");
+}
+
+TEST_F(EvmTest, GasAccountingSimpleOps) {
+  // PUSH1 (3) + PUSH1 (3) + ADD (3) + POP (2) + STOP (0) = 11
+  ExecResult res = Run("PUSH1 1 PUSH1 2 ADD POP STOP");
+  EXPECT_EQ(kGas - res.gas_left, 11u);
+}
+
+TEST_F(EvmTest, MemoryExpansionGas) {
+  // MSTORE at 0: 3 (op) + 3 (1 word) = 6; plus two pushes = 12.
+  ExecResult res = Run("PUSH1 1 PUSH1 0 MSTORE STOP");
+  EXPECT_EQ(kGas - res.gas_left, 12u);
+  // MSTORE at 0x40 expands to 3 words: 3 + 9 = 12; plus pushes = 18.
+  res = Run("PUSH1 1 PUSH1 0x40 MSTORE STOP");
+  EXPECT_EQ(kGas - res.gas_left, 18u);
+}
+
+TEST_F(EvmTest, CallDepthLimit) {
+  // Self-recursive contract: CALL itself until depth limit; then succeed.
+  ExecResult res = Run(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 "
+      "PUSH1 0xcc "   // self
+      "GAS CALL "
+      "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+      {}, U256(), 40'000'000);
+  // Must terminate (not hang) and succeed at the top level.
+  ASSERT_TRUE(res.ok()) << OutcomeToString(res.outcome);
+}
+
+TEST_F(EvmTest, SelfdestructTransfersBalance) {
+  world_.AddBalance(kContract, U256(4444));
+  ExecResult res = Run("PUSH1 0xbb SELFDESTRUCT");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(world_.GetBalance(Addr(0xbb)), U256(4444));
+  EXPECT_FALSE(world_.Exists(kContract));
+  EXPECT_EQ(res.refund, gas::kSelfdestructRefund);
+}
+
+TEST_F(EvmTest, ReturndataOpcodes) {
+  auto callee = easm::Assemble(
+      "PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+  ASSERT_TRUE(callee.ok());
+  world_.SetCode(Addr(0xdd), *callee);
+  ExecResult res = Run(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 "
+      "PUSH1 0xdd PUSH3 0xfffff CALL POP "
+      "RETURNDATASIZE PUSH1 0x00 MSTORE "
+      "PUSH1 0x20 PUSH1 0x00 PUSH1 0x20 RETURNDATACOPY "  // copy to mem 0x20
+      "PUSH1 0x40 PUSH1 0x00 RETURN");
+  ASSERT_TRUE(res.ok()) << OutcomeToString(res.outcome);
+  EXPECT_EQ(U256::FromBigEndianTruncating(BytesView(res.output.data(), 32)),
+            U256(32));
+  EXPECT_EQ(U256::FromBigEndianTruncating(BytesView(res.output.data() + 32, 32)),
+            U256(0x2a));
+}
+
+TEST_F(EvmTest, IntrinsicStateUnchangedOnFailedTopCall) {
+  auto code = easm::Assemble("PUSH1 1 PUSH1 0 SSTORE PUSH1 0x00 JUMP");
+  ASSERT_TRUE(code.ok());
+  world_.SetCode(kContract, *code);
+  Hash32 before = world_.StateRoot();
+  Evm evm(&world_, block_, tx_);
+  CallMessage msg;
+  msg.caller = kSender;
+  msg.to = kContract;
+  msg.gas = kGas;
+  ExecResult res = evm.Call(msg);
+  EXPECT_EQ(res.outcome, Outcome::kBadJumpDestination);
+  EXPECT_EQ(world_.StateRoot(), before);
+}
+
+}  // namespace
+}  // namespace onoff::evm

@@ -1,0 +1,168 @@
+// Gas-schedule conformance tests: exact charges for each opcode tier and the
+// dynamic cost formulas (EXP bytes, SHA3 words, copies, logs, memory
+// quadratics, call surcharges). Getting these right is what anchors the
+// Table II reproduction to the paper's Kovan numbers.
+
+#include <gtest/gtest.h>
+
+#include "easm/assembler.h"
+#include "evm/evm.h"
+#include "evm/gas.h"
+#include "state/world_state.h"
+
+namespace onoff::evm {
+namespace {
+
+const Address kContract = Address::FromWord(U256(0xcc));
+const Address kSender = Address::FromWord(U256(0xaa));
+constexpr uint64_t kGas = 30'000'000;
+
+class GasTest : public ::testing::Test {
+ protected:
+  GasTest() { world_.AddBalance(kSender, U256(1'000'000'000)); }
+
+  // Gas consumed by running `source` at kContract.
+  uint64_t Used(const std::string& source, Bytes data = {}) {
+    auto code = easm::Assemble(source);
+    EXPECT_TRUE(code.ok()) << code.status().ToString();
+    world_.SetCode(kContract, *code);
+    Evm evm(&world_, block_, TxContext{kSender, U256(1)});
+    CallMessage msg;
+    msg.caller = kSender;
+    msg.to = kContract;
+    msg.data = std::move(data);
+    msg.gas = kGas;
+    ExecResult res = evm.Call(msg);
+    EXPECT_TRUE(res.ok()) << OutcomeToString(res.outcome) << " in " << source;
+    return kGas - res.gas_left;
+  }
+
+  state::WorldState world_;
+  BlockContext block_;
+};
+
+TEST_F(GasTest, TierVeryLowOps) {
+  // 2 pushes (3 each) + op + STOP(0).
+  for (const char* op : {"ADD", "SUB", "LT", "GT", "SLT", "SGT", "EQ", "AND",
+                         "OR", "XOR", "BYTE", "SHL", "SHR", "SAR"}) {
+    EXPECT_EQ(Used(std::string("PUSH1 1 PUSH1 2 ") + op + " POP STOP"),
+              3 + 3 + gas::kVeryLow + gas::kBase)
+        << op;
+  }
+  EXPECT_EQ(Used("PUSH1 1 ISZERO POP STOP"), 3 + gas::kVeryLow + gas::kBase);
+  EXPECT_EQ(Used("PUSH1 1 NOT POP STOP"), 3 + gas::kVeryLow + gas::kBase);
+}
+
+TEST_F(GasTest, TierLowOps) {
+  for (const char* op : {"MUL", "DIV", "SDIV", "MOD", "SMOD", "SIGNEXTEND"}) {
+    EXPECT_EQ(Used(std::string("PUSH1 1 PUSH1 2 ") + op + " POP STOP"),
+              3 + 3 + gas::kLow + gas::kBase)
+        << op;
+  }
+}
+
+TEST_F(GasTest, TierMidAndHigh) {
+  EXPECT_EQ(Used("PUSH1 1 PUSH1 2 PUSH1 3 ADDMOD POP STOP"),
+            9 + gas::kMid + gas::kBase);
+  EXPECT_EQ(Used("PUSH1 1 PUSH1 2 PUSH1 3 MULMOD POP STOP"),
+            9 + gas::kMid + gas::kBase);
+  // JUMP: push dest (3) + JUMP (8) + JUMPDEST (1) + STOP.
+  EXPECT_EQ(Used("PUSH @d JUMP d: STOP"), 3 + gas::kMid + gas::kJumpdest);
+  // JUMPI taken: pushes (6) + JUMPI (10) + JUMPDEST (1).
+  EXPECT_EQ(Used("PUSH1 1 PUSH @d JUMPI d: STOP"),
+            6 + gas::kHigh + gas::kJumpdest);
+}
+
+TEST_F(GasTest, TierBaseOps) {
+  for (const char* op :
+       {"ADDRESS", "ORIGIN", "CALLER", "CALLVALUE", "CALLDATASIZE",
+        "CODESIZE", "GASPRICE", "COINBASE", "TIMESTAMP", "NUMBER",
+        "DIFFICULTY", "GASLIMIT", "RETURNDATASIZE", "PC", "MSIZE", "GAS"}) {
+    EXPECT_EQ(Used(std::string(op) + " POP STOP"), gas::kBase + gas::kBase)
+        << op;
+  }
+}
+
+TEST_F(GasTest, ExpScalesWithExponentBytes) {
+  // exponent 0: 10. One byte: 10+50. Two bytes: 10+100. 32 bytes: 10+1600.
+  uint64_t base = 3 + 3 + gas::kBase;  // pushes + POP
+  EXPECT_EQ(Used("PUSH1 0 PUSH1 2 EXP POP STOP"), base + gas::kExp);
+  EXPECT_EQ(Used("PUSH1 0xff PUSH1 2 EXP POP STOP"),
+            base + gas::kExp + gas::kExpByte);
+  EXPECT_EQ(Used("PUSH2 0x0100 PUSH1 2 EXP POP STOP"),
+            base + gas::kExp + 2 * gas::kExpByte);  // PUSH2 costs the same 3
+  uint64_t used32 = Used("PUSH32 0x" + std::string(64, 'f') +
+                         " PUSH1 2 EXP POP STOP");
+  EXPECT_EQ(used32, base + gas::kExp + 32 * gas::kExpByte);
+}
+
+TEST_F(GasTest, Sha3ScalesWithWords) {
+  // SHA3 of n bytes: 30 + 6*ceil(n/32) (+ memory expansion).
+  uint64_t one_word =
+      Used("PUSH1 0x20 PUSH1 0x00 SHA3 POP STOP");  // expands 1 word
+  EXPECT_EQ(one_word, 6 + gas::kSha3 + gas::kSha3Word + gas::kMemory +
+                          gas::kBase);
+  uint64_t two_words = Used("PUSH1 0x40 PUSH1 0x00 SHA3 POP STOP");
+  EXPECT_EQ(two_words, 6 + gas::kSha3 + 2 * gas::kSha3Word + 2 * gas::kMemory +
+                           gas::kBase);
+}
+
+TEST_F(GasTest, SloadAndBalanceCosts) {
+  EXPECT_EQ(Used("PUSH1 0 SLOAD POP STOP"), 3 + gas::kSload + gas::kBase);
+  EXPECT_EQ(Used("PUSH1 0 BALANCE POP STOP"), 3 + gas::kBalance + gas::kBase);
+  EXPECT_EQ(Used("PUSH1 0 EXTCODESIZE POP STOP"),
+            3 + gas::kExtCode + gas::kBase);
+}
+
+TEST_F(GasTest, CalldatacopyChargesPerWord) {
+  // Copy 64 bytes: veryLow 3 + copy 3*2 + memory 3*2.
+  Bytes data(64, 0xab);
+  EXPECT_EQ(Used("PUSH1 0x40 PUSH1 0x00 PUSH1 0x00 CALLDATACOPY STOP", data),
+            9 + gas::kVeryLow + 2 * gas::kCopy + 2 * gas::kMemory);
+}
+
+TEST_F(GasTest, LogCosts) {
+  // LOG1 with 32 bytes of data: 375 + 375 + 8*32, plus pushes and memory.
+  uint64_t used = Used(
+      "PUSH1 0x01 "              // topic
+      "PUSH1 0x20 PUSH1 0x00 "   // size offset
+      "LOG1 STOP");
+  EXPECT_EQ(used, 9 + gas::kLog + gas::kLogTopic + 32 * gas::kLogData +
+                      gas::kMemory);
+}
+
+TEST_F(GasTest, MemoryQuadraticTerm) {
+  // Expanding to 1024 words costs 3*1024 + 1024^2/512 = 3072 + 2048.
+  uint64_t used = Used("PUSH1 0x01 PUSH2 0x7fe0 MSTORE STOP");  // word 1024
+  EXPECT_EQ(used, 6 + gas::kVeryLow + gas::MemoryCost(1024));
+}
+
+TEST_F(GasTest, CallSurcharges) {
+  // Plain CALL to an empty (nonexistent) account with no value: only 700.
+  uint64_t no_value = Used(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 "
+      "PUSH1 0xdd PUSH1 0x00 CALL POP STOP");
+  EXPECT_EQ(no_value, 21 + gas::kCall + gas::kBase);
+  // With value to a nonexistent account: +9000 +25000, minus the 2300
+  // stipend refund that comes back unused.
+  world_.AddBalance(kContract, U256(1'000'000));
+  uint64_t with_value = Used(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x07 "
+      "PUSH1 0xde PUSH1 0x00 CALL POP STOP");
+  EXPECT_EQ(with_value, 21 + gas::kCall + gas::kCallValue +
+                            gas::kCallNewAccount + gas::kBase -
+                            gas::kCallStipend);
+}
+
+TEST_F(GasTest, SstoreThreeCases) {
+  // Covered in evm_test for the values; assert the exact formula here.
+  uint64_t set = Used("PUSH1 5 PUSH1 9 SSTORE STOP");
+  EXPECT_EQ(set, 6 + gas::kSstoreSet);
+  uint64_t reset = Used("PUSH1 6 PUSH1 9 SSTORE STOP");
+  EXPECT_EQ(reset, 6 + gas::kSstoreReset);
+  uint64_t clear = Used("PUSH1 0 PUSH1 9 SSTORE STOP");
+  EXPECT_EQ(clear, 6 + gas::kSstoreReset);  // refund handled at tx level
+}
+
+}  // namespace
+}  // namespace onoff::evm

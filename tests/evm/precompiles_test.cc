@@ -1,0 +1,109 @@
+#include "evm/precompiles.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/keccak.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+#include "evm/gas.h"
+#include "support/u256.h"
+
+namespace onoff::evm {
+namespace {
+
+Address PrecompileAddr(uint8_t n) {
+  std::array<uint8_t, 20> raw{};
+  raw[19] = n;
+  return Address(raw);
+}
+
+TEST(PrecompilesTest, AddressDetection) {
+  EXPECT_TRUE(IsPrecompile(PrecompileAddr(1)));
+  EXPECT_TRUE(IsPrecompile(PrecompileAddr(4)));
+  EXPECT_FALSE(IsPrecompile(PrecompileAddr(0)));
+  EXPECT_FALSE(IsPrecompile(PrecompileAddr(5)));
+  auto other = Address::FromHex("0x0100000000000000000000000000000000000001");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(IsPrecompile(*other));
+}
+
+TEST(PrecompilesTest, EcrecoverRoundTrip) {
+  auto key = secp256k1::PrivateKey::FromSeed("precompile-signer");
+  Hash32 digest = Keccak256(BytesOf("some signed payload"));
+  auto sig = secp256k1::Sign(digest, key);
+  ASSERT_TRUE(sig.ok());
+
+  // ecrecover input: digest || v (32 bytes) || r || s.
+  Bytes input(digest.begin(), digest.end());
+  Bytes v_word = U256(sig->v).ToBytes();
+  Append(input, v_word);
+  Bytes r = sig->r.ToBytes();
+  Append(input, r);
+  Bytes s = sig->s.ToBytes();
+  Append(input, s);
+
+  auto res = RunPrecompile(PrecompileAddr(1), input, 10'000);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->success);
+  EXPECT_EQ(res->gas_cost, gas::kEcrecover);
+  ASSERT_EQ(res->output.size(), 32u);
+  EXPECT_EQ(Address::FromWord(U256::FromBigEndianTruncating(res->output)),
+            key.EthAddress());
+}
+
+TEST(PrecompilesTest, EcrecoverBadSignatureReturnsEmpty) {
+  Bytes input(128, 0x01);  // garbage
+  auto res = RunPrecompile(PrecompileAddr(1), input, 10'000);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->success);        // never an exceptional halt
+  EXPECT_TRUE(res->output.empty()); // but no address
+}
+
+TEST(PrecompilesTest, EcrecoverShortInputIsZeroPadded) {
+  auto res = RunPrecompile(PrecompileAddr(1), Bytes{0x01, 0x02}, 10'000);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->success);
+  EXPECT_TRUE(res->output.empty());  // v = 0 is invalid
+}
+
+TEST(PrecompilesTest, EcrecoverOutOfGas) {
+  auto res = RunPrecompile(PrecompileAddr(1), Bytes(128, 0), 2999);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_FALSE(res->success);
+}
+
+TEST(PrecompilesTest, Sha256Matches) {
+  Bytes input = BytesOf("abc");
+  auto res = RunPrecompile(PrecompileAddr(2), input, 10'000);
+  ASSERT_TRUE(res.has_value());
+  ASSERT_TRUE(res->success);
+  auto expected = Sha256(input);
+  EXPECT_EQ(res->output, Bytes(expected.begin(), expected.end()));
+  EXPECT_EQ(res->gas_cost, gas::kSha256Base + gas::kSha256Word);
+}
+
+TEST(PrecompilesTest, Ripemd160LeftPadded) {
+  auto res = RunPrecompile(PrecompileAddr(3), BytesOf("abc"), 10'000);
+  ASSERT_TRUE(res.has_value());
+  ASSERT_TRUE(res->success);
+  ASSERT_EQ(res->output.size(), 32u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(res->output[i], 0);
+  EXPECT_EQ(ToHex(BytesView(res->output.data() + 12, 20)),
+            "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+}
+
+TEST(PrecompilesTest, IdentityCopiesInput) {
+  Bytes input = {1, 2, 3, 4, 5};
+  auto res = RunPrecompile(PrecompileAddr(4), input, 10'000);
+  ASSERT_TRUE(res.has_value());
+  ASSERT_TRUE(res->success);
+  EXPECT_EQ(res->output, input);
+  EXPECT_EQ(res->gas_cost, gas::kIdentityBase + gas::kIdentityWord);
+}
+
+TEST(PrecompilesTest, NonPrecompileReturnsNullopt) {
+  EXPECT_FALSE(RunPrecompile(PrecompileAddr(9), Bytes{}, 1000).has_value());
+}
+
+}  // namespace
+}  // namespace onoff::evm

@@ -1,0 +1,91 @@
+#include "onoff/signed_copy.h"
+
+#include <gtest/gtest.h>
+
+namespace onoff::core {
+namespace {
+
+using secp256k1::PrivateKey;
+
+class SignedCopyTest : public ::testing::Test {
+ protected:
+  SignedCopyTest()
+      : alice_(PrivateKey::FromSeed("alice")),
+        bob_(PrivateKey::FromSeed("bob")),
+        mallory_(PrivateKey::FromSeed("mallory")),
+        copy_(BytesOf("the off-chain contract deployment bytecode")) {}
+
+  PrivateKey alice_;
+  PrivateKey bob_;
+  PrivateKey mallory_;
+  SignedCopy copy_;
+};
+
+TEST_F(SignedCopyTest, CompleteCopyVerifies) {
+  copy_.AddSignature(alice_);
+  copy_.AddSignature(bob_);
+  EXPECT_EQ(copy_.signature_count(), 2u);
+  EXPECT_TRUE(
+      copy_.VerifyComplete({alice_.EthAddress(), bob_.EthAddress()}).ok());
+}
+
+TEST_F(SignedCopyTest, MissingSignatureFailsVerification) {
+  copy_.AddSignature(alice_);
+  auto status = copy_.VerifyComplete({alice_.EthAddress(), bob_.EthAddress()});
+  EXPECT_EQ(status.code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(SignedCopyTest, ForeignSignatureCannotImpersonate) {
+  copy_.AddSignature(alice_);
+  // Mallory signs but attaches the signature under Bob's address.
+  auto mallory_sig = secp256k1::Sign(copy_.BytecodeHash(), mallory_);
+  ASSERT_TRUE(mallory_sig.ok());
+  copy_.AttachSignature(bob_.EthAddress(), *mallory_sig);
+  EXPECT_FALSE(
+      copy_.VerifyComplete({alice_.EthAddress(), bob_.EthAddress()}).ok());
+}
+
+TEST_F(SignedCopyTest, TamperedBytecodeInvalidatesSignatures) {
+  copy_.AddSignature(alice_);
+  copy_.AddSignature(bob_);
+  SignedCopy tampered(BytesOf("the off-chain contract deployment bytecodeX"));
+  auto sig_a = copy_.SignatureOf(alice_.EthAddress());
+  auto sig_b = copy_.SignatureOf(bob_.EthAddress());
+  ASSERT_TRUE(sig_a.ok());
+  ASSERT_TRUE(sig_b.ok());
+  tampered.AttachSignature(alice_.EthAddress(), *sig_a);
+  tampered.AttachSignature(bob_.EthAddress(), *sig_b);
+  EXPECT_FALSE(
+      tampered.VerifyComplete({alice_.EthAddress(), bob_.EthAddress()}).ok());
+}
+
+TEST_F(SignedCopyTest, ReSigningReplacesNotDuplicates) {
+  copy_.AddSignature(alice_);
+  copy_.AddSignature(alice_);
+  EXPECT_EQ(copy_.signature_count(), 1u);
+}
+
+TEST_F(SignedCopyTest, SerializationRoundTrip) {
+  copy_.AddSignature(alice_);
+  copy_.AddSignature(bob_);
+  Bytes wire = copy_.Serialize();
+  auto parsed = SignedCopy::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bytecode(), copy_.bytecode());
+  EXPECT_EQ(parsed->signature_count(), 2u);
+  EXPECT_TRUE(
+      parsed->VerifyComplete({alice_.EthAddress(), bob_.EthAddress()}).ok());
+}
+
+TEST_F(SignedCopyTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(SignedCopy::Deserialize(BytesOf("junk")).ok());
+  EXPECT_FALSE(SignedCopy::Deserialize(Bytes{0xc0}).ok());
+}
+
+TEST_F(SignedCopyTest, SignatureOfUnknownSigner) {
+  copy_.AddSignature(alice_);
+  EXPECT_FALSE(copy_.SignatureOf(bob_.EthAddress()).ok());
+}
+
+}  // namespace
+}  // namespace onoff::core

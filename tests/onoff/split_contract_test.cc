@@ -1,0 +1,323 @@
+#include "onoff/split_contract.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"  // Ether()
+#include "evm/opcodes.h"
+
+namespace onoff::core {
+namespace {
+
+using contracts::ContractWriter;
+using contracts::Ether;
+using evm::Opcode;
+using secp256k1::PrivateKey;
+
+// The whole contract for these tests: two light functions and one heavy
+// function. ping() stores 7 to slot 1; pong() stores 8 to slot 2; compute()
+// runs a small keccak chain and yields its result.
+std::vector<FunctionDef> TestFunctions() {
+  std::vector<FunctionDef> fns;
+  fns.push_back({"ping()", false, [](ContractWriter& w) {
+                   w.PushU(U256(7));
+                   w.SStore(U256(1));
+                 }});
+  fns.push_back({"pong()", false, [](ContractWriter& w) {
+                   w.PushU(U256(8));
+                   w.SStore(U256(2));
+                 }});
+  fns.push_back({"compute()", true, [](ContractWriter& w) {
+                   // keccak256 of the word 0x1234 stored at memory 0.
+                   w.PushU(U256(0x1234));
+                   w.PushU(U256(0));
+                   w.b().Op(Opcode::MSTORE);
+                   w.PushU(U256(0x20));
+                   w.PushU(U256(0));
+                   w.b().Op(Opcode::SHA3);
+                 }});
+  return fns;
+}
+
+U256 ExpectedComputeResult() {
+  Hash32 h = Keccak256(U256(0x1234).ToBytes());
+  return U256::FromBigEndianTruncating(BytesView(h.data(), h.size()));
+}
+
+class SplitContractTest : public ::testing::Test {
+ protected:
+  SplitContractTest()
+      : alice_(PrivateKey::FromSeed("alice")), bob_(PrivateKey::FromSeed("bob")) {
+    chain_.FundAccount(alice_.EthAddress(), Ether(10));
+    chain_.FundAccount(bob_.EthAddress(), Ether(10));
+    config_.participants = {alice_.EthAddress(), bob_.EthAddress()};
+    config_.challenge_period_seconds = 50;
+  }
+
+  Address Deploy(const Bytes& init, const PrivateKey& from) {
+    auto r = chain_.Execute(from, std::nullopt, U256(), init, 5'000'000);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r->success);
+    return r->contract_address;
+  }
+
+  chain::Receipt Call(const PrivateKey& from, const Address& to, Bytes data,
+                      uint64_t gas = 3'000'000) {
+    auto r = chain_.Execute(from, to, U256(), std::move(data), gas);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  SignedCopy SignBoth(const Bytes& bytecode) {
+    SignedCopy copy(bytecode);
+    copy.AddSignature(alice_);
+    copy.AddSignature(bob_);
+    return copy;
+  }
+
+  chain::Blockchain chain_;
+  PrivateKey alice_;
+  PrivateKey bob_;
+  SplitConfig config_;
+};
+
+TEST_F(SplitContractTest, SplitsByTag) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->onchain_signatures[0], "ping()");
+  EXPECT_EQ(split->onchain_signatures[1], "pong()");
+  // Padded extras on both sides.
+  EXPECT_EQ(split->onchain_signatures.size(), 2u + 4u);
+  ASSERT_EQ(split->offchain_signatures.size(), 1u + 1u);
+  EXPECT_EQ(split->offchain_signatures[0], "compute()");
+  EXPECT_EQ(split->offchain_signatures[1], "returnDisputeResolution(address)");
+}
+
+TEST_F(SplitContractTest, RequiresAHeavyFunction) {
+  std::vector<FunctionDef> only_light = {
+      {"ping()", false, [](ContractWriter& w) { w.PushU(U256(0)); w.b().Op(Opcode::POP); }}};
+  EXPECT_FALSE(SplitContract(config_, only_light).ok());
+  auto fns = TestFunctions();
+  config_.resolver_index = 5;
+  EXPECT_FALSE(SplitContract(config_, fns).ok());
+}
+
+TEST_F(SplitContractTest, LightFunctionsRunOnChain) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  Address onchain = Deploy(split->onchain_init, alice_);
+  EXPECT_TRUE(Call(alice_, onchain, abi::EncodeCall("ping()", {})).success);
+  EXPECT_TRUE(Call(bob_, onchain, abi::EncodeCall("pong()", {})).success);
+  EXPECT_EQ(chain_.GetStorage(onchain, U256(1)), U256(7));
+  EXPECT_EQ(chain_.GetStorage(onchain, U256(2)), U256(8));
+  // The heavy function is NOT on-chain.
+  EXPECT_FALSE(Call(alice_, onchain, abi::EncodeCall("compute()", {})).success);
+}
+
+TEST_F(SplitContractTest, HeavyFunctionRunsOffChainAndMatchesWhole) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  // Local (participant-side) execution of the off-chain contract.
+  Address offchain = Deploy(split->offchain_init, alice_);
+  auto res = chain_.CallReadOnly(alice_.EthAddress(), offchain,
+                                 abi::EncodeCall("compute()", {}));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(U256::FromBigEndianTruncating(res.output), ExpectedComputeResult());
+
+  // The all-on-chain baseline stores the same result.
+  auto whole = BuildWholeContract(TestFunctions());
+  ASSERT_TRUE(whole.ok());
+  Address whole_addr = Deploy(*whole, alice_);
+  EXPECT_TRUE(Call(alice_, whole_addr, abi::EncodeCall("compute()", {})).success);
+  EXPECT_EQ(chain_.GetStorage(whole_addr, U256(split_slots::kFinalResult)),
+            ExpectedComputeResult());
+  EXPECT_EQ(chain_.GetStorage(whole_addr, U256(split_slots::kResultReady)),
+            U256(1));
+}
+
+TEST_F(SplitContractTest, OptimisticSubmitFinalize) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  Address onchain = Deploy(split->onchain_init, alice_);
+  U256 result = ExpectedComputeResult();
+  EXPECT_TRUE(Call(alice_, onchain, SubmitResultCalldata(result)).success);
+  // Finalize before the challenge period elapses: rejected.
+  EXPECT_FALSE(Call(bob_, onchain, FinalizeResultCalldata()).success);
+  chain_.AdvanceTime(config_.challenge_period_seconds);
+  EXPECT_TRUE(Call(bob_, onchain, FinalizeResultCalldata()).success);
+  EXPECT_EQ(chain_.GetStorage(onchain, U256(split_slots::kFinalResult)), result);
+  EXPECT_EQ(chain_.GetStorage(onchain, U256(split_slots::kResultReady)), U256(1));
+  // No second proposal/finalization.
+  EXPECT_FALSE(Call(alice_, onchain, SubmitResultCalldata(U256(1))).success);
+  EXPECT_FALSE(Call(bob_, onchain, FinalizeResultCalldata()).success);
+}
+
+TEST_F(SplitContractTest, SubmitGuards) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  Address onchain = Deploy(split->onchain_init, alice_);
+  auto outsider = PrivateKey::FromSeed("outsider");
+  chain_.FundAccount(outsider.EthAddress(), Ether(1));
+  EXPECT_FALSE(Call(outsider, onchain, SubmitResultCalldata(U256(1))).success);
+  EXPECT_TRUE(Call(alice_, onchain, SubmitResultCalldata(U256(1))).success);
+  // Only one pending proposal at a time.
+  EXPECT_FALSE(Call(bob_, onchain, SubmitResultCalldata(U256(2))).success);
+  // Finalize with no proposal: fresh contract.
+  Address second = Deploy(split->onchain_init, bob_);
+  EXPECT_FALSE(Call(bob_, second, FinalizeResultCalldata()).success);
+}
+
+TEST_F(SplitContractTest, DisputeOverridesFalseProposal) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  Address onchain = Deploy(split->onchain_init, alice_);
+
+  // Alice (dishonest representative) submits a FALSE result.
+  U256 false_result(0xbadbad);
+  ASSERT_TRUE(Call(alice_, onchain, SubmitResultCalldata(false_result)).success);
+
+  // Bob challenges within the window with the signed copy.
+  SignedCopy copy = SignBoth(split->offchain_init);
+  auto calldata = DeployVerifiedInstanceCalldata(copy, config_);
+  ASSERT_TRUE(calldata.ok());
+  ASSERT_TRUE(Call(bob_, onchain, *calldata, 6'000'000).success);
+  Address instance = Address::FromWord(
+      chain_.GetStorage(onchain, U256(split_slots::kDeployedAddr)));
+  ASSERT_FALSE(instance.IsZero());
+  EXPECT_EQ(chain_.GetCode(instance), split->offchain_runtime);
+
+  // The verified instance pushes the TRUE result into the on-chain contract.
+  ASSERT_TRUE(
+      Call(bob_, instance, ReturnDisputeResolutionCalldata(onchain)).success);
+  EXPECT_EQ(chain_.GetStorage(onchain, U256(split_slots::kFinalResult)),
+            ExpectedComputeResult());
+  EXPECT_EQ(chain_.GetStorage(onchain, U256(split_slots::kResultReady)), U256(1));
+  // The false proposal can no longer be finalized.
+  chain_.AdvanceTime(config_.challenge_period_seconds);
+  EXPECT_FALSE(Call(alice_, onchain, FinalizeResultCalldata()).success);
+  EXPECT_NE(chain_.GetStorage(onchain, U256(split_slots::kFinalResult)),
+            false_result);
+}
+
+TEST_F(SplitContractTest, DisputeRejectsForgedCopy) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  Address onchain = Deploy(split->onchain_init, alice_);
+  // Copy signed only by alice (bob's slot holds alice's signature).
+  SignedCopy copy(split->offchain_init);
+  copy.AddSignature(alice_);
+  auto alice_sig = copy.SignatureOf(alice_.EthAddress());
+  ASSERT_TRUE(alice_sig.ok());
+  copy.AttachSignature(bob_.EthAddress(), *alice_sig);
+  auto calldata = DeployVerifiedInstanceCalldata(copy, config_);
+  ASSERT_TRUE(calldata.ok());
+  EXPECT_FALSE(Call(bob_, onchain, *calldata, 6'000'000).success);
+}
+
+TEST_F(SplitContractTest, EnforceResultOnlyFromInstance) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  Address onchain = Deploy(split->onchain_init, alice_);
+  EXPECT_FALSE(Call(alice_, onchain, EnforceResultCalldata(U256(5))).success);
+  EXPECT_TRUE(
+      chain_.GetStorage(onchain, U256(split_slots::kResultReady)).IsZero());
+}
+
+TEST_F(SplitContractTest, FinalizedResultBlocksLateDispute) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  Address onchain = Deploy(split->onchain_init, alice_);
+  ASSERT_TRUE(
+      Call(alice_, onchain, SubmitResultCalldata(ExpectedComputeResult()))
+          .success);
+  chain_.AdvanceTime(config_.challenge_period_seconds);
+  ASSERT_TRUE(Call(bob_, onchain, FinalizeResultCalldata()).success);
+  // The challenge window is closed: deployVerifiedInstance now reverts.
+  SignedCopy copy = SignBoth(split->offchain_init);
+  auto calldata = DeployVerifiedInstanceCalldata(copy, config_);
+  ASSERT_TRUE(calldata.ok());
+  EXPECT_FALSE(Call(bob_, onchain, *calldata, 6'000'000).success);
+}
+
+TEST_F(SplitContractTest, VerifiedInstanceAddressIsCounterfactual) {
+  // Because CREATE derives the instance address from (on-chain contract,
+  // nonce), participants can compute the verified instance's address BEFORE
+  // any dispute — useful for pre-authorizing it in other contracts.
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok());
+  Address onchain = Deploy(split->onchain_init, alice_);
+  // The on-chain contract is created with nonce 1 (EIP-161), so its first
+  // CREATE uses nonce 1.
+  Address predicted = evm::Evm::ContractAddress(onchain, 1);
+
+  SignedCopy copy = SignBoth(split->offchain_init);
+  auto calldata = DeployVerifiedInstanceCalldata(copy, config_);
+  ASSERT_TRUE(calldata.ok());
+  ASSERT_TRUE(Call(bob_, onchain, *calldata, 6'000'000).success);
+  Address actual = Address::FromWord(
+      chain_.GetStorage(onchain, U256(split_slots::kDeployedAddr)));
+  EXPECT_EQ(actual, predicted);
+}
+
+// ---- n-party generalization ----
+
+class NPartySplitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NPartySplitTest, DisputeVerifiesAllSignatures) {
+  int n = GetParam();
+  chain::Blockchain chain;
+  std::vector<PrivateKey> keys;
+  SplitConfig config;
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(PrivateKey::FromSeed("party" + std::to_string(i)));
+    chain.FundAccount(keys.back().EthAddress(), Ether(10));
+    config.participants.push_back(keys.back().EthAddress());
+  }
+  auto split = SplitContract(config, TestFunctions());
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->onchain_signatures[2 + 2],
+            DeploySignatureFor(static_cast<size_t>(n)));
+
+  auto deploy = chain.Execute(keys[0], std::nullopt, U256(),
+                              split->onchain_init, 8'000'000);
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(deploy->success);
+  Address onchain = deploy->contract_address;
+
+  // A copy missing the LAST participant's signature must be rejected.
+  SignedCopy partial(split->offchain_init);
+  for (int i = 0; i + 1 < n; ++i) partial.AddSignature(keys[i]);
+  // Forge the missing one with a duplicate of the first signature.
+  auto first_sig = partial.SignatureOf(keys[0].EthAddress());
+  ASSERT_TRUE(first_sig.ok());
+  partial.AttachSignature(keys[n - 1].EthAddress(), *first_sig);
+  auto bad_calldata = DeployVerifiedInstanceCalldata(partial, config);
+  ASSERT_TRUE(bad_calldata.ok());
+  auto bad = chain.Execute(keys[1], onchain, U256(), *bad_calldata, 8'000'000);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->success);
+
+  // The complete copy passes and the dispute resolves the true result.
+  SignedCopy copy(split->offchain_init);
+  for (const auto& key : keys) copy.AddSignature(key);
+  auto calldata = DeployVerifiedInstanceCalldata(copy, config);
+  ASSERT_TRUE(calldata.ok());
+  auto good = chain.Execute(keys[1], onchain, U256(), *calldata, 8'000'000);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(good->success);
+  Address instance = Address::FromWord(
+      chain.GetStorage(onchain, U256(split_slots::kDeployedAddr)));
+  auto resolve = chain.Execute(keys[n - 1], instance, U256(),
+                               ReturnDisputeResolutionCalldata(onchain),
+                               8'000'000);
+  ASSERT_TRUE(resolve.ok());
+  ASSERT_TRUE(resolve->success);
+  EXPECT_EQ(chain.GetStorage(onchain, U256(split_slots::kFinalResult)),
+            ExpectedComputeResult());
+}
+
+INSTANTIATE_TEST_SUITE_P(PartyCounts, NPartySplitTest,
+                         ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace onoff::core

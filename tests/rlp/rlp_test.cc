@@ -1,0 +1,135 @@
+#include "rlp/rlp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "support/bytes.h"
+
+namespace onoff::rlp {
+namespace {
+
+std::string EncodeHex(const Item& item) { return ToHex(Encode(item)); }
+
+// Vectors from the Ethereum RLP specification.
+TEST(RlpEncodeTest, SpecVectors) {
+  // "dog" -> [0x83, 'd', 'o', 'g']
+  EXPECT_EQ(EncodeHex(Item::String("dog")), "83646f67");
+  // ["cat", "dog"] -> 0xc8 0x83 cat 0x83 dog
+  EXPECT_EQ(EncodeHex(Item::List({Item::String("cat"), Item::String("dog")})),
+            "c88363617483646f67");
+  // empty string -> 0x80
+  EXPECT_EQ(EncodeHex(Item::String("")), "80");
+  // empty list -> 0xc0
+  EXPECT_EQ(EncodeHex(Item::List({})), "c0");
+  // integer 0 -> 0x80 (empty scalar)
+  EXPECT_EQ(EncodeHex(Item::Scalar(uint64_t{0})), "80");
+  // 0x0f -> 0x0f
+  EXPECT_EQ(EncodeHex(Item::Scalar(uint64_t{15})), "0f");
+  // 1024 -> 0x82 0x04 0x00
+  EXPECT_EQ(EncodeHex(Item::Scalar(uint64_t{1024})), "820400");
+  // set theoretical representation of three: [ [], [[]], [ [], [[]] ] ]
+  Item empty = Item::List({});
+  Item one = Item::List({Item::List({})});
+  Item three = Item::List({empty, one, Item::List({Item::List({}), one})});
+  EXPECT_EQ(EncodeHex(three), "c7c0c1c0c3c0c1c0");
+  // "Lorem ipsum dolor sit amet, consectetur adipisicing elit":
+  // length 56 -> long form 0xb8 0x38 ...
+  EXPECT_EQ(
+      EncodeHex(Item::String(
+          "Lorem ipsum dolor sit amet, consectetur adipisicing elit")),
+      "b8384c6f72656d20697073756d20646f6c6f722073697420616d65742c20636f6e7365"
+      "637465747572206164697069736963696e6720656c6974");
+}
+
+TEST(RlpEncodeTest, SingleByteBoundary) {
+  EXPECT_EQ(EncodeHex(Item::String(Bytes{0x00})), "00");
+  EXPECT_EQ(EncodeHex(Item::String(Bytes{0x7f})), "7f");
+  EXPECT_EQ(EncodeHex(Item::String(Bytes{0x80})), "8180");
+}
+
+TEST(RlpEncodeTest, LongList) {
+  // 56-byte list payload switches to the long form (0xf8).
+  std::vector<Item> items;
+  for (int i = 0; i < 14; ++i) items.push_back(Item::String("abc"));
+  Bytes enc = Encode(Item::List(items));
+  EXPECT_EQ(enc[0], 0xf8);
+  EXPECT_EQ(enc[1], 14 * 4);
+}
+
+TEST(RlpDecodeTest, RoundTripsSpecVectors) {
+  std::vector<Item> cases = {
+      Item::String("dog"),
+      Item::String(""),
+      Item::List({}),
+      Item::List({Item::String("cat"), Item::String("dog")}),
+      Item::Scalar(uint64_t{1024}),
+      Item::String(std::string(1000, 'x')),
+      Item::List({Item::List({Item::String("deep")}), Item::String("flat")}),
+  };
+  for (const Item& item : cases) {
+    auto decoded = Decode(Encode(item));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, item);
+  }
+}
+
+TEST(RlpDecodeTest, RejectsMalformed) {
+  EXPECT_FALSE(Decode(Bytes{}).ok());                    // empty
+  EXPECT_FALSE(Decode(Bytes{0x83, 'd', 'o'}).ok());      // truncated string
+  EXPECT_FALSE(Decode(Bytes{0x81, 0x05}).ok());          // non-canonical byte
+  EXPECT_FALSE(Decode(Bytes{0xb8, 0x01, 0x00}).ok());    // non-canonical len
+  EXPECT_FALSE(Decode(Bytes{0xc2, 0x80}).ok());          // short list payload
+  EXPECT_FALSE(Decode(Bytes{0x80, 0x00}).ok());          // trailing bytes
+  EXPECT_FALSE(Decode(Bytes{0xb9}).ok());                // missing length
+  EXPECT_FALSE(Decode(Bytes{0xb8, 0x38}).ok());          // truncated long str
+}
+
+TEST(RlpDecodeTest, ScalarValidation) {
+  auto ok = Decode(Bytes{0x82, 0x04, 0x00});
+  ASSERT_TRUE(ok.ok());
+  auto v = ok->AsUint64();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1024u);
+
+  // Leading-zero scalar is rejected by AsScalar.
+  Item padded = Item::String(Bytes{0x00, 0x01});
+  EXPECT_FALSE(padded.AsScalar().ok());
+  // Lists are not scalars.
+  EXPECT_FALSE(Item::List({}).AsScalar().ok());
+  // 33-byte strings exceed U256.
+  EXPECT_FALSE(Item::String(Bytes(33, 0x01)).AsScalar().ok());
+}
+
+TEST(RlpScalarTest, U256RoundTrip) {
+  U256 big = (U256(1) << 200) + U256(99);
+  Bytes enc = Encode(Item::Scalar(big));
+  auto dec = Decode(enc);
+  ASSERT_TRUE(dec.ok());
+  auto v = dec->AsScalar();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, big);
+}
+
+// Robustness: decoding arbitrary bytes must never crash or hang; it either
+// round-trips or returns a clean error.
+class RlpFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RlpFuzzTest, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes data(rng() % 64, 0);
+    for (auto& b : data) b = static_cast<uint8_t>(rng());
+    auto decoded = Decode(data);
+    if (decoded.ok()) {
+      // Whatever decoded must re-encode to the identical bytes (canonical).
+      EXPECT_EQ(Encode(*decoded), data);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RlpFuzzTest, ::testing::Values(5u, 77u, 901u));
+
+}  // namespace
+}  // namespace onoff::rlp

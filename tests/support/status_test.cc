@@ -1,0 +1,74 @@
+#include "support/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace onoff {
+namespace {
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status CheckBoth(int a, int b) {
+  ONOFF_ASSIGN_OR_RETURN(int x, ParsePositive(a));
+  ONOFF_ASSIGN_OR_RETURN(int y, ParsePositive(b));
+  if (x + y > 100) return Status::OutOfRange("sum too large");
+  return Status::OK();
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::VerificationFailed("bad signature");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kVerificationFailed);
+  EXPECT_EQ(s.message(), "bad signature");
+  EXPECT_EQ(s.ToString(), "VerificationFailed: bad signature");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfGas), "OutOfGas");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kExecutionReverted),
+               "ExecutionReverted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+  EXPECT_EQ(r->size(), 5u);
+  EXPECT_EQ(r.value_or("x"), "hello");
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_EQ(CheckBoth(-1, 2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckBoth(1, -2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckBoth(60, 60).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace onoff

@@ -1,0 +1,278 @@
+#include "support/u256.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace onoff {
+namespace {
+
+U256 RandU256(std::mt19937_64& rng) {
+  return U256(rng(), rng(), rng(), rng());
+}
+
+TEST(U256Test, ZeroAndBasicConstruction) {
+  U256 z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0);
+  U256 one(1);
+  EXPECT_FALSE(one.IsZero());
+  EXPECT_EQ(one.BitLength(), 1);
+  EXPECT_TRUE(one.FitsUint64());
+  EXPECT_EQ(one.low64(), 1u);
+}
+
+TEST(U256Test, HexRoundTrip) {
+  auto r = U256::FromHex("0xdeadbeef");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->low64(), 0xdeadbeefu);
+  EXPECT_EQ(r->ToHex(), "0xdeadbeef");
+
+  auto full = U256::FromHex(
+      "f000000000000000000000000000000000000000000000000000000000000001");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->limb(3), 0xf000000000000000ull);
+  EXPECT_EQ(full->limb(0), 1ull);
+  EXPECT_EQ(full->ToHexFull(),
+            "f000000000000000000000000000000000000000000000000000000000000001");
+}
+
+TEST(U256Test, HexErrors) {
+  EXPECT_FALSE(U256::FromHex("").ok());
+  EXPECT_FALSE(U256::FromHex("0x").ok());
+  EXPECT_FALSE(U256::FromHex("xyz").ok());
+  EXPECT_FALSE(U256::FromHex(std::string(65, 'f')).ok());
+  EXPECT_TRUE(U256::FromHex(std::string(64, 'f')).ok());
+}
+
+TEST(U256Test, DecimalRoundTrip) {
+  auto v = U256::FromDecimal("123456789012345678901234567890");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToDecimal(), "123456789012345678901234567890");
+  EXPECT_EQ(U256().ToDecimal(), "0");
+  // 2^256-1
+  auto max = U256::FromDecimal(
+      "115792089237316195423570985008687907853269984665640564039457584007913129"
+      "639935");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(*max, ~U256());
+  // 2^256 overflows
+  EXPECT_FALSE(U256::FromDecimal(
+                   "1157920892373161954235709850086879078532699846656405640394"
+                   "57584007913129639936")
+                   .ok());
+}
+
+TEST(U256Test, BigEndianRoundTrip) {
+  Bytes be = {0x01, 0x02, 0x03};
+  auto v = U256::FromBigEndian(be);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->low64(), 0x010203u);
+  auto arr = v->ToBigEndian();
+  EXPECT_EQ(arr[31], 0x03);
+  EXPECT_EQ(arr[29], 0x01);
+  EXPECT_EQ(arr[0], 0x00);
+  EXPECT_EQ(v->ToBigEndianTrimmed(), be);
+
+  Bytes too_long(33, 0xff);
+  EXPECT_FALSE(U256::FromBigEndian(too_long).ok());
+  EXPECT_EQ(U256::FromBigEndianTruncating(too_long), ~U256());
+}
+
+TEST(U256Test, AdditionCarriesAcrossLimbs) {
+  U256 a(0, 0, 0, ~0ull);
+  U256 b(1);
+  U256 sum = a + b;
+  EXPECT_EQ(sum.limb(0), 0u);
+  EXPECT_EQ(sum.limb(1), 1u);
+}
+
+TEST(U256Test, AdditionWrapsAt2Pow256) {
+  U256 max = ~U256();
+  EXPECT_TRUE((max + U256(1)).IsZero());
+  EXPECT_EQ(max + max, max - U256(1));
+}
+
+TEST(U256Test, SubtractionBorrows) {
+  U256 a(0, 0, 1, 0);
+  U256 b(1);
+  U256 d = a - b;
+  EXPECT_EQ(d.limb(0), ~0ull);
+  EXPECT_EQ(d.limb(1), 0u);
+  // Underflow wraps.
+  EXPECT_EQ(U256() - U256(1), ~U256());
+}
+
+TEST(U256Test, MultiplicationKnownValues) {
+  EXPECT_EQ(U256(0xffffffffull) * U256(0xffffffffull),
+            U256(0xfffffffe00000001ull));
+  // (2^128)^2 wraps to zero.
+  U256 two128 = U256(1) << 128;
+  EXPECT_TRUE((two128 * two128).IsZero());
+  // (2^255) * 2 wraps to zero.
+  U256 high = U256(1) << 255;
+  EXPECT_TRUE((high * U256(2)).IsZero());
+}
+
+TEST(U256Test, DivModKnownValues) {
+  EXPECT_EQ(U256(100) / U256(7), U256(14));
+  EXPECT_EQ(U256(100) % U256(7), U256(2));
+  // Division by zero yields zero (EVM semantics).
+  EXPECT_TRUE((U256(5) / U256()).IsZero());
+  EXPECT_TRUE((U256(5) % U256()).IsZero());
+  // Large / small.
+  U256 big = (U256(1) << 200) + U256(12345);
+  EXPECT_EQ(big / (U256(1) << 200), U256(1));
+  EXPECT_EQ(big % (U256(1) << 200), U256(12345));
+}
+
+TEST(U256Test, ShiftEdgeCases) {
+  U256 one(1);
+  EXPECT_TRUE((one << 256).IsZero());
+  EXPECT_TRUE((one >> 1).IsZero());
+  EXPECT_EQ((one << 255) >> 255, one);
+  EXPECT_EQ(one << 64, U256(0, 0, 1, 0));
+  EXPECT_EQ(one << 70, U256(0, 0, 64, 0));
+}
+
+TEST(U256Test, SignedDivision) {
+  U256 minus_ten = -U256(10);
+  EXPECT_EQ(minus_ten.SDiv(U256(3)), -U256(3));
+  EXPECT_EQ(minus_ten.SMod(U256(3)), -U256(1));
+  EXPECT_EQ(minus_ten.SDiv(-U256(2)), U256(5));
+  EXPECT_EQ(U256(10).SDiv(-U256(3)), -U256(3));
+  EXPECT_TRUE(U256(7).SDiv(U256()).IsZero());
+  // EVM edge case: MIN_INT / -1 == MIN_INT (overflow wraps).
+  U256 min_int = U256(1) << 255;
+  EXPECT_EQ(min_int.SDiv(-U256(1)), min_int);
+}
+
+TEST(U256Test, SignedComparison) {
+  U256 minus_one = -U256(1);
+  EXPECT_TRUE(minus_one.SLess(U256(0)));
+  EXPECT_TRUE(minus_one.SLess(U256(1)));
+  EXPECT_FALSE(U256(1).SLess(minus_one));
+  EXPECT_TRUE((-U256(5)).SLess(-U256(2)));
+  EXPECT_FALSE(minus_one < U256(0));  // unsigned view
+}
+
+TEST(U256Test, SarAndSignExtend) {
+  U256 minus_four = -U256(4);
+  EXPECT_EQ(minus_four.Sar(1), -U256(2));
+  EXPECT_EQ(minus_four.Sar(300), ~U256());
+  EXPECT_EQ(U256(8).Sar(2), U256(2));
+  // SIGNEXTEND of 0xff at byte 0 -> -1.
+  EXPECT_EQ(U256(0xff).SignExtend(0), ~U256());
+  EXPECT_EQ(U256(0x7f).SignExtend(0), U256(0x7f));
+  EXPECT_EQ(U256(0x1ff).SignExtend(0), ~U256());        // low byte 0xff
+  EXPECT_EQ(U256(0x17f).SignExtend(0), U256(0x7f));     // upper bits cleared
+  EXPECT_EQ(U256(0x8000).SignExtend(1), (~U256()) << 15 | U256(0x8000));
+}
+
+TEST(U256Test, ExpKnownValues) {
+  EXPECT_EQ(U256(2).Exp(U256(10)), U256(1024));
+  EXPECT_EQ(U256(0).Exp(U256(0)), U256(1));  // EVM: 0^0 == 1
+  EXPECT_EQ(U256(3).Exp(U256(0)), U256(1));
+  EXPECT_EQ(U256(10).Exp(U256(2)), U256(100));
+  // 2^256 wraps to 0.
+  EXPECT_TRUE(U256(2).Exp(U256(256)).IsZero());
+}
+
+TEST(U256Test, AddModMulMod) {
+  U256 m(1000000007ull);
+  EXPECT_EQ(U256::AddMod(U256(999999999ull), U256(999999999ull), m),
+            U256(999999991ull));
+  EXPECT_EQ(U256::MulMod(U256(123456789ull), U256(987654321ull), m),
+            U256(123456789ull * 987654321ull % 1000000007ull));
+  // Intermediate overflow handled: (2^256-1)^2 mod (2^256-1) == 0.
+  U256 max = ~U256();
+  EXPECT_TRUE(U256::MulMod(max, max, max).IsZero());
+  EXPECT_EQ(U256::AddMod(max, max, max), U256());
+  // Modulus zero yields zero (EVM semantics).
+  EXPECT_TRUE(U256::AddMod(U256(1), U256(1), U256()).IsZero());
+  EXPECT_TRUE(U256::MulMod(U256(2), U256(2), U256()).IsZero());
+}
+
+// ---- Property-style parameterized sweeps ----
+
+class U256PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(U256PropertyTest, AlgebraicLaws) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    U256 a = RandU256(rng);
+    U256 b = RandU256(rng);
+    U256 c = RandU256(rng);
+    // Commutativity / associativity.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    // Distributivity.
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Additive inverse.
+    EXPECT_TRUE((a + (-a)).IsZero());
+    EXPECT_EQ(a - b, a + (-b));
+  }
+}
+
+TEST_P(U256PropertyTest, DivModIdentity) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    U256 a = RandU256(rng);
+    U256 b = RandU256(rng) >> (rng() % 256);
+    if (b.IsZero()) continue;
+    auto dm = DivMod(a, b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_TRUE(dm.remainder < b);
+  }
+}
+
+TEST_P(U256PropertyTest, ShiftsMatchMulDiv) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    U256 a = RandU256(rng);
+    unsigned n = rng() % 255 + 1;
+    EXPECT_EQ(a << n, a * (U256(1) << n));
+    EXPECT_EQ(a >> n, a / (U256(1) << n));
+  }
+}
+
+TEST_P(U256PropertyTest, BytesRoundTrip) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    U256 a = RandU256(rng);
+    auto be = a.ToBigEndian();
+    auto back = U256::FromBigEndian(BytesView(be.data(), be.size()));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, a);
+    auto hex = U256::FromHex(a.ToHexFull());
+    ASSERT_TRUE(hex.ok());
+    EXPECT_EQ(*hex, a);
+    auto dec = U256::FromDecimal(a.ToDecimal());
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(*dec, a);
+  }
+}
+
+TEST_P(U256PropertyTest, MulModAgainstNaive) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    // Small enough operands that the product fits in 256 bits.
+    U256 a(rng(), 0, 0, 0);
+    a = a >> 192;
+    U256 aa = RandU256(rng) >> 130;
+    U256 bb = RandU256(rng) >> 130;
+    U256 m = RandU256(rng) >> (rng() % 128);
+    if (m.IsZero()) continue;
+    EXPECT_EQ(U256::MulMod(aa, bb, m), (aa * bb) % m);
+    EXPECT_EQ(U256::AddMod(aa, bb, m), (aa + bb) % m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256PropertyTest,
+                         ::testing::Values(1u, 42u, 20190223u, 0xdeadbeefu));
+
+}  // namespace
+}  // namespace onoff

@@ -1,0 +1,176 @@
+// onoffchain command-line utility.
+//
+//   onoffchain_cli keygen <seed>             derive a key + address
+//   onoffchain_cli selector <signature>      4-byte ABI selector
+//   onoffchain_cli keccak <hex|string>       keccak-256 digest
+//   onoffchain_cli asm <file.easm>           assemble to hex bytecode
+//   onoffchain_cli disasm <hex>              disassemble bytecode
+//   onoffchain_cli sign <seed> <hex>         sign keccak256(data) (v,r,s)
+//   onoffchain_cli betting <aliceSeed> <bobSeed> [revealIters]
+//       generate the paper's on/off-chain betting pair and the signed copy
+//
+// Everything runs fully offline against the in-repo substrate.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "abi/abi.h"
+#include "contracts/betting.h"
+#include "crypto/keccak.h"
+#include "crypto/secp256k1.h"
+#include "easm/assembler.h"
+#include "onoff/signed_copy.h"
+
+using namespace onoff;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: onoffchain_cli "
+               "<keygen|selector|keccak|asm|disasm|sign|betting> args...\n");
+  return 2;
+}
+
+Bytes ParseHexOrText(const std::string& arg) {
+  if (arg.rfind("0x", 0) == 0) {
+    auto parsed = FromHex(arg);
+    if (parsed.ok()) return *parsed;
+  }
+  return BytesOf(arg);
+}
+
+int CmdKeygen(const std::string& seed) {
+  auto key = secp256k1::PrivateKey::FromSeed(seed);
+  std::printf("seed:        %s\n", seed.c_str());
+  std::printf("private key: 0x%s\n", key.scalar().ToHexFull().c_str());
+  auto pub = key.PublicKey();
+  Bytes compressed = secp256k1::SerializePoint(pub, /*compressed=*/true);
+  std::printf("public key:  0x%s\n", ToHex(compressed).c_str());
+  std::printf("address:     %s\n", key.EthAddress().ToHex().c_str());
+  return 0;
+}
+
+int CmdSelector(const std::string& signature) {
+  auto sel = abi::SelectorOf(signature);
+  std::printf("%s -> 0x%s\n", signature.c_str(),
+              ToHex(BytesView(sel.data(), 4)).c_str());
+  return 0;
+}
+
+int CmdKeccak(const std::string& arg) {
+  Hash32 h = Keccak256(ParseHexOrText(arg));
+  std::printf("0x%s\n", ToHex(BytesView(h.data(), h.size())).c_str());
+  return 0;
+}
+
+int CmdAsm(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto code = easm::Assemble(buf.str());
+  if (!code.ok()) {
+    std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("0x%s\n", ToHex(*code).c_str());
+  return 0;
+}
+
+int CmdDisasm(const std::string& hex) {
+  auto code = FromHex(hex);
+  if (!code.ok()) {
+    std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(easm::Disassemble(*code).c_str(), stdout);
+  return 0;
+}
+
+int CmdSign(const std::string& seed, const std::string& data_arg) {
+  auto key = secp256k1::PrivateKey::FromSeed(seed);
+  Bytes data = ParseHexOrText(data_arg);
+  Hash32 digest = Keccak256(data);
+  auto sig = secp256k1::Sign(digest, key);
+  if (!sig.ok()) {
+    std::fprintf(stderr, "%s\n", sig.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("signer: %s\n", key.EthAddress().ToHex().c_str());
+  std::printf("digest: 0x%s\n", ToHex(BytesView(digest.data(), 32)).c_str());
+  std::printf("v: %u\nr: 0x%s\ns: 0x%s\n", sig->v, sig->r.ToHexFull().c_str(),
+              sig->s.ToHexFull().c_str());
+  return 0;
+}
+
+int CmdBetting(const std::string& alice_seed, const std::string& bob_seed,
+               uint64_t reveal_iters) {
+  auto alice = secp256k1::PrivateKey::FromSeed(alice_seed);
+  auto bob = secp256k1::PrivateKey::FromSeed(bob_seed);
+
+  contracts::BettingConfig cfg;
+  cfg.alice = alice.EthAddress();
+  cfg.bob = bob.EthAddress();
+  cfg.deposit_amount = contracts::Ether(1);
+  cfg.t1 = 1'000'000'100;
+  cfg.t2 = 1'000'000'200;
+  cfg.t3 = 1'000'000'300;
+
+  contracts::OffchainConfig off;
+  off.alice = cfg.alice;
+  off.bob = cfg.bob;
+  off.secret_alice = U256(0xa11ce);
+  off.secret_bob = U256(0xb0b);
+  off.reveal_iterations = reveal_iters;
+
+  auto onchain = contracts::BuildOnChainInit(cfg);
+  auto offchain = contracts::BuildOffChainInit(off);
+  if (!onchain.ok() || !offchain.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  std::printf("participants: %s (alice), %s (bob)\n", cfg.alice.ToHex().c_str(),
+              cfg.bob.ToHex().c_str());
+  std::printf("on-chain init  (%4zu bytes): 0x%s\n", onchain->size(),
+              ToHex(*onchain).c_str());
+  std::printf("off-chain init (%4zu bytes): 0x%s\n", offchain->size(),
+              ToHex(*offchain).c_str());
+
+  core::SignedCopy copy(*offchain);
+  copy.AddSignature(alice);
+  copy.AddSignature(bob);
+  Hash32 digest = copy.BytecodeHash();
+  std::printf("bytecode hash: 0x%s\n",
+              ToHex(BytesView(digest.data(), 32)).c_str());
+  std::printf("signed copy (%zu bytes RLP): both signatures verify: %s\n",
+              copy.Serialize().size(),
+              copy.VerifyComplete({cfg.alice, cfg.bob}).ok() ? "yes" : "NO");
+  std::printf("native reveal(): winner = %s\n",
+              contracts::ComputeWinner(off) ? "bob" : "alice");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "keygen" && argc == 3) return CmdKeygen(argv[2]);
+  if (cmd == "selector" && argc == 3) return CmdSelector(argv[2]);
+  if (cmd == "keccak" && argc == 3) return CmdKeccak(argv[2]);
+  if (cmd == "asm" && argc == 3) return CmdAsm(argv[2]);
+  if (cmd == "disasm" && argc == 3) return CmdDisasm(argv[2]);
+  if (cmd == "sign" && argc == 4) return CmdSign(argv[2], argv[3]);
+  if (cmd == "betting" && (argc == 4 || argc == 5)) {
+    return CmdBetting(argv[2], argv[3],
+                      argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 10);
+  }
+  return Usage();
+}
