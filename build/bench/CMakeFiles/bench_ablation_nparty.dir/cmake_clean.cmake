@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nparty.dir/bench_ablation_nparty.cpp.o"
+  "CMakeFiles/bench_ablation_nparty.dir/bench_ablation_nparty.cpp.o.d"
+  "bench_ablation_nparty"
+  "bench_ablation_nparty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nparty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nparty_onchain.dir/bench_ablation_nparty_onchain.cpp.o"
+  "CMakeFiles/bench_ablation_nparty_onchain.dir/bench_ablation_nparty_onchain.cpp.o.d"
+  "bench_ablation_nparty_onchain"
+  "bench_ablation_nparty_onchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nparty_onchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_privacy_bytes.dir/bench_privacy_bytes.cpp.o"
+  "CMakeFiles/bench_privacy_bytes.dir/bench_privacy_bytes.cpp.o.d"
+  "bench_privacy_bytes"
+  "bench_privacy_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betting_dispute.dir/betting_dispute.cpp.o"
+  "CMakeFiles/betting_dispute.dir/betting_dispute.cpp.o.d"
+  "betting_dispute"
+  "betting_dispute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betting_dispute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for betting_dispute.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/networked_bet.dir/networked_bet.cpp.o"
+  "CMakeFiles/networked_bet.dir/networked_bet.cpp.o.d"
+  "networked_bet"
+  "networked_bet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/networked_bet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

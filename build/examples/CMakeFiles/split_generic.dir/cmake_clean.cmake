@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_generic.dir/split_generic.cpp.o"
+  "CMakeFiles/split_generic.dir/split_generic.cpp.o.d"
+  "split_generic"
+  "split_generic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_abi.dir/abi.cc.o"
+  "CMakeFiles/onoff_abi.dir/abi.cc.o.d"
+  "libonoff_abi.a"
+  "libonoff_abi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_abi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

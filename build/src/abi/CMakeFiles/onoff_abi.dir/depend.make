@@ -1,0 +1,2 @@
+# Empty dependencies file for onoff_abi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cc" "src/chain/CMakeFiles/onoff_chain.dir/block.cc.o" "gcc" "src/chain/CMakeFiles/onoff_chain.dir/block.cc.o.d"
+  "/root/repo/src/chain/blockchain.cc" "src/chain/CMakeFiles/onoff_chain.dir/blockchain.cc.o" "gcc" "src/chain/CMakeFiles/onoff_chain.dir/blockchain.cc.o.d"
+  "/root/repo/src/chain/network.cc" "src/chain/CMakeFiles/onoff_chain.dir/network.cc.o" "gcc" "src/chain/CMakeFiles/onoff_chain.dir/network.cc.o.d"
+  "/root/repo/src/chain/transaction.cc" "src/chain/CMakeFiles/onoff_chain.dir/transaction.cc.o" "gcc" "src/chain/CMakeFiles/onoff_chain.dir/transaction.cc.o.d"
+  "/root/repo/src/chain/tx_pool.cc" "src/chain/CMakeFiles/onoff_chain.dir/tx_pool.cc.o" "gcc" "src/chain/CMakeFiles/onoff_chain.dir/tx_pool.cc.o.d"
+  "/root/repo/src/chain/validator.cc" "src/chain/CMakeFiles/onoff_chain.dir/validator.cc.o" "gcc" "src/chain/CMakeFiles/onoff_chain.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/onoff_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/onoff_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/onoff_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/onoff_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/onoff_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/onoff_evm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

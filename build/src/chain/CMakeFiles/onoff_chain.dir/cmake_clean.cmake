@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_chain.dir/block.cc.o"
+  "CMakeFiles/onoff_chain.dir/block.cc.o.d"
+  "CMakeFiles/onoff_chain.dir/blockchain.cc.o"
+  "CMakeFiles/onoff_chain.dir/blockchain.cc.o.d"
+  "CMakeFiles/onoff_chain.dir/network.cc.o"
+  "CMakeFiles/onoff_chain.dir/network.cc.o.d"
+  "CMakeFiles/onoff_chain.dir/transaction.cc.o"
+  "CMakeFiles/onoff_chain.dir/transaction.cc.o.d"
+  "CMakeFiles/onoff_chain.dir/tx_pool.cc.o"
+  "CMakeFiles/onoff_chain.dir/tx_pool.cc.o.d"
+  "CMakeFiles/onoff_chain.dir/validator.cc.o"
+  "CMakeFiles/onoff_chain.dir/validator.cc.o.d"
+  "libonoff_chain.a"
+  "libonoff_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_contracts.dir/betting.cc.o"
+  "CMakeFiles/onoff_contracts.dir/betting.cc.o.d"
+  "CMakeFiles/onoff_contracts.dir/codegen.cc.o"
+  "CMakeFiles/onoff_contracts.dir/codegen.cc.o.d"
+  "CMakeFiles/onoff_contracts.dir/synthetic.cc.o"
+  "CMakeFiles/onoff_contracts.dir/synthetic.cc.o.d"
+  "libonoff_contracts.a"
+  "libonoff_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libonoff_contracts.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_crypto.dir/keccak.cc.o"
+  "CMakeFiles/onoff_crypto.dir/keccak.cc.o.d"
+  "CMakeFiles/onoff_crypto.dir/ripemd160.cc.o"
+  "CMakeFiles/onoff_crypto.dir/ripemd160.cc.o.d"
+  "CMakeFiles/onoff_crypto.dir/secp256k1.cc.o"
+  "CMakeFiles/onoff_crypto.dir/secp256k1.cc.o.d"
+  "CMakeFiles/onoff_crypto.dir/sha256.cc.o"
+  "CMakeFiles/onoff_crypto.dir/sha256.cc.o.d"
+  "libonoff_crypto.a"
+  "libonoff_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_easm.dir/assembler.cc.o"
+  "CMakeFiles/onoff_easm.dir/assembler.cc.o.d"
+  "libonoff_easm.a"
+  "libonoff_easm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_easm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_evm.dir/evm.cc.o"
+  "CMakeFiles/onoff_evm.dir/evm.cc.o.d"
+  "CMakeFiles/onoff_evm.dir/opcodes.cc.o"
+  "CMakeFiles/onoff_evm.dir/opcodes.cc.o.d"
+  "CMakeFiles/onoff_evm.dir/precompiles.cc.o"
+  "CMakeFiles/onoff_evm.dir/precompiles.cc.o.d"
+  "libonoff_evm.a"
+  "libonoff_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_core.dir/message_bus.cc.o"
+  "CMakeFiles/onoff_core.dir/message_bus.cc.o.d"
+  "CMakeFiles/onoff_core.dir/protocol.cc.o"
+  "CMakeFiles/onoff_core.dir/protocol.cc.o.d"
+  "CMakeFiles/onoff_core.dir/signed_copy.cc.o"
+  "CMakeFiles/onoff_core.dir/signed_copy.cc.o.d"
+  "CMakeFiles/onoff_core.dir/split_contract.cc.o"
+  "CMakeFiles/onoff_core.dir/split_contract.cc.o.d"
+  "libonoff_core.a"
+  "libonoff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

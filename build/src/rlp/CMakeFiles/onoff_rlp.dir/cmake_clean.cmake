@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_rlp.dir/rlp.cc.o"
+  "CMakeFiles/onoff_rlp.dir/rlp.cc.o.d"
+  "libonoff_rlp.a"
+  "libonoff_rlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_rlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

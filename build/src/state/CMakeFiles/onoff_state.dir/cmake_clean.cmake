@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_state.dir/world_state.cc.o"
+  "CMakeFiles/onoff_state.dir/world_state.cc.o.d"
+  "libonoff_state.a"
+  "libonoff_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

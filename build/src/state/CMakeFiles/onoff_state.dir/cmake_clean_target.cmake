@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libonoff_state.a"
+)

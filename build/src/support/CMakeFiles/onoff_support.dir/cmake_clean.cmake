@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_support.dir/bytes.cc.o"
+  "CMakeFiles/onoff_support.dir/bytes.cc.o.d"
+  "CMakeFiles/onoff_support.dir/status.cc.o"
+  "CMakeFiles/onoff_support.dir/status.cc.o.d"
+  "CMakeFiles/onoff_support.dir/u256.cc.o"
+  "CMakeFiles/onoff_support.dir/u256.cc.o.d"
+  "libonoff_support.a"
+  "libonoff_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

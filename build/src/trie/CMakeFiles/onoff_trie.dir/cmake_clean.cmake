@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoff_trie.dir/trie.cc.o"
+  "CMakeFiles/onoff_trie.dir/trie.cc.o.d"
+  "libonoff_trie.a"
+  "libonoff_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoff_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abi_test.dir/abi_test.cc.o"
+  "CMakeFiles/abi_test.dir/abi_test.cc.o.d"
+  "abi_test"
+  "abi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

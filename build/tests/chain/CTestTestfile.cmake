@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/chain
+# Build directory: /root/repo/build/tests/chain
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(transaction_test "/root/repo/build/tests/chain/transaction_test")
+set_tests_properties(transaction_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/chain/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/chain/CMakeLists.txt;0;")
+add_test(blockchain_test "/root/repo/build/tests/chain/blockchain_test")
+set_tests_properties(blockchain_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/chain/CMakeLists.txt;2;add_onoff_test;/root/repo/tests/chain/CMakeLists.txt;0;")
+add_test(validator_test "/root/repo/build/tests/chain/validator_test")
+set_tests_properties(validator_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/chain/CMakeLists.txt;3;add_onoff_test;/root/repo/tests/chain/CMakeLists.txt;0;")
+add_test(network_test "/root/repo/build/tests/chain/network_test")
+set_tests_properties(network_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/chain/CMakeLists.txt;4;add_onoff_test;/root/repo/tests/chain/CMakeLists.txt;0;")

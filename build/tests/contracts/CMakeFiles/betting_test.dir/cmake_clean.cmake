@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betting_test.dir/betting_test.cc.o"
+  "CMakeFiles/betting_test.dir/betting_test.cc.o.d"
+  "betting_test"
+  "betting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/contracts
+# Build directory: /root/repo/build/tests/contracts
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(betting_test "/root/repo/build/tests/contracts/betting_test")
+set_tests_properties(betting_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/contracts/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/contracts/CMakeLists.txt;0;")
+add_test(synthetic_test "/root/repo/build/tests/contracts/synthetic_test")
+set_tests_properties(synthetic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/contracts/CMakeLists.txt;2;add_onoff_test;/root/repo/tests/contracts/CMakeLists.txt;0;")

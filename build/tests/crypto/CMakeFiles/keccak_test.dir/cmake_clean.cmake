@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keccak_test.dir/keccak_test.cc.o"
+  "CMakeFiles/keccak_test.dir/keccak_test.cc.o.d"
+  "keccak_test"
+  "keccak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keccak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

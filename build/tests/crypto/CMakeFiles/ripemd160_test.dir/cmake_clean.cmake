@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripemd160_test.dir/ripemd160_test.cc.o"
+  "CMakeFiles/ripemd160_test.dir/ripemd160_test.cc.o.d"
+  "ripemd160_test"
+  "ripemd160_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripemd160_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

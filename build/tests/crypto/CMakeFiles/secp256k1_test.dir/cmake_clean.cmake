@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secp256k1_test.dir/secp256k1_test.cc.o"
+  "CMakeFiles/secp256k1_test.dir/secp256k1_test.cc.o.d"
+  "secp256k1_test"
+  "secp256k1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secp256k1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/crypto
+# Build directory: /root/repo/build/tests/crypto
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(keccak_test "/root/repo/build/tests/crypto/keccak_test")
+set_tests_properties(keccak_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/crypto/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/crypto/CMakeLists.txt;0;")
+add_test(sha256_test "/root/repo/build/tests/crypto/sha256_test")
+set_tests_properties(sha256_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/crypto/CMakeLists.txt;2;add_onoff_test;/root/repo/tests/crypto/CMakeLists.txt;0;")
+add_test(ripemd160_test "/root/repo/build/tests/crypto/ripemd160_test")
+set_tests_properties(ripemd160_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/crypto/CMakeLists.txt;3;add_onoff_test;/root/repo/tests/crypto/CMakeLists.txt;0;")
+add_test(secp256k1_test "/root/repo/build/tests/crypto/secp256k1_test")
+set_tests_properties(secp256k1_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/crypto/CMakeLists.txt;4;add_onoff_test;/root/repo/tests/crypto/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precompiles_test.dir/precompiles_test.cc.o"
+  "CMakeFiles/precompiles_test.dir/precompiles_test.cc.o.d"
+  "precompiles_test"
+  "precompiles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precompiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/evm
+# Build directory: /root/repo/build/tests/evm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(evm_test "/root/repo/build/tests/evm/evm_test")
+set_tests_properties(evm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evm/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/evm/CMakeLists.txt;0;")
+add_test(precompiles_test "/root/repo/build/tests/evm/precompiles_test")
+set_tests_properties(precompiles_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evm/CMakeLists.txt;2;add_onoff_test;/root/repo/tests/evm/CMakeLists.txt;0;")
+add_test(evm_property_test "/root/repo/build/tests/evm/evm_property_test")
+set_tests_properties(evm_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evm/CMakeLists.txt;3;add_onoff_test;/root/repo/tests/evm/CMakeLists.txt;0;")
+add_test(gas_test "/root/repo/build/tests/evm/gas_test")
+set_tests_properties(gas_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evm/CMakeLists.txt;4;add_onoff_test;/root/repo/tests/evm/CMakeLists.txt;0;")

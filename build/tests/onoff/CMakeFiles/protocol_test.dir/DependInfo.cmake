@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/onoff/protocol_test.cc" "tests/onoff/CMakeFiles/protocol_test.dir/protocol_test.cc.o" "gcc" "tests/onoff/CMakeFiles/protocol_test.dir/protocol_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/onoff/CMakeFiles/onoff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/onoff_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/onoff_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/easm/CMakeFiles/onoff_easm.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/onoff_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/onoff_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/onoff_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/onoff_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/abi/CMakeFiles/onoff_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/onoff_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/onoff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

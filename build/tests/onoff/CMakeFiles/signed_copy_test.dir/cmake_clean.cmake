@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signed_copy_test.dir/signed_copy_test.cc.o"
+  "CMakeFiles/signed_copy_test.dir/signed_copy_test.cc.o.d"
+  "signed_copy_test"
+  "signed_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signed_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

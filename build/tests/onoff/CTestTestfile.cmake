@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/onoff
+# Build directory: /root/repo/build/tests/onoff
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(message_bus_test "/root/repo/build/tests/onoff/message_bus_test")
+set_tests_properties(message_bus_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/onoff/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/onoff/CMakeLists.txt;0;")
+add_test(signed_copy_test "/root/repo/build/tests/onoff/signed_copy_test")
+set_tests_properties(signed_copy_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/onoff/CMakeLists.txt;2;add_onoff_test;/root/repo/tests/onoff/CMakeLists.txt;0;")
+add_test(split_contract_test "/root/repo/build/tests/onoff/split_contract_test")
+set_tests_properties(split_contract_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/onoff/CMakeLists.txt;3;add_onoff_test;/root/repo/tests/onoff/CMakeLists.txt;0;")
+add_test(protocol_test "/root/repo/build/tests/onoff/protocol_test")
+set_tests_properties(protocol_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/onoff/CMakeLists.txt;4;add_onoff_test;/root/repo/tests/onoff/CMakeLists.txt;0;")

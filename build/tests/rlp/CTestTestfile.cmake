@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rlp
+# Build directory: /root/repo/build/tests/rlp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rlp_test "/root/repo/build/tests/rlp/rlp_test")
+set_tests_properties(rlp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rlp/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/rlp/CMakeLists.txt;0;")

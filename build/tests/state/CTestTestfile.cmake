@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/state
+# Build directory: /root/repo/build/tests/state
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(world_state_test "/root/repo/build/tests/state/world_state_test")
+set_tests_properties(world_state_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/state/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/state/CMakeLists.txt;0;")

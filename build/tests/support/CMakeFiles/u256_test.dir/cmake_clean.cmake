@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u256_test.dir/u256_test.cc.o"
+  "CMakeFiles/u256_test.dir/u256_test.cc.o.d"
+  "u256_test"
+  "u256_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

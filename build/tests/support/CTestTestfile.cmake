@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/support
+# Build directory: /root/repo/build/tests/support
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(u256_test "/root/repo/build/tests/support/u256_test")
+set_tests_properties(u256_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/support/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/support/CMakeLists.txt;0;")
+add_test(bytes_test "/root/repo/build/tests/support/bytes_test")
+set_tests_properties(bytes_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/support/CMakeLists.txt;2;add_onoff_test;/root/repo/tests/support/CMakeLists.txt;0;")
+add_test(status_test "/root/repo/build/tests/support/status_test")
+set_tests_properties(status_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/support/CMakeLists.txt;3;add_onoff_test;/root/repo/tests/support/CMakeLists.txt;0;")

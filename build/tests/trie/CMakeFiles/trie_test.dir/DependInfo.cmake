@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trie/trie_test.cc" "tests/trie/CMakeFiles/trie_test.dir/trie_test.cc.o" "gcc" "tests/trie/CMakeFiles/trie_test.dir/trie_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trie/CMakeFiles/onoff_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/onoff_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/onoff_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/onoff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

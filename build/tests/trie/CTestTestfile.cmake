@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/trie
+# Build directory: /root/repo/build/tests/trie
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(trie_test "/root/repo/build/tests/trie/trie_test")
+set_tests_properties(trie_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/trie/CMakeLists.txt;1;add_onoff_test;/root/repo/tests/trie/CMakeLists.txt;0;")

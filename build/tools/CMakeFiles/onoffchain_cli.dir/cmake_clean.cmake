@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoffchain_cli.dir/onoffchain_cli.cpp.o"
+  "CMakeFiles/onoffchain_cli.dir/onoffchain_cli.cpp.o.d"
+  "onoffchain_cli"
+  "onoffchain_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoffchain_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
