@@ -12,6 +12,7 @@
 
 #include "chain/blockchain.h"
 #include "contracts/betting.h"
+#include "obs/export.h"
 #include "onoff/protocol.h"
 
 using namespace onoff;
@@ -74,11 +75,14 @@ uint64_t AllOnChainGas(uint64_t reveal_iterations) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path =
+      obs::JsonPathFromArgs(&argc, argv, "BENCH_ablation_dispute_rate.json");
   std::printf(
       "=== Ablation A: expected gas vs dispute probability ===\n\n");
   std::printf("%-14s %13s %13s %13s %14s\n", "reveal iters", "optimistic",
               "disputed", "all-on-chain", "break-even p*");
+  obs::Json rows = obs::Json::Array();
   for (uint64_t iters : {100ull, 1000ull, 5000ull, 20000ull, 50000ull}) {
     Costs c;
     c.optimistic = RunProtocolGas(iters, false);
@@ -94,6 +98,12 @@ int main() {
                 static_cast<unsigned long long>(c.disputed),
                 static_cast<unsigned long long>(c.all_on_chain),
                 p_star);
+    rows.Push(obs::Json::Object()
+                  .Set("reveal_iterations", obs::Json::Uint(iters))
+                  .Set("optimistic_gas", obs::Json::Uint(c.optimistic))
+                  .Set("disputed_gas", obs::Json::Uint(c.disputed))
+                  .Set("all_on_chain_gas", obs::Json::Uint(c.all_on_chain))
+                  .Set("break_even_dispute_rate", obs::Json::Num(p_star)));
   }
   std::printf(
       "\nExpected hybrid cost: E[gas](p) = optimistic + p * (disputed -\n"
@@ -105,9 +115,25 @@ int main() {
   std::printf("\n%-14s %13s\n", "dispute p", "E[gas] (20000-iter reveal)");
   uint64_t opt = RunProtocolGas(20000, false);
   uint64_t dis = RunProtocolGas(20000, true);
+  obs::Json expected_rows = obs::Json::Array();
   for (double p : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0}) {
     double expected = opt + p * static_cast<double>(dis - opt);
     std::printf("%-14.2f %13.0f\n", p, expected);
+    expected_rows.Push(obs::Json::Object()
+                           .Set("dispute_rate", obs::Json::Num(p))
+                           .Set("expected_gas", obs::Json::Num(expected)));
+  }
+
+  if (!json_path.empty()) {
+    obs::Json results = obs::Json::Object();
+    results.Set("rows", std::move(rows))
+        .Set("expected_gas_20000_iter_reveal", std::move(expected_rows));
+    Status st = obs::WriteBenchJson(json_path, "ablation_dispute_rate",
+                                    std::move(results));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

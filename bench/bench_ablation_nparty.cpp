@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "evm/gas.h"
+#include "obs/export.h"
 #include "onoff/signed_copy.h"
 
 using namespace onoff;
@@ -31,13 +32,16 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path =
+      obs::JsonPathFromArgs(&argc, argv, "BENCH_ablation_nparty.json");
   std::printf("=== Ablation B: n-party signed copies ===\n\n");
 
   // A realistic off-chain contract size (the betting example's init code is
   // ~550 bytes; round up for headroom).
   Bytes bytecode(600, 0xab);
 
+  obs::Json rows = obs::Json::Array();
   std::printf("%-6s %12s %14s %14s %18s\n", "n", "sign (ms)", "verify (ms)",
               "copy bytes", "est. deploy gas");
   for (int n : {2, 3, 4, 8, 16, 32}) {
@@ -73,6 +77,12 @@ int main() {
 
     std::printf("%-6d %12.3f %14.3f %14zu %18llu\n", n, sign_ms, verify_ms,
                 wire, static_cast<unsigned long long>(est));
+    rows.Push(obs::Json::Object()
+                  .Set("participants", obs::Json::Int(n))
+                  .Set("sign_ms", obs::Json::Num(sign_ms))
+                  .Set("verify_ms", obs::Json::Num(verify_ms))
+                  .Set("signed_copy_bytes", obs::Json::Uint(wire))
+                  .Set("estimated_deploy_gas", obs::Json::Uint(est)));
   }
 
   std::printf(
@@ -82,5 +92,17 @@ int main() {
       "(one ecrecover + one (v,r,s) triple), so small groups stay cheap —\n"
       "consistent with the paper's 'small group of interested participants'\n"
       "framing.\n");
+
+  if (!json_path.empty()) {
+    obs::Json results = obs::Json::Object();
+    results.Set("bytecode_bytes", obs::Json::Uint(bytecode.size()))
+        .Set("rows", std::move(rows));
+    Status st = obs::WriteBenchJson(json_path, "ablation_nparty",
+                                    std::move(results));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

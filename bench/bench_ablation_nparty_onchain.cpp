@@ -8,6 +8,7 @@
 #include "chain/blockchain.h"
 #include "contracts/betting.h"  // Ether()
 #include "evm/opcodes.h"
+#include "obs/export.h"
 #include "onoff/split_contract.h"
 
 using namespace onoff;
@@ -38,10 +39,13 @@ std::vector<FunctionDef> Functions() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = obs::JsonPathFromArgs(
+      &argc, argv, "BENCH_ablation_nparty_onchain.json");
   std::printf("=== Ablation B (measured): n-party dispute gas ===\n\n");
   std::printf("%-6s %16s %20s %22s\n", "n", "calldata bytes",
               "deployVI gas", "delta vs prev row");
+  obs::Json rows = obs::Json::Array();
   uint64_t prev = 0;
   for (int n : {2, 3, 4, 6, 8, 12, 16}) {
     chain::Blockchain chain;
@@ -75,6 +79,11 @@ int main() {
     }
     std::printf("%-6d %16zu %20llu %22s\n", n, bytes,
                 static_cast<unsigned long long>(receipt->gas_used), delta);
+    rows.Push(obs::Json::Object()
+                  .Set("participants", obs::Json::Int(n))
+                  .Set("calldata_bytes", obs::Json::Uint(bytes))
+                  .Set("deploy_verified_instance_gas",
+                       obs::Json::Uint(receipt->gas_used)));
     prev = receipt->gas_used;
   }
   std::printf(
@@ -82,5 +91,16 @@ int main() {
       "ecrecover (3000), ~96 bytes of (v,r,s) calldata (~4k at 68/byte) and\n"
       "staging overhead — i.e. linear growth on a ~130k base, so small\n"
       "interested groups remain practical.\n");
+
+  if (!json_path.empty()) {
+    obs::Json results = obs::Json::Object();
+    results.Set("rows", std::move(rows));
+    Status st = obs::WriteBenchJson(json_path, "ablation_nparty_onchain",
+                                    std::move(results));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

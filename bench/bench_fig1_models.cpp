@@ -16,6 +16,7 @@
 #include "contracts/betting.h"  // Ether()
 #include "contracts/synthetic.h"
 #include "crypto/secp256k1.h"
+#include "obs/export.h"
 
 using namespace onoff;
 using contracts::Ether;
@@ -121,9 +122,18 @@ void PrintRow(const char* label, const ModelCost& whole,
               hybrid.onchain_bytes);
 }
 
+obs::Json ModelJson(const ModelCost& cost) {
+  return obs::Json::Object()
+      .Set("miner_gas", obs::Json::Uint(cost.miner_gas))
+      .Set("transactions", obs::Json::Int(cost.transactions))
+      .Set("onchain_bytes", obs::Json::Uint(cost.onchain_bytes));
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path =
+      obs::JsonPathFromArgs(&argc, argv, "BENCH_fig1_models.json");
   std::printf(
       "=== Fig. 1: all-on-chain vs hybrid-on/off-chain execution model ===\n\n");
   std::printf("Workload: deploy + call every function once.\n\n");
@@ -131,6 +141,7 @@ int main() {
   std::printf("--- sweep A: heavy cost per function (3 light + 3 heavy) ---\n");
   std::printf("%-22s %12s %12s %8s %17s %19s\n", "heavy keccak iters",
               "whole gas", "hybrid gas", "ratio", "txs (w/h)", "bytes (w/h)");
+  obs::Json sweep_a = obs::Json::Array();
   for (uint64_t iters : {10ull, 100ull, 1000ull, 10000ull, 50000ull}) {
     SyntheticConfig cfg;
     cfg.num_light = 3;
@@ -139,13 +150,20 @@ int main() {
     char label[32];
     std::snprintf(label, sizeof(label), "%llu",
                   static_cast<unsigned long long>(iters));
-    PrintRow(label, RunWhole(cfg), RunHybrid(cfg));
+    ModelCost whole = RunWhole(cfg);
+    ModelCost hybrid = RunHybrid(cfg);
+    PrintRow(label, whole, hybrid);
+    sweep_a.Push(obs::Json::Object()
+                     .Set("heavy_iterations", obs::Json::Uint(iters))
+                     .Set("whole", ModelJson(whole))
+                     .Set("hybrid", ModelJson(hybrid)));
   }
 
   std::printf("\n--- sweep B: number of heavy functions (3 light, 5000 "
               "iters each) ---\n");
   std::printf("%-22s %12s %12s %8s %17s %19s\n", "# heavy functions",
               "whole gas", "hybrid gas", "ratio", "txs (w/h)", "bytes (w/h)");
+  obs::Json sweep_b = obs::Json::Array();
   for (int heavy : {1, 2, 4, 8}) {
     SyntheticConfig cfg;
     cfg.num_light = 3;
@@ -153,12 +171,30 @@ int main() {
     cfg.heavy_iterations = 5000;
     char label[32];
     std::snprintf(label, sizeof(label), "%d", heavy);
-    PrintRow(label, RunWhole(cfg), RunHybrid(cfg));
+    ModelCost whole = RunWhole(cfg);
+    ModelCost hybrid = RunHybrid(cfg);
+    PrintRow(label, whole, hybrid);
+    sweep_b.Push(obs::Json::Object()
+                     .Set("num_heavy", obs::Json::Int(heavy))
+                     .Set("whole", ModelJson(whole))
+                     .Set("hybrid", ModelJson(hybrid)));
   }
 
   std::printf(
       "\nShape check: hybrid miner gas is flat in the heavy cost (miners\n"
       "never execute f2/f4...), so the whole/hybrid ratio grows with the\n"
       "weight and count of heavy functions — the Fig. 1 story.\n");
+
+  if (!json_path.empty()) {
+    obs::Json results = obs::Json::Object();
+    results.Set("sweep_heavy_cost", std::move(sweep_a))
+        .Set("sweep_heavy_count", std::move(sweep_b));
+    Status st = obs::WriteBenchJson(json_path, "fig1_models",
+                                    std::move(results));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

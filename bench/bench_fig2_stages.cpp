@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "obs/export.h"
 #include "onoff/protocol.h"
 
 using namespace onoff;
@@ -42,6 +43,34 @@ ProtocolReport Run(Behavior alice_behavior, Behavior bob_behavior) {
   return *report;
 }
 
+obs::Json ScenarioJson(const char* title, const ProtocolReport& report) {
+  obs::Json stages = obs::Json::Array();
+  for (int i = 0; i < core::kNumStages; ++i) {
+    const auto& s = report.stages[i];
+    stages.Push(obs::Json::Object()
+                    .Set("stage", obs::Json::Str(
+                                      core::StageName(static_cast<Stage>(i))))
+                    .Set("gas_used", obs::Json::Uint(s.gas_used))
+                    .Set("onchain_bytes", obs::Json::Uint(s.onchain_bytes))
+                    .Set("transactions",
+                         obs::Json::Int(s.transactions))
+                    .Set("offchain_messages",
+                         obs::Json::Uint(s.offchain_messages))
+                    .Set("offchain_bytes",
+                         obs::Json::Uint(s.offchain_bytes)));
+  }
+  return obs::Json::Object()
+      .Set("scenario", obs::Json::Str(title))
+      .Set("settlement",
+           obs::Json::Str(core::SettlementName(report.settlement)))
+      .Set("correct_payout", obs::Json::Bool(report.correct_payout))
+      .Set("private_bytes_revealed",
+           obs::Json::Uint(report.private_bytes_revealed))
+      .Set("total_gas", obs::Json::Uint(report.TotalGas()))
+      .Set("total_onchain_bytes", obs::Json::Uint(report.TotalOnchainBytes()))
+      .Set("stages", std::move(stages));
+}
+
 void PrintScenario(const char* title, const ProtocolReport& report) {
   std::printf("\n--- %s ---\n", title);
   std::printf("settlement: %s | correct payout: %s | private bytes revealed: "
@@ -65,31 +94,50 @@ void PrintScenario(const char* title, const ProtocolReport& report) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path =
+      obs::JsonPathFromArgs(&argc, argv, "BENCH_fig2_stages.json");
   std::printf("=== Fig. 2: the four-stage on/off-chain mechanism ===\n");
 
+  obs::Json scenarios = obs::Json::Array();
+  auto scenario = [&scenarios](const char* title, const ProtocolReport& r) {
+    PrintScenario(title, r);
+    scenarios.Push(ScenarioJson(title, r));
+  };
+
   Behavior honest;
-  PrintScenario("all honest (optimistic settlement)", Run(honest, honest));
+  scenario("all honest (optimistic settlement)", Run(honest, honest));
 
   Behavior silent_loser;
   silent_loser.admit_loss = false;
-  PrintScenario("dishonest loser goes silent (dispute/resolve executes)",
-                Run(silent_loser, silent_loser));
+  scenario("dishonest loser goes silent (dispute/resolve executes)",
+           Run(silent_loser, silent_loser));
 
   Behavior no_deposit;
   no_deposit.make_deposit = false;
-  PrintScenario("a participant never deposits (refund round)",
-                Run(honest, no_deposit));
+  scenario("a participant never deposits (refund round)",
+           Run(honest, no_deposit));
 
   Behavior no_sign;
   no_sign.sign_offchain_copy = false;
-  PrintScenario("a participant refuses to sign (abort before deposits)",
-                Run(honest, no_sign));
+  scenario("a participant refuses to sign (abort before deposits)",
+           Run(honest, no_sign));
 
   std::printf(
       "\nShape check: stages 1-3 cost the same in every scenario; the\n"
       "dispute/resolve stage only consumes gas when dishonesty forces it,\n"
       "and aborts/refunds leave participants whole minus gas — the\n"
       "incentive structure of Fig. 2.\n");
+
+  if (!json_path.empty()) {
+    obs::Json results = obs::Json::Object();
+    results.Set("scenarios", std::move(scenarios));
+    Status st = obs::WriteBenchJson(json_path, "fig2_stages",
+                                    std::move(results));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "chain/blockchain.h"
+#include "obs/export.h"
 #include "contracts/betting.h"
 #include "crypto/keccak.h"
 #include "crypto/secp256k1.h"
@@ -158,4 +161,26 @@ BENCHMARK(BM_SignedCopyRoundTrip);
 }  // namespace
 }  // namespace onoff
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our --json/--metrics-json flag before google-benchmark parses the
+  // remaining arguments (it rejects flags it does not recognise).
+  std::string json_path =
+      onoff::obs::JsonPathFromArgs(&argc, argv, "BENCH_substrate.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) {
+    onoff::obs::Json results = onoff::obs::Json::Object();
+    results.Set("note",
+                onoff::obs::Json::Str(
+                    "timing series are printed by google-benchmark; rerun "
+                    "with --benchmark_format=json for raw timings"));
+    onoff::Status st = onoff::obs::WriteBenchJson(json_path, "substrate",
+                                                  std::move(results));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

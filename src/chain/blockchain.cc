@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "evm/gas.h"
+#include "obs/metrics.h"
 #include "rlp/rlp.h"
 #include "trie/trie.h"
 
@@ -103,6 +104,9 @@ evm::BlockContext Blockchain::MakeBlockContext(uint64_t number,
 Receipt Blockchain::ApplyTransaction(const Transaction& tx,
                                      uint64_t block_number,
                                      uint64_t cumulative_gas) {
+  static obs::Histogram* apply_us = obs::GetHistogramOrNull(
+      "chain.apply_tx_us", obs::DefaultTimeBucketsUs());
+  obs::ScopedTimer apply_span(apply_us);
   Receipt receipt;
   receipt.tx_hash = tx.Hash();
   receipt.block_number = block_number;
@@ -167,10 +171,18 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
   receipt.gas_used = gas_used;
   receipt.logs = std::move(result.logs);
   receipt.output = std::move(result.output);
+  if (!receipt.success) {
+    static obs::Counter* failed = obs::GetCounterOrNull("chain.txs_failed");
+    if (failed != nullptr) failed->Inc();
+  }
   return receipt;
 }
 
 const Block& Blockchain::MineBlock() {
+  static obs::Histogram* mine_us = obs::GetHistogramOrNull(
+      "chain.mine_block_us", obs::DefaultTimeBucketsUs());
+  obs::ScopedTimer mine_span(mine_us);
+
   uint64_t number = blocks_.back().header.number + 1;
 
   Block block;
@@ -184,14 +196,13 @@ const Block& Blockchain::MineBlock() {
   std::vector<Bytes> receipt_payloads;
   uint64_t cumulative_gas = 0;
 
-  std::vector<Transaction> txs = pool_.Take(config_.max_txs_per_block);
+  // Pack against the block gas limit by cumulative transaction gas limit
+  // (the worst case miners must be able to execute); transactions that no
+  // longer fit stay pending for the next block.
+  size_t pending_before = pool_.size();
+  std::vector<Transaction> txs =
+      pool_.Take(config_.max_txs_per_block, config_.block_gas_limit);
   for (const Transaction& tx : txs) {
-    // Respect the block gas limit: defer transactions that no longer fit.
-    if (cumulative_gas + tx.gas_limit > config_.block_gas_limit) {
-      Status st = pool_.Add(tx);
-      (void)st;
-      continue;
-    }
     Receipt receipt = ApplyTransaction(tx, number, cumulative_gas);
     cumulative_gas += receipt.gas_used;
     receipt.cumulative_gas_used = cumulative_gas;
@@ -210,11 +221,35 @@ const Block& Blockchain::MineBlock() {
 
   blocks_.push_back(std::move(block));
   now_ += config_.block_interval_seconds;
+
+  static obs::Counter* blocks_mined = obs::GetCounterOrNull(
+      "chain.blocks_mined");
+  static obs::Counter* txs_mined = obs::GetCounterOrNull("chain.txs_mined");
+  static obs::Counter* txs_deferred = obs::GetCounterOrNull(
+      "chain.txs_deferred");
+  static obs::Gauge* pool_depth = obs::GetGaugeOrNull("chain.pool_depth");
+  static obs::Histogram* block_gas = obs::GetHistogramOrNull(
+      "chain.block_gas", obs::DefaultGasBuckets());
+  if (blocks_mined != nullptr) blocks_mined->Inc();
+  if (txs_mined != nullptr) txs_mined->Inc(txs.size());
+  if (txs_deferred != nullptr) txs_deferred->Inc(pending_before - txs.size());
+  if (pool_depth != nullptr) {
+    pool_depth->Set(static_cast<int64_t>(pool_.size()));
+  }
+  if (block_gas != nullptr) {
+    block_gas->Observe(static_cast<double>(cumulative_gas));
+  }
   return blocks_.back();
 }
 
 void Blockchain::MineAllPending() {
-  while (!pool_.empty()) MineBlock();
+  while (!pool_.empty()) {
+    size_t before = pool_.size();
+    MineBlock();
+    // An unpackable pool (only possible when transactions bypass
+    // SubmitTransaction's gas-limit validation) must not spin forever.
+    if (pool_.size() == before) break;
+  }
 }
 
 std::vector<evm::LogEntry> Blockchain::GetLogs(const LogQuery& query) const {

@@ -1,5 +1,7 @@
 #include "chain/network.h"
 
+#include "obs/metrics.h"
+
 namespace onoff::chain {
 
 Node::Node(std::string name, ChainConfig config, GenesisAlloc alloc)
@@ -10,29 +12,39 @@ Node::Node(std::string name, ChainConfig config, GenesisAlloc alloc)
 }
 
 Status Node::AcceptBlock(const Block& block) {
+  static obs::Histogram* accept_us = obs::GetHistogramOrNull(
+      "net.accept_block_us", obs::DefaultTimeBucketsUs());
+  static obs::Counter* accepted_count =
+      obs::GetCounterOrNull("net.blocks_accepted");
+  static obs::Counter* rejected_count =
+      obs::GetCounterOrNull("net.blocks_rejected");
+  obs::ScopedTimer accept_span(accept_us);
+  auto reject = [&](Status st) {
+    ++rejected_;
+    if (rejected_count != nullptr) rejected_count->Inc();
+    return st;
+  };
+
   // Validate the whole prospective chain (history + candidate) as a pure
   // check, so a bad block can never corrupt local state.
   std::vector<Block> prospective = chain_.blocks();
   prospective.push_back(block);
   Status st = VerifyChain(prospective, alloc_, chain_.config());
-  if (!st.ok()) {
-    ++rejected_;
-    return st;
-  }
+  if (!st.ok()) return reject(std::move(st));
   // Apply: determinism guarantees the replay reproduces the same block.
   chain_.AdvanceTimeTo(block.header.timestamp);
   for (const Transaction& tx : block.transactions) {
     Status submit = chain_.SubmitTransaction(tx).status();
     if (!submit.ok()) {
-      ++rejected_;
-      return Status::Internal("verified block failed to apply: " +
-                              submit.message());
+      return reject(Status::Internal("verified block failed to apply: " +
+                                     submit.message()));
     }
   }
   const Block& applied = chain_.MineBlock();
   if (applied.Hash() != block.Hash()) {
     return Status::Internal("replayed block diverged after verification");
   }
+  if (accepted_count != nullptr) accepted_count->Inc();
   return Status::OK();
 }
 

@@ -1,26 +1,83 @@
 #include "chain/tx_pool.h"
 
+#include <algorithm>
+#include <map>
+
+#include "obs/metrics.h"
+
 namespace onoff::chain {
+
+void TxPool::UpdateDepthGauge() const {
+  static obs::Gauge* depth = obs::GetGaugeOrNull("txpool.depth");
+  if (depth != nullptr) depth->Set(static_cast<int64_t>(pending_.size()));
+}
 
 Status TxPool::Add(const Transaction& tx) {
   std::string key = HashKey(tx.Hash());
   if (seen_.count(key) > 0) {
+    static obs::Counter* dups = obs::GetCounterOrNull("txpool.duplicates");
+    if (dups != nullptr) dups->Inc();
     return Status::AlreadyExists("transaction already in pool");
   }
   seen_.insert(std::move(key));
-  pending_.push_back(tx);
+  Entry entry;
+  entry.tx = tx;
+  auto sender = tx.Sender();
+  if (sender.ok()) {
+    entry.has_sender = true;
+    entry.sender = *sender;
+  }
+  pending_.push_back(std::move(entry));
+  static obs::Counter* added = obs::GetCounterOrNull("txpool.added");
+  if (added != nullptr) added->Inc();
+  UpdateDepthGauge();
   return Status::OK();
 }
 
-std::vector<Transaction> TxPool::Take(size_t max_count) {
-  std::vector<Transaction> out;
-  while (!pending_.empty() && out.size() < max_count) {
-    out.push_back(std::move(pending_.front()));
-    pending_.pop_front();
-    // Dedup applies to *pending* entries only; a taken (mined or deferred)
-    // transaction may legitimately be re-added.
-    seen_.erase(HashKey(out.back().Hash()));
+std::vector<Transaction> TxPool::Take(size_t max_count, uint64_t gas_budget) {
+  // Slot-preserving per-sender nonce sort: collect each sender's entry
+  // indices (their slots, in submission order) and reassign that sender's
+  // transactions to those slots in ascending nonce order. Applying the
+  // transform to an already-ordered sequence is the identity, which is what
+  // makes block replay (validator/network) reproduce the producer's order.
+  std::vector<size_t> order(pending_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::map<Address, std::vector<size_t>> by_sender;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].has_sender) by_sender[pending_[i].sender].push_back(i);
   }
+  for (auto& [sender, slots] : by_sender) {
+    if (slots.size() < 2) continue;
+    std::vector<size_t> sorted = slots;
+    std::stable_sort(sorted.begin(), sorted.end(), [this](size_t a, size_t b) {
+      return pending_[a].tx.nonce < pending_[b].tx.nonce;
+    });
+    for (size_t j = 0; j < slots.size(); ++j) order[slots[j]] = sorted[j];
+  }
+
+  // Greedy prefix take under the count and gas budgets. Packing stops (does
+  // not skip ahead) at the first transaction that would overflow the budget
+  // so a sender's nonce sequence is never reordered by deferral.
+  std::vector<Transaction> out;
+  size_t taken = 0;
+  uint64_t budget = gas_budget;
+  while (taken < order.size() && out.size() < max_count) {
+    const Entry& candidate = pending_[order[taken]];
+    if (candidate.tx.gas_limit > budget) break;
+    budget -= candidate.tx.gas_limit;
+    seen_.erase(HashKey(candidate.tx.Hash()));
+    out.push_back(candidate.tx);
+    ++taken;
+  }
+
+  // Keep the untaken remainder in its (reordered) sequence.
+  std::deque<Entry> rest;
+  for (size_t i = taken; i < order.size(); ++i) {
+    rest.push_back(std::move(pending_[order[i]]));
+  }
+  pending_ = std::move(rest);
+  UpdateDepthGauge();
   return out;
 }
 

@@ -1,9 +1,16 @@
 // A minimal transaction pool: pending transactions ordered per-sender by
-// nonce, popped for block inclusion in submission order.
+// nonce, popped for block inclusion under a block gas budget.
+//
+// Submission order decides which *slots* a sender's transactions occupy in
+// the take sequence (first come, first served across senders), but within
+// one sender's slots the transactions are handed out in ascending nonce
+// order. A sender who submits nonces {2,0,1} therefore still gets them
+// mined as 0,1,2 instead of burning gas on nonce-gap failures.
 
 #ifndef ONOFFCHAIN_CHAIN_TX_POOL_H_
 #define ONOFFCHAIN_CHAIN_TX_POOL_H_
 
+#include <cstdint>
 #include <deque>
 #include <unordered_set>
 #include <vector>
@@ -18,8 +25,12 @@ class TxPool {
   // Rejects duplicate transaction hashes.
   Status Add(const Transaction& tx);
 
-  // Removes and returns up to `max_count` transactions.
-  std::vector<Transaction> Take(size_t max_count);
+  // Removes and returns up to `max_count` transactions ordered per-sender
+  // by nonce. Packing stops at the first transaction whose gas limit no
+  // longer fits in `gas_budget` (the block gas limit minus what has been
+  // taken so far); the remainder stays pending for later blocks.
+  std::vector<Transaction> Take(size_t max_count,
+                                uint64_t gas_budget = UINT64_MAX);
 
   size_t size() const { return pending_.size(); }
   bool empty() const { return pending_.empty(); }
@@ -29,11 +40,21 @@ class TxPool {
   }
 
  private:
+  struct Entry {
+    Transaction tx;
+    // Sender recovered once at Add; entries with an unrecoverable sender
+    // keep their submission slot untouched.
+    bool has_sender = false;
+    Address sender;
+  };
+
   static std::string HashKey(const Hash32& h) {
     return std::string(reinterpret_cast<const char*>(h.data()), h.size());
   }
 
-  std::deque<Transaction> pending_;
+  void UpdateDepthGauge() const;
+
+  std::deque<Entry> pending_;
   std::unordered_set<std::string> seen_;
 };
 

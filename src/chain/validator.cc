@@ -1,5 +1,7 @@
 #include "chain/validator.h"
 
+#include "obs/metrics.h"
+
 namespace onoff::chain {
 
 namespace {
@@ -8,10 +10,22 @@ std::string BlockRef(uint64_t number) {
   return "block " + std::to_string(number);
 }
 
-}  // namespace
+// Counts verification outcomes and times the whole replay.
+Status RecordVerifyOutcome(Status st) {
+  static obs::Counter* ok_count =
+      obs::GetCounterOrNull("validator.chains_verified");
+  static obs::Counter* failed_count =
+      obs::GetCounterOrNull("validator.verify_failures");
+  if (st.ok()) {
+    if (ok_count != nullptr) ok_count->Inc();
+  } else {
+    if (failed_count != nullptr) failed_count->Inc();
+  }
+  return st;
+}
 
-Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
-                   const ChainConfig& config) {
+Status VerifyChainImpl(const std::vector<Block>& blocks,
+                       const GenesisAlloc& alloc, const ChainConfig& config) {
   if (blocks.empty()) {
     return Status::InvalidArgument("chain has no genesis block");
   }
@@ -72,6 +86,16 @@ Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
+                   const ChainConfig& config) {
+  static obs::Histogram* replay_us = obs::GetHistogramOrNull(
+      "validator.verify_replay_us", obs::DefaultTimeBucketsUs());
+  obs::ScopedTimer replay_span(replay_us);
+  return RecordVerifyOutcome(VerifyChainImpl(blocks, alloc, config));
 }
 
 Status VerifyChain(const Blockchain& chain, const GenesisAlloc& alloc) {

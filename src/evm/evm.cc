@@ -1,16 +1,36 @@
 #include "evm/evm.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "evm/gas.h"
 #include "evm/opcodes.h"
 #include "evm/precompiles.h"
+#include "obs/metrics.h"
 #include "rlp/rlp.h"
 
 namespace onoff::evm {
 
 namespace {
+
+// Per-opcode execution counters ("evm.opcode.<MNEMONIC>"), built once on
+// first use; nullptr when metrics are disabled so the interpreter loop pays
+// a single never-taken branch per instruction.
+const std::array<obs::Counter*, 256>* OpcodeCounters() {
+  static const std::array<obs::Counter*, 256>* const table =
+      []() -> const std::array<obs::Counter*, 256>* {
+    obs::Registry* registry = obs::Registry::Global();
+    if (registry == nullptr) return nullptr;
+    auto* t = new std::array<obs::Counter*, 256>();
+    for (int op = 0; op < 256; ++op) {
+      const OpcodeInfo& info = GetOpcodeInfo(static_cast<uint8_t>(op));
+      (*t)[op] = registry->GetCounter("evm.opcode." + std::string(info.name));
+    }
+    return t;
+  }();
+  return table;
+}
 
 // Marks the positions of valid JUMPDESTs (not inside PUSH immediates).
 std::vector<bool> AnalyzeJumpdests(const Bytes& code) {
@@ -194,8 +214,10 @@ class Interpreter {
 };
 
 ExecResult Interpreter::Run() {
+  const std::array<obs::Counter*, 256>* op_counters = OpcodeCounters();
   while (pc_ < code_.size()) {
     uint8_t op_byte = code_[pc_];
+    if (op_counters != nullptr) (*op_counters)[op_byte]->Inc();
     const OpcodeInfo& info = GetOpcodeInfo(op_byte);
     if (!info.defined || op_byte == static_cast<uint8_t>(Opcode::INVALID)) {
       return Halt(Outcome::kInvalidInstruction);
@@ -979,11 +1001,29 @@ Address Evm::Create2Address(const Address& creator, const U256& salt,
   return *addr;
 }
 
-ExecResult Evm::Call(const CallMessage& msg) { return CallInternal(msg, 0); }
+ExecResult Evm::Call(const CallMessage& msg) {
+  static obs::Counter* calls = obs::GetCounterOrNull("evm.calls");
+  static obs::Histogram* call_gas =
+      obs::GetHistogramOrNull("evm.call_gas", obs::DefaultGasBuckets());
+  ExecResult res = CallInternal(msg, 0);
+  if (calls != nullptr) calls->Inc();
+  if (call_gas != nullptr) {
+    call_gas->Observe(static_cast<double>(msg.gas - res.gas_left));
+  }
+  return res;
+}
 
 ExecResult Evm::Create(const Address& caller, const U256& value,
                        const Bytes& init_code, uint64_t gas) {
-  return CreateInternal(caller, value, init_code, gas, nullptr, 0);
+  static obs::Counter* creates = obs::GetCounterOrNull("evm.creates");
+  static obs::Histogram* create_gas =
+      obs::GetHistogramOrNull("evm.create_gas", obs::DefaultGasBuckets());
+  ExecResult res = CreateInternal(caller, value, init_code, gas, nullptr, 0);
+  if (creates != nullptr) creates->Inc();
+  if (create_gas != nullptr) {
+    create_gas->Observe(static_cast<double>(gas - res.gas_left));
+  }
+  return res;
 }
 
 ExecResult Evm::CallInternal(const CallMessage& msg, int depth) {

@@ -1,0 +1,56 @@
+#include "obs/export.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace onoff::obs {
+
+Status WriteBenchJson(const std::string& path, const std::string& bench_name,
+                      Json results) {
+  Json root = Json::Object();
+  root.Set("schema", Json::Str("onoffchain-bench-v1"))
+      .Set("bench", Json::Str(bench_name))
+      .Set("results", std::move(results));
+  Registry* registry = Registry::Global();
+  root.Set("metrics",
+           registry != nullptr ? registry->ToJson() : Json::Null());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open bench output file: " + path);
+  }
+  out << root.Dump();
+  if (!out.good()) {
+    return Status::Internal("failed writing bench output to " + path);
+  }
+  return Status::OK();
+}
+
+std::string JsonPathFromArgs(int* argc, char** argv,
+                             std::string default_path) {
+  std::string path = std::move(default_path);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      value = arg + 15;
+    } else if ((std::strcmp(arg, "--json") == 0 ||
+                std::strcmp(arg, "--metrics-json") == 0) &&
+               i + 1 < *argc) {
+      value = argv[++i];
+    }
+    if (value != nullptr) {
+      path = value;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  if (path == "-") return "";
+  return path;
+}
+
+}  // namespace onoff::obs

@@ -1,0 +1,36 @@
+// The bench/tool JSON emission path. Every bench_* executable and the CLI
+// report through WriteBenchJson / the registry's WriteJsonFile so the
+// BENCH_*.json files all share one schema and one writer.
+
+#ifndef ONOFFCHAIN_OBS_EXPORT_H_
+#define ONOFFCHAIN_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "support/status.h"
+
+namespace onoff::obs {
+
+// Writes
+//   { "schema": "onoffchain-bench-v1",
+//     "bench": <name>,
+//     "results": <results>,
+//     "metrics": <global registry dump, or null when metrics are disabled> }
+// to `path`. `results` carries the bench-specific measured quantities (the
+// numbers the paper's tables/figures report); "metrics" carries the
+// chain-wide instruments that accumulated while the bench ran.
+Status WriteBenchJson(const std::string& path, const std::string& bench_name,
+                      Json results);
+
+// Parses and removes a "--json <path>" / "--json=<path>" flag (the alias
+// "--metrics-json" is also accepted) from argv, compacting argc. Returns the
+// flag value, `default_path` when the flag is absent, or "" when the flag is
+// present with the value "-" (meaning: do not write a file).
+std::string JsonPathFromArgs(int* argc, char** argv,
+                             std::string default_path);
+
+}  // namespace onoff::obs
+
+#endif  // ONOFFCHAIN_OBS_EXPORT_H_

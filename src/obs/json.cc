@@ -1,0 +1,194 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace onoff::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN literals; the exporter uses a string sentinel.
+    *out += v > 0 ? "\"+Inf\"" : (v < 0 ? "\"-Inf\"" : "\"NaN\"");
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+void Indent(std::string* out, int depth) { out->append(2 * depth, ' '); }
+
+}  // namespace
+
+Json Json::Bool(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Uint(uint64_t v) {
+  Json j;
+  j.kind_ = Kind::kUint;
+  j.uint_ = v;
+  return j;
+}
+
+Json Json::Num(double v) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::Str(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  assert(kind_ == Kind::kObject);
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  assert(kind_ == Kind::kArray);
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::DumpTo(std::string* out, bool pretty, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      *out += buf;
+      return;
+    }
+    case Kind::kUint: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(uint_));
+      *out += buf;
+      return;
+    }
+    case Kind::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += pretty ? "{\n" : "{";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (pretty) Indent(out, depth + 1);
+        AppendEscaped(out, members_[i].first);
+        *out += pretty ? ": " : ":";
+        members_[i].second.DumpTo(out, pretty, depth + 1);
+        if (i + 1 < members_.size()) *out += ",";
+        if (pretty) *out += "\n";
+      }
+      if (pretty) Indent(out, depth);
+      *out += "}";
+      return;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += pretty ? "[\n" : "[";
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (pretty) Indent(out, depth + 1);
+        elements_[i].DumpTo(out, pretty, depth + 1);
+        if (i + 1 < elements_.size()) *out += ",";
+        if (pretty) *out += "\n";
+      }
+      if (pretty) Indent(out, depth);
+      *out += "]";
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(bool pretty) const {
+  std::string out;
+  DumpTo(&out, pretty, 0);
+  if (pretty) out += "\n";
+  return out;
+}
+
+}  // namespace onoff::obs

@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace onoff::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[idx];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+uint64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& DefaultTimeBucketsUs() {
+  static const std::vector<double> kBuckets =
+      ExponentialBuckets(1.0, 4.0, 13);  // 1us .. ~16.8s
+  return kBuckets;
+}
+
+const std::vector<double>& DefaultGasBuckets() {
+  static const std::vector<double> kBuckets =
+      ExponentialBuckets(1000.0, 2.0, 14);  // 1k .. 8.192M gas
+  return kBuckets;
+}
+
+Registry* Registry::Global() {
+#if !ONOFF_METRICS
+  return nullptr;
+#else
+  static Registry* const instance = [] {
+    const char* env = std::getenv("ONOFF_METRICS");
+    if (env != nullptr && std::strcmp(env, "0") == 0) {
+      return static_cast<Registry*>(nullptr);
+    }
+    return new Registry();
+  }();
+  return instance;
+#endif
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+int64_t Registry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+Json Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::Object();
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, Json::Uint(c->Value()));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.Set(name, Json::Int(g->Value()));
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    Json buckets = Json::Array();
+    const std::vector<double>& bounds = h->Bounds();
+    std::vector<uint64_t> counts = h->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      Json bucket = Json::Object();
+      bucket.Set("le", i < bounds.size()
+                           ? Json::Num(bounds[i])
+                           : Json::Str("+Inf"));
+      bucket.Set("count", Json::Uint(counts[i]));
+      buckets.Push(std::move(bucket));
+    }
+    Json entry = Json::Object();
+    entry.Set("count", Json::Uint(h->Count()))
+        .Set("sum", Json::Num(h->Sum()))
+        .Set("min", Json::Num(h->Min()))
+        .Set("max", Json::Num(h->Max()))
+        .Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(entry));
+  }
+  Json root = Json::Object();
+  root.Set("schema", Json::Str("onoffchain-metrics-v1"))
+      .Set("counters", std::move(counters))
+      .Set("gauges", std::move(gauges))
+      .Set("histograms", std::move(histograms));
+  return root;
+}
+
+Status Registry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open metrics output file: " + path);
+  }
+  out << ToJsonString();
+  if (!out.good()) {
+    return Status::Internal("failed writing metrics to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace onoff::obs

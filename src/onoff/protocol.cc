@@ -1,10 +1,51 @@
 #include "onoff/protocol.h"
 
+#include <chrono>
+
 namespace onoff::core {
 
 namespace {
 
 constexpr char kSignedCopyTopic[] = "signed-copy";
+
+std::string StageKey(Stage stage, const char* field) {
+  return "stage." + std::to_string(static_cast<int>(stage)) + "." + field;
+}
+
+// Observes each stage's wall time into the process-global registry as the
+// driver moves past it (or unwinds through an early settlement).
+class StageSpans {
+ public:
+  StageSpans() = default;
+  StageSpans(const StageSpans&) = delete;
+  StageSpans& operator=(const StageSpans&) = delete;
+  ~StageSpans() { Close(); }
+
+  void Enter(Stage stage) {
+    Close();
+    active_ = true;
+    stage_ = stage;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  void Close() {
+    if (!active_) return;
+    active_ = false;
+    obs::Histogram* h = obs::GetHistogramOrNull(
+        std::string("protocol.stage_us.") + StageName(stage_),
+        obs::DefaultTimeBucketsUs());
+    if (h != nullptr) {
+      h->Observe(std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+  }
+
+  bool active_ = false;
+  Stage stage_ = Stage::kSplitGenerate;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace
 
@@ -54,22 +95,62 @@ BettingProtocol::BettingProtocol(chain::Blockchain* chain, MessageBus* bus,
   offchain_.bob = bob_.EthAddress();
 }
 
+obs::Counter* BettingProtocol::StageCounter(Stage stage, const char* field) {
+  return stage_registry_.GetCounter(StageKey(stage, field));
+}
+
 Result<chain::Receipt> BettingProtocol::Transact(
     const secp256k1::PrivateKey& from, std::optional<Address> to,
-    const U256& value, Bytes data, uint64_t gas_limit, StageReport* stage) {
+    const U256& value, Bytes data, uint64_t gas_limit, Stage stage) {
   size_t data_size = data.size();
   ONOFF_ASSIGN_OR_RETURN(
       chain::Receipt receipt,
       chain_->Execute(from, to, value, std::move(data), gas_limit));
-  stage->gas_used += receipt.gas_used;
-  stage->onchain_bytes += data_size;
-  stage->transactions += 1;
+  StageCounter(stage, "gas_used")->Inc(receipt.gas_used);
+  StageCounter(stage, "onchain_bytes")->Inc(data_size);
+  StageCounter(stage, "transactions")->Inc();
   return receipt;
 }
 
 Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
                                             const Behavior& bob_behavior) {
+  stage_registry_.Reset();
+  ONOFF_ASSIGN_OR_RETURN(ProtocolReport report,
+                         RunImpl(alice_behavior, bob_behavior));
+  // Materialise the StageReport view from the per-run ledger. Every path —
+  // aborts, refunds, optimistic, disputed — funnels through here, so the
+  // view is complete regardless of where RunImpl settled.
+  for (int i = 0; i < kNumStages; ++i) {
+    Stage stage = static_cast<Stage>(i);
+    StageReport& s = report.stages[i];
+    s.gas_used = stage_registry_.CounterValue(StageKey(stage, "gas_used"));
+    s.onchain_bytes = static_cast<size_t>(
+        stage_registry_.CounterValue(StageKey(stage, "onchain_bytes")));
+    s.offchain_messages = static_cast<size_t>(
+        stage_registry_.CounterValue(StageKey(stage, "offchain_messages")));
+    s.offchain_bytes = static_cast<size_t>(
+        stage_registry_.CounterValue(StageKey(stage, "offchain_bytes")));
+    s.transactions = static_cast<int>(
+        stage_registry_.CounterValue(StageKey(stage, "transactions")));
+  }
+  // Mirror run totals into the global registry (no-ops when disabled).
+  if (obs::Registry* g = obs::Registry::Global()) {
+    g->GetCounter("protocol.runs")->Inc();
+    g->GetCounter(std::string("protocol.settlement.") +
+                  SettlementName(report.settlement))
+        ->Inc();
+    g->GetCounter("protocol.gas_used")->Inc(report.TotalGas());
+    g->GetCounter("protocol.onchain_bytes")->Inc(report.TotalOnchainBytes());
+    g->GetCounter("protocol.private_bytes_revealed")
+        ->Inc(report.private_bytes_revealed);
+  }
+  return report;
+}
+
+Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
+                                                const Behavior& bob_behavior) {
   ProtocolReport report;
+  StageSpans spans;
   uint64_t now = chain_->Now();
 
   contracts::BettingConfig betting;
@@ -81,25 +162,26 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
   betting.t3 = now + timing_.t3_offset;
 
   // ---- Stage 1: split/generate ----
-  StageReport& s1 = report.stages[static_cast<int>(Stage::kSplitGenerate)];
+  spans.Enter(Stage::kSplitGenerate);
   ONOFF_ASSIGN_OR_RETURN(Bytes onchain_init,
                          contracts::BuildOnChainInit(betting));
   ONOFF_ASSIGN_OR_RETURN(Bytes offchain_init,
                          contracts::BuildOffChainInit(offchain_));
-  (void)s1;  // generation is purely local: no gas, no messages
+  // Generation is purely local: no gas, no messages.
 
   // ---- Stage 2: deploy/sign ----
-  StageReport& s2 = report.stages[static_cast<int>(Stage::kDeploySign)];
+  spans.Enter(Stage::kDeploySign);
   // Rule 1: Alice deploys the on-chain contract before T0.
-  ONOFF_ASSIGN_OR_RETURN(
-      chain::Receipt deploy_receipt,
-      Transact(alice_, std::nullopt, U256(), onchain_init, 4'000'000, &s2));
+  ONOFF_ASSIGN_OR_RETURN(chain::Receipt deploy_receipt,
+                         Transact(alice_, std::nullopt, U256(), onchain_init,
+                                  4'000'000, Stage::kDeploySign));
   if (!deploy_receipt.success || deploy_receipt.contract_address.IsZero()) {
     return Status::Internal("on-chain contract deployment failed");
   }
   Address onchain = deploy_receipt.contract_address;
   report.onchain_contract = onchain;
-  s2.onchain_bytes += chain_->GetCode(onchain).size();
+  StageCounter(Stage::kDeploySign, "onchain_bytes")
+      ->Inc(chain_->GetCode(onchain).size());
 
   // Both participants must hold a fully signed copy before any deposit.
   // Each signs their own locally generated copy and broadcasts it over the
@@ -127,8 +209,10 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
   } else {
     signing_ok = false;
   }
-  s2.offchain_messages += bus_->messages_sent() - msgs_before;
-  s2.offchain_bytes += bus_->bytes_sent() - bytes_before;
+  StageCounter(Stage::kDeploySign, "offchain_messages")
+      ->Inc(bus_->messages_sent() - msgs_before);
+  StageCounter(Stage::kDeploySign, "offchain_bytes")
+      ->Inc(bus_->bytes_sent() - bytes_before);
 
   if (!signing_ok) {
     report.settlement = Settlement::kAbortedUnsigned;
@@ -163,21 +247,22 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
   }
 
   // ---- Stage 3: submit/challenge (deposits + off-chain execution) ----
-  StageReport& s3 = report.stages[static_cast<int>(Stage::kSubmitChallenge)];
+  spans.Enter(Stage::kSubmitChallenge);
   bool alice_deposited = false;
   bool bob_deposited = false;
   if (alice_behavior.make_deposit) {
     ONOFF_ASSIGN_OR_RETURN(
         chain::Receipt r,
         Transact(alice_, onchain, deposit_amount_,
-                 contracts::DepositCalldata(), 300'000, &s3));
+                 contracts::DepositCalldata(), 300'000,
+                 Stage::kSubmitChallenge));
     alice_deposited = r.success;
   }
   if (bob_behavior.make_deposit) {
     ONOFF_ASSIGN_OR_RETURN(
         chain::Receipt r,
         Transact(bob_, onchain, deposit_amount_, contracts::DepositCalldata(),
-                 300'000, &s3));
+                 300'000, Stage::kSubmitChallenge));
     bob_deposited = r.success;
   }
 
@@ -188,13 +273,13 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
     if (alice_deposited) {
       ONOFF_RETURN_NOT_OK(Transact(alice_, onchain, U256(),
                                    contracts::RefundRoundTwoCalldata(),
-                                   300'000, &s3)
+                                   300'000, Stage::kSubmitChallenge)
                               .status());
     }
     if (bob_deposited) {
       ONOFF_RETURN_NOT_OK(Transact(bob_, onchain, U256(),
                                    contracts::RefundRoundTwoCalldata(),
-                                   300'000, &s3)
+                                   300'000, Stage::kSubmitChallenge)
                               .status());
     }
     report.settlement = Settlement::kRefunded;
@@ -238,7 +323,7 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
     ONOFF_ASSIGN_OR_RETURN(
         chain::Receipt r,
         Transact(loser, onchain, U256(), contracts::ReassignCalldata(),
-                 300'000, &s3));
+                 300'000, Stage::kSubmitChallenge));
     if (!r.success) return Status::Internal("reassign unexpectedly failed");
     report.settlement = Settlement::kOptimistic;
     report.private_bytes_revealed = 0;
@@ -249,7 +334,7 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
   }
 
   // ---- Stage 4: dispute/resolve ----
-  StageReport& s4 = report.stages[static_cast<int>(Stage::kDisputeResolve)];
+  spans.Enter(Stage::kDisputeResolve);
   chain_->AdvanceTimeTo(betting.t3);
   if (!winner_behavior.pursue_dispute) {
     // Nobody enforces: the pot stays locked. (Modelled for completeness.)
@@ -268,20 +353,21 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
   ONOFF_ASSIGN_OR_RETURN(
       chain::Receipt deploy_r,
       Transact(winner, onchain, U256(), std::move(dispute_calldata),
-               6'000'000, &s4));
+               6'000'000, Stage::kDisputeResolve));
   if (!deploy_r.success) {
     return Status::Internal("deployVerifiedInstance failed");
   }
   Address instance = Address::FromWord(chain_->GetStorage(
       onchain, U256(contracts::betting_slots::kDeployedAddr)));
   report.verified_instance = instance;
-  s4.onchain_bytes += chain_->GetCode(instance).size();
+  StageCounter(Stage::kDisputeResolve, "onchain_bytes")
+      ->Inc(chain_->GetCode(instance).size());
 
   ONOFF_ASSIGN_OR_RETURN(
       chain::Receipt resolve_r,
       Transact(winner, instance,
                U256(), contracts::ReturnDisputeResolutionCalldata(onchain),
-               6'000'000, &s4));
+               6'000'000, Stage::kDisputeResolve));
   if (!resolve_r.success) {
     return Status::Internal("returnDisputeResolution failed");
   }

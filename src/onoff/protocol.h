@@ -12,7 +12,10 @@
 // dishonest behaviours (refusing to sign, refusing to deposit, refusing to
 // admit a loss) force the protocol down the corresponding paths. The driver
 // records per-stage gas, on-chain bytes and off-chain message traffic — the
-// quantities the evaluation section reports.
+// quantities the evaluation section reports — in a private obs::Registry it
+// owns; the public StageReport array is a view materialised from registry
+// reads when Run() returns, so the reported numbers are deterministic even
+// when process-global metrics are disabled.
 
 #ifndef ONOFFCHAIN_ONOFF_PROTOCOL_H_
 #define ONOFFCHAIN_ONOFF_PROTOCOL_H_
@@ -24,6 +27,7 @@
 #include "chain/blockchain.h"
 #include "contracts/betting.h"
 #include "crypto/secp256k1.h"
+#include "obs/metrics.h"
 #include "onoff/message_bus.h"
 #include "onoff/signed_copy.h"
 #include "support/status.h"
@@ -113,12 +117,20 @@ class BettingProtocol {
                              const Behavior& bob_behavior);
 
  private:
+  // The protocol lifecycle; stage stats accumulate in stage_registry_ and
+  // are folded into the report by Run().
+  Result<ProtocolReport> RunImpl(const Behavior& alice_behavior,
+                                 const Behavior& bob_behavior);
+
   // Sends a transaction (nullopt `to` = contract creation) and accumulates
-  // its stats into `stage`.
+  // its stats under `stage` in stage_registry_.
   Result<chain::Receipt> Transact(const secp256k1::PrivateKey& from,
                                   std::optional<Address> to,
                                   const U256& value, Bytes data,
-                                  uint64_t gas_limit, StageReport* stage);
+                                  uint64_t gas_limit, Stage stage);
+
+  // The per-stage instrument "stage.<index>.<field>" in stage_registry_.
+  obs::Counter* StageCounter(Stage stage, const char* field);
 
   chain::Blockchain* chain_;
   MessageBus* bus_;
@@ -127,6 +139,9 @@ class BettingProtocol {
   contracts::OffchainConfig offchain_;
   U256 deposit_amount_;
   ProtocolTiming timing_;
+  // Per-run stage ledger. Always on (independent of ONOFF_METRICS) so the
+  // StageReport view stays exact; reset at the top of every Run().
+  obs::Registry stage_registry_;
 };
 
 }  // namespace onoff::core

@@ -7,12 +7,6 @@
 
 namespace onoff::state {
 
-namespace {
-
-const Bytes kEmptyCode;
-
-}  // namespace
-
 const Account* WorldState::Find(const Address& addr) const {
   auto it = accounts_.find(addr);
   return it == accounts_.end() ? nullptr : &it->second;
@@ -82,6 +76,10 @@ void WorldState::IncrementNonce(const Address& addr) {
 }
 
 const Bytes& WorldState::GetCode(const Address& addr) const {
+  // Function-local singleton: the returned reference must outlive any
+  // caller regardless of translation-unit initialisation order, and must
+  // never bind to a temporary for absent accounts.
+  static const Bytes kEmptyCode;
   const Account* acc = Find(addr);
   return acc == nullptr ? kEmptyCode : acc->code;
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "easm/assembler.h"
 #include "evm/gas.h"
 
@@ -296,6 +298,115 @@ TEST_F(BlockchainTest, GetLogsFiltersByAddressAndTopic) {
 
 TEST_F(BlockchainTest, ReceiptLookupMissing) {
   EXPECT_FALSE(chain_.GetReceipt(Hash32{}).ok());
+}
+
+TEST_F(BlockchainTest, BlockGasLimitDefersOverflowToNextBlock) {
+  // Three transactions with a 4M gas limit each against the default 8M
+  // block gas limit: the first block takes two, the third is deferred —
+  // not dropped — and mines in the next block.
+  for (int i = 0; i < 3; ++i) {
+    Transaction tx;
+    tx.nonce = i;
+    tx.gas_price = U256(1);
+    tx.gas_limit = 4'000'000;
+    tx.to = bob_.EthAddress();
+    tx.value = U256(1);
+    tx.Sign(alice_);
+    ASSERT_TRUE(chain_.SubmitTransaction(tx).ok());
+  }
+  const Block& b1 = chain_.MineBlock();
+  EXPECT_EQ(b1.transactions.size(), 2u);
+  EXPECT_EQ(b1.transactions[0].nonce, 0u);
+  EXPECT_EQ(b1.transactions[1].nonce, 1u);
+  const Block& b2 = chain_.MineBlock();
+  ASSERT_EQ(b2.transactions.size(), 1u);
+  EXPECT_EQ(b2.transactions[0].nonce, 2u);
+  // All three applied in order despite the split.
+  EXPECT_EQ(chain_.GetNonce(alice_.EthAddress()), 3u);
+  EXPECT_EQ(chain_.GetBalance(bob_.EthAddress()),
+            kEther * U256(100) + U256(3));
+}
+
+TEST_F(BlockchainTest, OutOfOrderNoncesMineInNonceOrder) {
+  // A sender whose transactions arrive as {2, 0, 1} must not burn two of
+  // them on nonce-gap failures: the pool reorders per sender.
+  std::array<Hash32, 3> hashes;
+  for (uint64_t nonce : {2u, 0u, 1u}) {
+    Transaction tx;
+    tx.nonce = nonce;
+    tx.gas_price = U256(1);
+    tx.gas_limit = 21'000;
+    tx.to = bob_.EthAddress();
+    tx.value = U256(1);
+    tx.Sign(alice_);
+    auto hash = chain_.SubmitTransaction(tx);
+    ASSERT_TRUE(hash.ok());
+    hashes[nonce] = *hash;
+  }
+  const Block& block = chain_.MineBlock();
+  ASSERT_EQ(block.transactions.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(block.transactions[i].nonce, i);
+    auto receipt = chain_.GetReceipt(hashes[i]);
+    ASSERT_TRUE(receipt.ok());
+    EXPECT_TRUE(receipt->success) << "nonce " << i;
+  }
+  EXPECT_EQ(chain_.GetNonce(alice_.EthAddress()), 3u);
+}
+
+TEST_F(BlockchainTest, GetCodeForFreshAddressIsStableEmptySingleton) {
+  auto fresh = secp256k1::PrivateKey::FromSeed("fresh");
+  auto fresh2 = secp256k1::PrivateKey::FromSeed("fresh2");
+  const Bytes& code = chain_.GetCode(fresh.EthAddress());
+  EXPECT_TRUE(code.empty());
+  // Absent accounts all map to one function-local singleton, so the
+  // reference stays valid (and identical) across calls and state changes.
+  EXPECT_EQ(&code, &chain_.GetCode(fresh2.EthAddress()));
+  ASSERT_TRUE(
+      chain_.Execute(alice_, bob_.EthAddress(), U256(1), {}, 21'000).ok());
+  EXPECT_TRUE(code.empty());
+  EXPECT_EQ(&code, &chain_.GetCode(fresh.EthAddress()));
+}
+
+TEST_F(BlockchainTest, SstoreRefundCappedAtHalfGasUsed) {
+  // Runtime stores calldata word 0 at slot 0:
+  //   PUSH1 0 CALLDATALOAD PUSH1 0 SSTORE STOP = 60003560005500
+  auto init = easm::Assemble(R"(
+    PUSH1 0x07
+    PUSH @runtime PUSH1 0x01 ADD
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 0x07 PUSH1 0x00 RETURN
+    runtime: DB 0x60003560005500
+  )");
+  ASSERT_TRUE(init.ok());
+  auto deploy = chain_.Execute(alice_, std::nullopt, U256(), *init, 500'000);
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(deploy->success);
+  Address contract = deploy->contract_address;
+
+  // Set slot 0 := 1 (zero -> non-zero, 20000 gas, no refund).
+  Bytes set_one(32, 0);
+  set_one[31] = 1;
+  auto set_receipt =
+      chain_.Execute(alice_, contract, U256(), set_one, 100'000);
+  ASSERT_TRUE(set_receipt.ok());
+  ASSERT_TRUE(set_receipt->success);
+  EXPECT_EQ(chain_.GetStorage(contract, U256(0)), U256(1));
+
+  // Clear slot 0 (non-zero -> zero): 15000 refund, but the Yellow Paper
+  // caps refunds at gas_used / 2. Pre-refund gas:
+  //   21000 intrinsic + 9 (PUSH1,CALLDATALOAD,PUSH1) + 5000 SSTORE = 26009
+  // cap = 13004 < 15000, so gas_used = 26009 - 13004 = 13005.
+  U256 before = chain_.GetBalance(alice_.EthAddress());
+  auto clear_receipt = chain_.Execute(alice_, contract, U256(), {}, 100'000);
+  ASSERT_TRUE(clear_receipt.ok());
+  ASSERT_TRUE(clear_receipt->success);
+  EXPECT_TRUE(chain_.GetStorage(contract, U256(0)).IsZero());
+  EXPECT_EQ(clear_receipt->gas_used, 13'005u);
+  // The capped (not full) refund is what the sender got back.
+  EXPECT_EQ(chain_.GetBalance(alice_.EthAddress()),
+            before - U256(clear_receipt->gas_used));
 }
 
 }  // namespace

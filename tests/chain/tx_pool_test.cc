@@ -1,0 +1,126 @@
+#include "chain/tx_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secp256k1.h"
+
+namespace onoff::chain {
+namespace {
+
+Transaction MakeTx(const secp256k1::PrivateKey& key, uint64_t nonce,
+                   uint64_t gas_limit = 21'000) {
+  Transaction tx;
+  tx.nonce = nonce;
+  tx.gas_price = U256(1);
+  tx.gas_limit = gas_limit;
+  tx.to = Address{};
+  tx.value = U256(1);
+  tx.Sign(key);
+  return tx;
+}
+
+TEST(TxPoolTest, OutOfOrderNoncesReorderedPerSender) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  TxPool pool;
+  for (uint64_t nonce : {2u, 0u, 1u}) {
+    ASSERT_TRUE(pool.Add(MakeTx(alice, nonce)).ok());
+  }
+  std::vector<Transaction> taken = pool.Take(10);
+  ASSERT_EQ(taken.size(), 3u);
+  EXPECT_EQ(taken[0].nonce, 0u);
+  EXPECT_EQ(taken[1].nonce, 1u);
+  EXPECT_EQ(taken[2].nonce, 2u);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(TxPoolTest, ReorderingPreservesSenderSlots) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  TxPool pool;
+  // Submission slots: [alice, bob, alice]. Alice's transactions arrive
+  // nonce-reversed; bob keeps his slot in between.
+  ASSERT_TRUE(pool.Add(MakeTx(alice, 1)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx(bob, 0)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx(alice, 0)).ok());
+  std::vector<Transaction> taken = pool.Take(10);
+  ASSERT_EQ(taken.size(), 3u);
+  EXPECT_EQ(*taken[0].Sender(), alice.EthAddress());
+  EXPECT_EQ(taken[0].nonce, 0u);
+  EXPECT_EQ(*taken[1].Sender(), bob.EthAddress());
+  EXPECT_EQ(*taken[2].Sender(), alice.EthAddress());
+  EXPECT_EQ(taken[2].nonce, 1u);
+}
+
+TEST(TxPoolTest, InOrderSubmissionIsUnchanged) {
+  // Replay determinism: a block's transactions re-submitted in block order
+  // must come back out in exactly that order (the reorder is idempotent).
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  TxPool pool;
+  std::vector<Transaction> block = {MakeTx(alice, 0), MakeTx(bob, 0),
+                                    MakeTx(alice, 1), MakeTx(bob, 1)};
+  for (const Transaction& tx : block) ASSERT_TRUE(pool.Add(tx).ok());
+  std::vector<Transaction> taken = pool.Take(10);
+  ASSERT_EQ(taken.size(), block.size());
+  for (size_t i = 0; i < block.size(); ++i) {
+    EXPECT_EQ(taken[i].Hash(), block[i].Hash()) << "slot " << i;
+  }
+}
+
+TEST(TxPoolTest, GasBudgetStopsPacking) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  TxPool pool;
+  for (uint64_t nonce : {0u, 1u, 2u}) {
+    ASSERT_TRUE(pool.Add(MakeTx(alice, nonce, 4'000'000)).ok());
+  }
+  // 4M + 4M fills an 8M budget; the third must stay pending.
+  std::vector<Transaction> taken = pool.Take(10, 8'000'000);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].nonce, 0u);
+  EXPECT_EQ(taken[1].nonce, 1u);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<Transaction> rest = pool.Take(10, 8'000'000);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].nonce, 2u);
+}
+
+TEST(TxPoolTest, BudgetStopDefersInsteadOfSkipping) {
+  // When a transaction does not fit, packing STOPS; later (smaller)
+  // transactions are not pulled ahead of it, or nonce ordering would break.
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  TxPool pool;
+  ASSERT_TRUE(pool.Add(MakeTx(alice, 0, 5'000'000)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx(alice, 1, 2'000'000)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx(alice, 2, 100'000)).ok());
+  std::vector<Transaction> taken = pool.Take(10, 6'000'000);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].nonce, 0u);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(TxPoolTest, MaxCountStillApplies) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  TxPool pool;
+  for (uint64_t nonce : {0u, 1u, 2u}) {
+    ASSERT_TRUE(pool.Add(MakeTx(alice, nonce)).ok());
+  }
+  EXPECT_EQ(pool.Take(2).size(), 2u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TxPoolTest, DuplicateRejectedAndContainsTracksTakes) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  TxPool pool;
+  Transaction tx = MakeTx(alice, 0);
+  ASSERT_TRUE(pool.Add(tx).ok());
+  EXPECT_FALSE(pool.Add(tx).ok());
+  EXPECT_TRUE(pool.Contains(tx.Hash()));
+  ASSERT_EQ(pool.Take(10).size(), 1u);
+  EXPECT_FALSE(pool.Contains(tx.Hash()));
+  // Once mined (taken), the same hash may be re-submitted, e.g. by a
+  // replica replaying the block.
+  EXPECT_TRUE(pool.Add(tx).ok());
+}
+
+}  // namespace
+}  // namespace onoff::chain

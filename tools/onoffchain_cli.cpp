@@ -9,6 +9,10 @@
 //   onoffchain_cli betting <aliceSeed> <bobSeed> [revealIters]
 //       generate the paper's on/off-chain betting pair and the signed copy
 //
+// Any command additionally accepts --metrics-json <path> (or =<path>): after
+// the command runs, the process-global metrics registry is dumped to <path>
+// in the onoffchain-metrics-v1 JSON schema.
+//
 // Everything runs fully offline against the in-repo substrate.
 
 #include <cstdio>
@@ -22,6 +26,8 @@
 #include "crypto/keccak.h"
 #include "crypto/secp256k1.h"
 #include "easm/assembler.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "onoff/signed_copy.h"
 
 using namespace onoff;
@@ -157,9 +163,7 @@ int CmdBetting(const std::string& alice_seed, const std::string& bob_seed,
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int Dispatch(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   if (cmd == "keygen" && argc == 3) return CmdKeygen(argv[2]);
@@ -173,4 +177,25 @@ int main(int argc, char** argv) {
                       argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 10);
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path = obs::JsonPathFromArgs(&argc, argv, "");
+  int rc = Dispatch(argc, argv);
+  if (!metrics_path.empty()) {
+    obs::Registry* registry = obs::Registry::Global();
+    if (registry == nullptr) {
+      std::fprintf(stderr, "metrics are disabled; not writing %s\n",
+                   metrics_path.c_str());
+    } else {
+      Status st = registry->WriteJsonFile(metrics_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
+  }
+  return rc;
 }
