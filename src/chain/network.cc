@@ -1,5 +1,7 @@
 #include "chain/network.h"
 
+#include <memory>
+
 #include "obs/metrics.h"
 
 namespace onoff::chain {
@@ -42,7 +44,15 @@ Status Node::AcceptBlock(const Block& block) {
   }
   const Block& applied = chain_.MineBlock();
   if (applied.Hash() != block.Hash()) {
-    return Status::Internal("replayed block diverged after verification");
+    // Unlike the pure-check failures above, the replay has already advanced
+    // local state (clock moved, a divergent block appended) — the most
+    // serious failure mode, so it must be counted and must surface where
+    // this node actually ended up.
+    return reject(Status::Internal(
+        "replayed block diverged after verification; local state advanced "
+        "to height " +
+        std::to_string(chain_.Height()) + " head 0x" +
+        ToHex(BytesView(applied.Hash().data(), applied.Hash().size()))));
   }
   if (accepted_count != nullptr) accepted_count->Inc();
   return Status::OK();
@@ -55,18 +65,55 @@ Status Node::SyncFrom(const std::vector<Block>& blocks) {
   return Status::OK();
 }
 
+size_t BlockWireSize(const Block& block) {
+  size_t bytes = block.header.Encode().size();
+  for (const Transaction& tx : block.transactions) {
+    bytes += tx.Encode().size();
+  }
+  return bytes;
+}
+
 size_t Network::BroadcastBlock(const Node* from, const Block& block) {
-  size_t accepted = 0;
+  if (transport_ == nullptr) {
+    size_t accepted = 0;
+    for (Node* node : nodes_) {
+      if (node == from) continue;
+      if (node->AcceptBlock(block).ok()) ++accepted;
+    }
+    return accepted;
+  }
+  // One gossip message per peer; each delivery replays the block on the
+  // receiving node whenever the transport says it arrives.
+  auto accepted = std::make_shared<size_t>(0);
+  const std::string origin = from != nullptr ? from->name() : "";
+  const size_t wire_size = BlockWireSize(block);
   for (Node* node : nodes_) {
     if (node == from) continue;
-    if (node->AcceptBlock(block).ok()) ++accepted;
+    transport_->Deliver(origin, node->name(), wire_size,
+                        [node, block, accepted] {
+                          if (node->AcceptBlock(block).ok()) ++*accepted;
+                        });
   }
-  return accepted;
+  return *accepted;
 }
 
 size_t Network::ProduceAndBroadcast(Node* producer) {
   const Block& block = producer->ProduceBlock();
   return BroadcastBlock(producer, block);
+}
+
+Result<size_t> Network::CatchUp(Node* node, const Node& source) {
+  static obs::Counter* catchups = obs::GetCounterOrNull("sim.sync_catchups");
+  static obs::Counter* synced = obs::GetCounterOrNull("sim.sync_blocks");
+  static obs::Histogram* span_us = obs::GetHistogramOrNull(
+      "sim.sync_catchup_us", obs::DefaultTimeBucketsUs());
+  obs::ScopedTimer span(span_us);
+  uint64_t before = node->Height();
+  ONOFF_RETURN_NOT_OK(node->SyncFrom(source.chain().blocks()));
+  size_t applied = static_cast<size_t>(node->Height() - before);
+  if (catchups != nullptr) catchups->Inc();
+  if (synced != nullptr) synced->Inc(applied);
+  return applied;
 }
 
 }  // namespace onoff::chain

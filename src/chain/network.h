@@ -4,6 +4,12 @@
 // trust nothing but the genesis allocation and their own execution — the
 // property that makes the on-chain contract's guarantees meaningful to the
 // protocol's participants.
+//
+// Gossip optionally routes through a sim::Transport: with no transport set
+// (or with the instant transport) delivery is synchronous and lossless —
+// identical to the pre-sim behaviour; with a sim::SimTransport every block
+// travels the simulated network (latency, loss, partitions, crashes) and
+// arrives when the virtual clock says it does.
 
 #ifndef ONOFFCHAIN_CHAIN_NETWORK_H_
 #define ONOFFCHAIN_CHAIN_NETWORK_H_
@@ -13,6 +19,7 @@
 
 #include "chain/blockchain.h"
 #include "chain/validator.h"
+#include "sim/transport.h"
 
 namespace onoff::chain {
 
@@ -55,15 +62,31 @@ class Network {
  public:
   void AddNode(Node* node) { nodes_.push_back(node); }
 
-  // Delivers `block` to every node except `from`; returns how many accepted.
+  // Routes block deliveries through `transport` (node names are the
+  // endpoints). nullptr restores the synchronous zero-latency default.
+  void SetTransport(sim::Transport* transport) { transport_ = transport; }
+
+  // Delivers `block` to every node except `from`. Returns how many nodes
+  // accepted it so far: with a synchronous transport that is the final
+  // count; with a deferred transport deliveries land as the scheduler runs,
+  // so the caller inspects nodes (or obs counters) after driving the clock.
   size_t BroadcastBlock(const Node* from, const Block& block);
 
   // Convenience: `producer` mines one block and gossips it.
   size_t ProduceAndBroadcast(Node* producer);
 
+  // Replays `source`'s history into `node` (crash-restart or late-join
+  // catch-up), bypassing the transport — sync is modelled as a reliable
+  // bulk fetch. Returns the number of blocks applied.
+  Result<size_t> CatchUp(Node* node, const Node& source);
+
  private:
   std::vector<Node*> nodes_;
+  sim::Transport* transport_ = nullptr;
 };
+
+// Approximate gossip wire size of a block (header + transactions, RLP).
+size_t BlockWireSize(const Block& block);
 
 }  // namespace onoff::chain
 

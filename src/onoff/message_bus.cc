@@ -1,13 +1,64 @@
 #include "onoff/message_bus.h"
 
+#include <utility>
+
+#include "obs/metrics.h"
+
 namespace onoff::core {
+
+void MessageBus::CountDrop(size_t payload_bytes) {
+  ++messages_dropped_;
+  bytes_dropped_ += payload_bytes;
+  static obs::Counter* dropped = obs::GetCounterOrNull("bus.messages_dropped");
+  static obs::Counter* dropped_bytes =
+      obs::GetCounterOrNull("bus.bytes_dropped");
+  if (dropped != nullptr) dropped->Inc();
+  if (dropped_bytes != nullptr) dropped_bytes->Inc(payload_bytes);
+}
+
+void MessageBus::DeliverNow(Message message) {
+  if (tamper_) {
+    tamper_(message);
+    ++messages_tampered_;
+    static obs::Counter* tampered =
+        obs::GetCounterOrNull("bus.messages_tampered");
+    if (tampered != nullptr) tampered->Inc();
+  }
+  static obs::Counter* delivered =
+      obs::GetCounterOrNull("bus.messages_delivered");
+  if (delivered != nullptr) delivered->Inc();
+  inboxes_[message.to].push_back(std::move(message));
+}
 
 void MessageBus::Send(Message message) {
   ++messages_sent_;
   bytes_sent_ += message.payload.size();
-  if (drop_ && drop_(message)) return;
-  if (tamper_) tamper_(message);
-  inboxes_[message.to].push_back(std::move(message));
+  static obs::Counter* sent = obs::GetCounterOrNull("bus.messages_sent");
+  static obs::Counter* sent_bytes = obs::GetCounterOrNull("bus.bytes_sent");
+  if (sent != nullptr) sent->Inc();
+  if (sent_bytes != nullptr) sent_bytes->Inc(message.payload.size());
+  if (drop_ && drop_(message)) {
+    CountDrop(message.payload.size());
+    return;
+  }
+  if (transport_ == nullptr) {
+    DeliverNow(std::move(message));
+    return;
+  }
+  std::string from = message.from.ToHex();
+  std::string to = message.to.ToHex();
+  size_t bytes = message.payload.size();
+  bool scheduled = transport_->Deliver(
+      from, to, bytes,
+      [this, message = std::move(message)]() mutable {
+        DeliverNow(std::move(message));
+      });
+  if (!scheduled) {
+    // Rejected at send time (loss, partition, crashed endpoint). In-flight
+    // losses are invisible to the sender by design; the transport's own
+    // stats account for those.
+    CountDrop(bytes);
+  }
 }
 
 void MessageBus::Broadcast(const Address& from,

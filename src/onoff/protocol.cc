@@ -1,15 +1,36 @@
 #include "onoff/protocol.h"
 
 #include <chrono>
+#include <memory>
+#include <utility>
 
 namespace onoff::core {
 
 namespace {
 
 constexpr char kSignedCopyTopic[] = "signed-copy";
+// The transport endpoint name for the chain itself (the PoA producer a
+// participant submits transactions to).
+constexpr char kChainEndpoint[] = "chain";
+// Approximate RLP transaction envelope overhead on the wire (nonce, gas
+// fields, signature) added to the calldata size.
+constexpr size_t kTxEnvelopeBytes = 110;
 
 std::string StageKey(Stage stage, const char* field) {
   return "stage." + std::to_string(static_cast<int>(stage)) + "." + field;
+}
+
+// A transaction in flight through the simulated network.
+struct PendingCall {
+  bool done = false;
+  // Set when the driver gives up at a deadline: a straggler delivery event
+  // still queued in the scheduler must not execute the transaction.
+  bool cancelled = false;
+  std::optional<Result<chain::Receipt>> result;
+};
+
+bool IsDeadlineMiss(const Status& status) {
+  return status.code() == StatusCode::kFailedPrecondition;
 }
 
 // Observes each stage's wall time into the process-global registry as the
@@ -75,6 +96,8 @@ const char* SettlementName(Settlement settlement) {
       return "optimistic";
     case Settlement::kDisputed:
       return "disputed";
+    case Settlement::kDisputeTimedOut:
+      return "dispute-timed-out";
   }
   return "unknown";
 }
@@ -95,18 +118,87 @@ BettingProtocol::BettingProtocol(chain::Blockchain* chain, MessageBus* bus,
   offchain_.bob = bob_.EthAddress();
 }
 
+void BettingProtocol::BindSimulation(sim::Scheduler* scheduler,
+                                     sim::Transport* transport) {
+  // Both or neither: a scheduler without a transport (or vice versa) has no
+  // meaningful semantics.
+  sched_ = transport != nullptr ? scheduler : nullptr;
+  transport_ = scheduler != nullptr ? transport : nullptr;
+  // Off-chain messages ride the same simulated network as transactions.
+  bus_->SetTransport(transport_);
+}
+
 obs::Counter* BettingProtocol::StageCounter(Stage stage, const char* field) {
   return stage_registry_.GetCounter(StageKey(stage, field));
 }
 
+uint64_t BettingProtocol::VirtualMs(uint64_t unix_ts) const {
+  uint64_t offset_s = unix_ts > run_start_ts_ ? unix_ts - run_start_ts_ : 0;
+  return base_virtual_ms_ + offset_s * 1000;
+}
+
+void BettingProtocol::AdvanceChainTo(uint64_t unix_ts) {
+  if (sched_ != nullptr) sched_->RunUntil(VirtualMs(unix_ts));
+  chain_->AdvanceTimeTo(unix_ts);
+}
+
+Result<chain::Receipt> BettingProtocol::ExecuteViaSim(
+    const secp256k1::PrivateKey& from, std::optional<Address> to,
+    const U256& value, Bytes data, uint64_t gas_limit, uint64_t deadline_ms) {
+  auto call = std::make_shared<PendingCall>();
+  const size_t wire_bytes = data.size() + kTxEnvelopeBytes;
+  const std::string sender = from.EthAddress().ToHex();
+  // Retransmit until delivered or the deadline passes: the sender cannot
+  // observe in-flight losses, so it re-sends on a timer. The first delivery
+  // that lands executes the transaction; `done` de-duplicates later copies
+  // (the pool would reject the duplicate nonce anyway). The retry events
+  // hold only a weak reference so abandoning the call frees everything.
+  auto attempt = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_attempt = attempt;
+  *attempt = [this, call, weak_attempt, sender, from, to, value,
+              data = std::move(data), gas_limit, wire_bytes, deadline_ms] {
+    if (call->done || call->cancelled) return;
+    transport_->Deliver(
+        sender, kChainEndpoint, wire_bytes,
+        [this, call, from, to, value, data, gas_limit] {
+          if (call->done || call->cancelled) return;
+          // Block timestamps follow the virtual clock: the chain's time is
+          // pulled up to the delivery instant before the transaction mines.
+          chain_->AdvanceTimeTo(run_start_ts_ +
+                                (sched_->NowMs() - base_virtual_ms_) / 1000);
+          call->result = chain_->Execute(from, to, value, data, gas_limit);
+          call->done = true;
+        });
+    uint64_t next = sched_->NowMs() + timing_.tx_retry_ms;
+    if (next < deadline_ms) {
+      sched_->ScheduleAt(next, [weak_attempt] {
+        if (auto fn = weak_attempt.lock()) (*fn)();
+      });
+    }
+  };
+  (*attempt)();
+  sched_->RunUntil(deadline_ms, [call] { return call->done; });
+  if (!call->done) {
+    call->cancelled = true;
+    return Status::FailedPrecondition(
+        "transaction from " + sender + " missed its deadline (virtual t=" +
+        std::to_string(deadline_ms) + "ms)");
+  }
+  return *call->result;
+}
+
 Result<chain::Receipt> BettingProtocol::Transact(
     const secp256k1::PrivateKey& from, std::optional<Address> to,
-    const U256& value, Bytes data, uint64_t gas_limit, Stage stage) {
+    const U256& value, Bytes data, uint64_t gas_limit, Stage stage,
+    uint64_t deadline_ms) {
   size_t data_size = data.size();
-  ONOFF_ASSIGN_OR_RETURN(
-      chain::Receipt receipt,
-      chain_->Execute(from, to, value, std::move(data), gas_limit));
-  StageCounter(stage, "gas_used")->Inc(receipt.gas_used);
+  Result<chain::Receipt> receipt =
+      sched_ == nullptr
+          ? chain_->Execute(from, to, value, std::move(data), gas_limit)
+          : ExecuteViaSim(from, to, value, std::move(data), gas_limit,
+                          deadline_ms);
+  if (!receipt.ok()) return receipt;
+  StageCounter(stage, "gas_used")->Inc(receipt->gas_used);
   StageCounter(stage, "onchain_bytes")->Inc(data_size);
   StageCounter(stage, "transactions")->Inc();
   return receipt;
@@ -152,6 +244,8 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
   ProtocolReport report;
   StageSpans spans;
   uint64_t now = chain_->Now();
+  run_start_ts_ = now;
+  base_virtual_ms_ = sched_ != nullptr ? sched_->NowMs() : 0;
 
   contracts::BettingConfig betting;
   betting.alice = alice_.EthAddress();
@@ -174,7 +268,8 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
   // Rule 1: Alice deploys the on-chain contract before T0.
   ONOFF_ASSIGN_OR_RETURN(chain::Receipt deploy_receipt,
                          Transact(alice_, std::nullopt, U256(), onchain_init,
-                                  4'000'000, Stage::kDeploySign));
+                                  4'000'000, Stage::kDeploySign,
+                                  VirtualMs(betting.t1)));
   if (!deploy_receipt.success || deploy_receipt.contract_address.IsZero()) {
     return Status::Internal("on-chain contract deployment failed");
   }
@@ -220,6 +315,15 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
     return report;
   }
 
+  // Sim-bound: wait for the signed copies to cross the wire (or for T1 to
+  // pass — a dropped copy aborts the game below, before any money moves).
+  if (sched_ != nullptr) {
+    sched_->RunUntil(VirtualMs(betting.t1), [this] {
+      return bus_->PendingFor(alice_.EthAddress()) > 0 &&
+             bus_->PendingFor(bob_.EthAddress()) > 0;
+    });
+  }
+
   // Receive + verify the counterparty's signature; assemble the full copy.
   SignedCopy copy(offchain_init);
   auto ingest = [&](const secp256k1::PrivateKey& me,
@@ -250,36 +354,44 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
   spans.Enter(Stage::kSubmitChallenge);
   bool alice_deposited = false;
   bool bob_deposited = false;
+  // A deposit that misses the T1 window on the simulated network is simply
+  // a missing deposit (the refund rules below apply); every other failure
+  // is a real error.
+  auto deposit = [&](const secp256k1::PrivateKey& who,
+                     bool* deposited) -> Status {
+    Result<chain::Receipt> r =
+        Transact(who, onchain, deposit_amount_, contracts::DepositCalldata(),
+                 300'000, Stage::kSubmitChallenge, VirtualMs(betting.t1));
+    if (r.ok()) {
+      *deposited = r->success;
+      return Status::OK();
+    }
+    if (sched_ != nullptr && IsDeadlineMiss(r.status())) return Status::OK();
+    return r.status();
+  };
   if (alice_behavior.make_deposit) {
-    ONOFF_ASSIGN_OR_RETURN(
-        chain::Receipt r,
-        Transact(alice_, onchain, deposit_amount_,
-                 contracts::DepositCalldata(), 300'000,
-                 Stage::kSubmitChallenge));
-    alice_deposited = r.success;
+    ONOFF_RETURN_NOT_OK(deposit(alice_, &alice_deposited));
   }
   if (bob_behavior.make_deposit) {
-    ONOFF_ASSIGN_OR_RETURN(
-        chain::Receipt r,
-        Transact(bob_, onchain, deposit_amount_, contracts::DepositCalldata(),
-                 300'000, Stage::kSubmitChallenge));
-    bob_deposited = r.success;
+    ONOFF_RETURN_NOT_OK(deposit(bob_, &bob_deposited));
   }
 
   if (!alice_deposited || !bob_deposited) {
     // Rule 2/3: whoever deposited takes a refund (round one before T1 or
     // round two between T1 and T2).
-    chain_->AdvanceTimeTo(betting.t1);
+    AdvanceChainTo(betting.t1);
     if (alice_deposited) {
       ONOFF_RETURN_NOT_OK(Transact(alice_, onchain, U256(),
                                    contracts::RefundRoundTwoCalldata(),
-                                   300'000, Stage::kSubmitChallenge)
+                                   300'000, Stage::kSubmitChallenge,
+                                   VirtualMs(betting.t2))
                               .status());
     }
     if (bob_deposited) {
       ONOFF_RETURN_NOT_OK(Transact(bob_, onchain, U256(),
                                    contracts::RefundRoundTwoCalldata(),
-                                   300'000, Stage::kSubmitChallenge)
+                                   300'000, Stage::kSubmitChallenge,
+                                   VirtualMs(betting.t2))
                               .status());
     }
     report.settlement = Settlement::kRefunded;
@@ -289,7 +401,7 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
 
   // Rule 4: after T2 both participants execute the off-chain contract
   // locally (each on their own private EVM) and reach unanimous agreement.
-  chain_->AdvanceTimeTo(betting.t2);
+  AdvanceChainTo(betting.t2);
   auto run_locally = [&](const secp256k1::PrivateKey& who) -> Result<bool> {
     chain::Blockchain local;  // private local chain, never published
     local.FundAccount(who.EthAddress(), contracts::Ether(1));
@@ -318,13 +430,23 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
 
   U256 winner_before = chain_->GetBalance(winner.EthAddress());
 
+  bool reassigned = false;
   if (loser_behavior.admit_loss) {
     // Optimistic path: the loser calls reassign() before T3.
-    ONOFF_ASSIGN_OR_RETURN(
-        chain::Receipt r,
+    Result<chain::Receipt> r =
         Transact(loser, onchain, U256(), contracts::ReassignCalldata(),
-                 300'000, Stage::kSubmitChallenge));
-    if (!r.success) return Status::Internal("reassign unexpectedly failed");
+                 300'000, Stage::kSubmitChallenge, VirtualMs(betting.t3));
+    if (r.ok() && r->success) {
+      reassigned = true;
+    } else if (sched_ == nullptr) {
+      if (!r.ok()) return r.status();
+      return Status::Internal("reassign unexpectedly failed");
+    }
+    // Sim-bound and not reassigned: the admission was dropped or delivered
+    // after T3 (the contract's time guard reverted it) — the protocol now
+    // plays out exactly as if the loser had gone silent.
+  }
+  if (reassigned) {
     report.settlement = Settlement::kOptimistic;
     report.private_bytes_revealed = 0;
     U256 winner_after = chain_->GetBalance(winner.EthAddress());
@@ -335,7 +457,11 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
 
   // ---- Stage 4: dispute/resolve ----
   spans.Enter(Stage::kDisputeResolve);
-  chain_->AdvanceTimeTo(betting.t3);
+  AdvanceChainTo(betting.t3);
+  uint64_t dispute_open_ms = sched_ != nullptr ? sched_->NowMs() : 0;
+  // The challenge period: the winner's window to reach the chain.
+  uint64_t dispute_deadline_ms =
+      VirtualMs(betting.t3) + timing_.challenge_period_ms;
   if (!winner_behavior.pursue_dispute) {
     // Nobody enforces: the pot stays locked. (Modelled for completeness.)
     report.settlement = Settlement::kDisputed;
@@ -350,11 +476,19 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
   Bytes dispute_calldata = contracts::DeployVerifiedInstanceCalldata(
       copy.bytecode(), sig_a.v, sig_a.r, sig_a.s, sig_b.v, sig_b.r, sig_b.s);
   report.private_bytes_revealed = dispute_calldata.size();
-  ONOFF_ASSIGN_OR_RETURN(
-      chain::Receipt deploy_r,
+  Result<chain::Receipt> deploy_r =
       Transact(winner, onchain, U256(), std::move(dispute_calldata),
-               6'000'000, Stage::kDisputeResolve));
-  if (!deploy_r.success) {
+               6'000'000, Stage::kDisputeResolve, dispute_deadline_ms);
+  if (!deploy_r.ok() || !deploy_r->success) {
+    if (sched_ != nullptr && !deploy_r.ok() &&
+        IsDeadlineMiss(deploy_r.status())) {
+      // The reveal never reached the chain: nothing became public.
+      report.private_bytes_revealed = 0;
+      report.settlement = Settlement::kDisputeTimedOut;
+      report.correct_payout = false;
+      return report;
+    }
+    if (!deploy_r.ok()) return deploy_r.status();
     return Status::Internal("deployVerifiedInstance failed");
   }
   Address instance = Address::FromWord(chain_->GetStorage(
@@ -363,18 +497,27 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
   StageCounter(Stage::kDisputeResolve, "onchain_bytes")
       ->Inc(chain_->GetCode(instance).size());
 
-  ONOFF_ASSIGN_OR_RETURN(
-      chain::Receipt resolve_r,
-      Transact(winner, instance,
-               U256(), contracts::ReturnDisputeResolutionCalldata(onchain),
-               6'000'000, Stage::kDisputeResolve));
-  if (!resolve_r.success) {
+  Result<chain::Receipt> resolve_r =
+      Transact(winner, instance, U256(),
+               contracts::ReturnDisputeResolutionCalldata(onchain), 6'000'000,
+               Stage::kDisputeResolve, dispute_deadline_ms);
+  if (!resolve_r.ok() || !resolve_r->success) {
+    if (sched_ != nullptr && !resolve_r.ok() &&
+        IsDeadlineMiss(resolve_r.status())) {
+      // The instance is deployed (bytecode revealed) but the resolution
+      // never landed inside the window: the pot stays locked.
+      report.settlement = Settlement::kDisputeTimedOut;
+      report.correct_payout = false;
+      return report;
+    }
+    if (!resolve_r.ok()) return resolve_r.status();
     return Status::Internal("returnDisputeResolution failed");
   }
 
   report.settlement = Settlement::kDisputed;
+  if (sched_ != nullptr) report.dispute_ms = sched_->NowMs() - dispute_open_ms;
   U256 winner_after = chain_->GetBalance(winner.EthAddress());
-  U256 spent(deploy_r.gas_used + resolve_r.gas_used);
+  U256 spent(deploy_r->gas_used + resolve_r->gas_used);
   report.correct_payout =
       winner_after + spent == winner_before + deposit_amount_ * U256(2);
   return report;

@@ -30,6 +30,8 @@
 #include "obs/metrics.h"
 #include "onoff/message_bus.h"
 #include "onoff/signed_copy.h"
+#include "sim/scheduler.h"
+#include "sim/transport.h"
 #include "support/status.h"
 
 namespace onoff::core {
@@ -70,6 +72,10 @@ enum class Settlement {
   kRefunded,          // deposits returned via refundRoundOne/Two
   kOptimistic,        // loser called reassign(); off-chain content stayed private
   kDisputed,          // winner forced resolution via the verified instance
+  kDisputeTimedOut,   // sim-bound runs only: the winner's dispute
+                      // transactions did not reach the chain within the
+                      // challenge period (latency/loss/partition) — the pot
+                      // stays locked, the paper's liveness assumption broken
 };
 
 const char* SettlementName(Settlement settlement);
@@ -85,6 +91,9 @@ struct ProtocolReport {
   size_t private_bytes_revealed = 0;
   Address onchain_contract;
   Address verified_instance;
+  // Sim-bound runs only: virtual ms from the T3 deadline until dispute
+  // resolution completed (0 when no dispute ran or the run was unbound).
+  uint64_t dispute_ms = 0;
 
   uint64_t TotalGas() const {
     uint64_t total = 0;
@@ -103,6 +112,14 @@ struct ProtocolTiming {
   uint64_t t1_offset = 100;
   uint64_t t2_offset = 200;
   uint64_t t3_offset = 300;
+  // Sim-bound runs only. The challenge period: how long (virtual ms) past
+  // T3 the winner's dispute transactions may take to reach the chain before
+  // the run is declared lost (kDisputeTimedOut). The paper assumes this
+  // window always suffices; the simulator makes it a measured quantity.
+  uint64_t challenge_period_ms = 60'000;
+  // Retransmission interval for unacknowledged transactions (the sender
+  // cannot see in-flight losses, so it re-sends until its deadline).
+  uint64_t tx_retry_ms = 250;
 };
 
 class BettingProtocol {
@@ -111,6 +128,17 @@ class BettingProtocol {
                   secp256k1::PrivateKey alice, secp256k1::PrivateKey bob,
                   contracts::OffchainConfig offchain_template,
                   U256 deposit_amount, ProtocolTiming timing = {});
+
+  // Binds the run to simulated time: participant→chain transactions travel
+  // through `transport` (endpoints: the participant's address hex → the
+  // reserved name "chain"), T1..T3 become deadlines on the virtual clock,
+  // and block timestamps follow it. A transaction that cannot reach the
+  // chain inside its rule's window plays out exactly as if the sender had
+  // gone silent: a late reassign() escalates to the dispute path, a late
+  // dispute settles kDisputeTimedOut. Pass nullptrs to restore the
+  // synchronous behaviour. The scheduler's clock zero is mapped to the
+  // chain's Now() when Run() starts.
+  void BindSimulation(sim::Scheduler* scheduler, sim::Transport* transport);
 
   // Executes the whole lifecycle under the given behaviours.
   Result<ProtocolReport> Run(const Behavior& alice_behavior,
@@ -123,11 +151,28 @@ class BettingProtocol {
                                  const Behavior& bob_behavior);
 
   // Sends a transaction (nullopt `to` = contract creation) and accumulates
-  // its stats under `stage` in stage_registry_.
+  // its stats under `stage` in stage_registry_. Unbound, `deadline_ms` is
+  // ignored; sim-bound, the transaction travels through the transport with
+  // retransmission until the absolute virtual-time deadline, and missing it
+  // returns StatusCode::kFailedPrecondition.
   Result<chain::Receipt> Transact(const secp256k1::PrivateKey& from,
                                   std::optional<Address> to,
                                   const U256& value, Bytes data,
-                                  uint64_t gas_limit, Stage stage);
+                                  uint64_t gas_limit, Stage stage,
+                                  uint64_t deadline_ms = 0);
+
+  // Sim-bound transaction submission (see Transact).
+  Result<chain::Receipt> ExecuteViaSim(const secp256k1::PrivateKey& from,
+                                       std::optional<Address> to,
+                                       const U256& value, Bytes data,
+                                       uint64_t gas_limit,
+                                       uint64_t deadline_ms);
+
+  // Maps a chain timestamp (unix seconds) to absolute virtual ms.
+  uint64_t VirtualMs(uint64_t unix_ts) const;
+  // Waits out the virtual clock to `unix_ts` (delivering whatever is in
+  // flight) and advances the chain clock to match.
+  void AdvanceChainTo(uint64_t unix_ts);
 
   // The per-stage instrument "stage.<index>.<field>" in stage_registry_.
   obs::Counter* StageCounter(Stage stage, const char* field);
@@ -142,6 +187,13 @@ class BettingProtocol {
   // Per-run stage ledger. Always on (independent of ONOFF_METRICS) so the
   // StageReport view stays exact; reset at the top of every Run().
   obs::Registry stage_registry_;
+  // Simulation binding (nullptr = synchronous).
+  sim::Scheduler* sched_ = nullptr;
+  sim::Transport* transport_ = nullptr;
+  // Mapping between chain unix seconds and the virtual clock, fixed at the
+  // top of RunImpl so one protocol instance can run on a reused scheduler.
+  uint64_t run_start_ts_ = 0;
+  uint64_t base_virtual_ms_ = 0;
 };
 
 }  // namespace onoff::core

@@ -1,0 +1,60 @@
+// Composable link models for one directed link. A LinkConfig composes four
+// orthogonal effects per message:
+//
+//   latency_ms      fixed one-way propagation delay
+//   jitter_ms       + uniform extra delay in [0, jitter_ms]
+//   loss            probabilistic drop (per message, i.i.d.)
+//   bytes_per_ms    bandwidth: + payload_bytes / bytes_per_ms serialisation
+//                   delay (0 = infinite bandwidth, no size-dependent term)
+//
+// The default-constructed config is the identity link — zero delay, no loss
+// — which is what makes the synchronous pre-sim behaviour the zero-latency
+// special case of the simulated one.
+
+#ifndef ONOFFCHAIN_SIM_LINK_H_
+#define ONOFFCHAIN_SIM_LINK_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/rng.h"
+
+namespace onoff::sim {
+
+struct LinkConfig {
+  uint64_t latency_ms = 0;
+  uint64_t jitter_ms = 0;
+  double loss = 0.0;
+  uint64_t bytes_per_ms = 0;
+};
+
+// Samples per-message fate on one directed link, consuming the link's own
+// RNG stream (so two links never perturb each other's draws).
+class Link {
+ public:
+  Link() : rng_(0) {}
+  Link(LinkConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+  // nullopt = the message was lost; otherwise the one-way delay in virtual
+  // milliseconds for a message of `bytes` payload.
+  std::optional<uint64_t> SampleDelay(size_t bytes) {
+    // Always consume the jitter draw so loss does not shift later samples
+    // relative to a loss-free run with the same seed.
+    uint64_t jitter =
+        config_.jitter_ms > 0 ? rng_.NextBelow(config_.jitter_ms + 1) : 0;
+    if (rng_.Chance(config_.loss)) return std::nullopt;
+    uint64_t delay = config_.latency_ms + jitter;
+    if (config_.bytes_per_ms > 0) delay += bytes / config_.bytes_per_ms;
+    return delay;
+  }
+
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  LinkConfig config_;
+  Rng rng_;
+};
+
+}  // namespace onoff::sim
+
+#endif  // ONOFFCHAIN_SIM_LINK_H_

@@ -1,0 +1,95 @@
+// Deterministic, seedable PRNG for the simulator (xoshiro256** seeded via
+// splitmix64). The determinism contract of src/sim/ requires that identical
+// seeds replay byte-identical runs on every platform, so simulator code must
+// never touch std::mt19937 (unspecified distributions), random_device or
+// wall-clock entropy. Streams for independent components (one per directed
+// link, one per trial) are derived by hashing, not by sharing, so the
+// outcome of one link never depends on how often another link was used.
+
+#ifndef ONOFFCHAIN_SIM_RNG_H_
+#define ONOFFCHAIN_SIM_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace onoff::sim {
+
+// One step of splitmix64 — the seed expander recommended by the xoshiro
+// authors, also usable as a cheap integer mix.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over a string — used to derive per-link stream ids from endpoint
+// names deterministically and order-independently.
+inline uint64_t HashName(std::string_view name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// xoshiro256**: fast, 2^256-1 period, passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(&sm);
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n); 0 when n == 0. Lemire-style multiply-shift — biased
+  // by at most 2^-64, which is irrelevant for fault sampling.
+  uint64_t NextBelow(uint64_t n) {
+    if (n == 0) return 0;
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * n) >> 64);
+  }
+
+  // Uniform in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p (p <= 0 never, p >= 1 always).
+  bool Chance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return NextDouble() < p;
+  }
+
+  // Derives an independent deterministic stream: same (seed, stream) always
+  // yields the same generator, regardless of how much this one was used.
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    uint64_t sm = seed;
+    (void)SplitMix64(&sm);  // decouple from Rng(seed) itself
+    return Rng(SplitMix64(&sm) ^ stream);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace onoff::sim
+
+#endif  // ONOFFCHAIN_SIM_RNG_H_

@@ -1,0 +1,52 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace onoff::sim {
+
+void Scheduler::ScheduleAt(uint64_t at_ms, EventFn fn) {
+  if (at_ms < now_ms_) at_ms = now_ms_;
+  queue_.push(Event{at_ms, seq_++, std::move(fn)});
+}
+
+void Scheduler::RunTop() {
+  // priority_queue::top() is const; the handler is moved out via const_cast
+  // (safe: the element is popped before the handler runs).
+  Event ev;
+  ev.due_ms = queue_.top().due_ms;
+  ev.seq = queue_.top().seq;
+  ev.fn = std::move(const_cast<Event&>(queue_.top()).fn);
+  queue_.pop();
+  if (ev.due_ms > now_ms_) now_ms_ = ev.due_ms;
+  ++executed_;
+  static obs::Counter* events = obs::GetCounterOrNull("sim.events_executed");
+  if (events != nullptr) events->Inc();
+  ev.fn();
+}
+
+bool Scheduler::Step() {
+  if (queue_.empty()) return false;
+  RunTop();
+  return true;
+}
+
+uint64_t Scheduler::RunUntil(uint64_t until_ms,
+                             const std::function<bool()>& stop) {
+  if (stop && stop()) return now_ms_;
+  while (!queue_.empty() && queue_.top().due_ms <= until_ms) {
+    RunTop();
+    if (stop && stop()) return now_ms_;
+  }
+  if (until_ms > now_ms_) now_ms_ = until_ms;
+  return now_ms_;
+}
+
+size_t Scheduler::RunAll(size_t max_events) {
+  size_t ran = 0;
+  while (ran < max_events && Step()) ++ran;
+  return ran;
+}
+
+}  // namespace onoff::sim

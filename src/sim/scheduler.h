@@ -1,0 +1,81 @@
+// The discrete-event core of the network simulator: a monotonic virtual
+// clock in milliseconds and a priority event queue. Events scheduled for the
+// same instant run in insertion order (a strict (due, sequence) ordering),
+// so a run is a pure function of the seed and the schedule — no wall time,
+// no thread interleaving, no iteration-order dependence.
+//
+// Virtual milliseconds are the simulator's native unit; chain timestamps
+// (unix seconds) map onto them via an offset chosen by the harness (the
+// protocol driver maps T1..T3 as (t - run_start) * 1000).
+
+#ifndef ONOFFCHAIN_SIM_SCHEDULER_H_
+#define ONOFFCHAIN_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace onoff::sim {
+
+class Scheduler {
+ public:
+  using EventFn = std::function<void()>;
+
+  // The virtual clock. Starts at 0, only moves forward.
+  uint64_t NowMs() const { return now_ms_; }
+
+  // Schedules `fn` at absolute virtual time `at_ms` (clamped to NowMs() —
+  // the past is immutable; such events run "immediately next").
+  void ScheduleAt(uint64_t at_ms, EventFn fn);
+  void ScheduleAfter(uint64_t delay_ms, EventFn fn) {
+    ScheduleAt(now_ms_ + delay_ms, std::move(fn));
+  }
+
+  // Runs the single next event (advancing the clock to its due time).
+  // Returns false when the queue is empty.
+  bool Step();
+
+  // Runs every event due at or before `until_ms`, in (due, insertion)
+  // order. The clock lands on each event's due time as it runs; when no
+  // eligible events remain the clock advances to `until_ms` (waiting out
+  // the remainder of the window). If `stop` is non-null it is checked
+  // before the first event and after every event; once it returns true the
+  // run returns immediately WITHOUT advancing the clock further — this is
+  // how a caller waits "until my delivery lands or the deadline passes".
+  // Returns NowMs() at exit.
+  uint64_t RunUntil(uint64_t until_ms,
+                    const std::function<bool()>& stop = nullptr);
+
+  // Drains the queue (new events scheduled by running events included), up
+  // to `max_events` as a runaway guard. Returns how many events ran.
+  size_t RunAll(size_t max_events = 1u << 20);
+
+  size_t PendingEvents() const { return queue_.size(); }
+  uint64_t EventsExecuted() const { return executed_; }
+
+ private:
+  struct Event {
+    uint64_t due_ms;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.due_ms != b.due_ms) return a.due_ms > b.due_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the top event, advancing the clock.
+  void RunTop();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t now_ms_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace onoff::sim
+
+#endif  // ONOFFCHAIN_SIM_SCHEDULER_H_

@@ -4,6 +4,8 @@
 
 #include "contracts/betting.h"  // Ether()
 #include "easm/assembler.h"
+#include "sim/scheduler.h"
+#include "sim/transport.h"
 
 namespace onoff::chain {
 namespace {
@@ -142,6 +144,141 @@ TEST_F(NetworkTest, ContractStatePropagates) {
     EXPECT_EQ(r->chain().GetStorage(contract, U256(0)), U256(42));
     EXPECT_EQ(r->chain().GetCode(contract).size(), 6u);
   }
+}
+
+TEST_F(NetworkTest, InstantTransportMatchesSynchronousBroadcast) {
+  // The zero-latency transport is the pre-sim behaviour: the return value
+  // still counts deliveries because they land synchronously.
+  net_.SetTransport(sim::DefaultInstantTransport());
+  ASSERT_TRUE(producer_->SubmitTransaction(Transfer(0, Ether(1))).ok());
+  EXPECT_EQ(net_.ProduceAndBroadcast(producer_.get()), 3u);
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->HeadHash(), producer_->HeadHash());
+  }
+}
+
+TEST_F(NetworkTest, SimTransportDefersGossipUntilSchedulerRuns) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  sim::LinkConfig cfg;
+  cfg.latency_ms = 80;
+  transport.SetDefaultLink(cfg);
+  net_.SetTransport(&transport);
+
+  ASSERT_TRUE(producer_->SubmitTransaction(Transfer(0, Ether(1))).ok());
+  net_.ProduceAndBroadcast(producer_.get());
+  // Nothing has arrived yet: the blocks are on the wire.
+  for (auto& r : replicas_) EXPECT_EQ(r->Height(), 0u);
+  sched.RunAll();
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->Height(), 1u);
+    EXPECT_EQ(r->HeadHash(), producer_->HeadHash());
+  }
+  EXPECT_EQ(transport.stats().delivered, 3u);
+  EXPECT_EQ(sched.NowMs(), 80u);
+}
+
+TEST_F(NetworkTest, TamperedBlockOverSimTransportRejectedWithoutCorruption) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  net_.SetTransport(&transport);
+
+  ASSERT_TRUE(producer_->SubmitTransaction(Transfer(0, Ether(1))).ok());
+  Block block = producer_->ProduceBlock();
+  Block forged = block;
+  forged.transactions[0].value = Ether(50);
+  net_.BroadcastBlock(producer_.get(), forged);
+  sched.RunAll();
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->Height(), 0u);
+    EXPECT_EQ(r->rejected_blocks(), 1u);
+    EXPECT_EQ(r->chain().GetBalance(bob_.EthAddress()), Ether(100));
+  }
+  net_.BroadcastBlock(producer_.get(), block);
+  sched.RunAll();
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->HeadHash(), producer_->HeadHash());
+  }
+}
+
+TEST_F(NetworkTest, CrashedReplicaCatchesUpViaSyncFrom) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  net_.SetTransport(&transport);
+  transport.Crash("replica0");
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(producer_->SubmitTransaction(Transfer(i, Ether(1))).ok());
+    net_.ProduceAndBroadcast(producer_.get());
+    sched.RunAll();
+  }
+  EXPECT_EQ(replicas_[0]->Height(), 0u);  // missed every block
+  EXPECT_EQ(replicas_[1]->Height(), 3u);
+
+  transport.Restart("replica0");
+  auto applied = net_.CatchUp(replicas_[0].get(), *producer_);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(*applied, 3u);
+  EXPECT_EQ(replicas_[0]->HeadHash(), producer_->HeadHash());
+  // A second catch-up finds nothing to apply.
+  applied = net_.CatchUp(replicas_[0].get(), *producer_);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 0u);
+}
+
+TEST_F(NetworkTest, SameSeedRunsAreIdentical) {
+  // The determinism contract: identical seeds replay identical runs —
+  // same head hashes, same heights, same transport stats.
+  auto run = [this](uint64_t seed) {
+    GenesisAlloc alloc = alloc_;
+    Node producer("producer", ChainConfig{}, alloc);
+    std::vector<std::unique_ptr<Node>> replicas;
+    Network net;
+    net.AddNode(&producer);
+    for (int i = 0; i < 3; ++i) {
+      replicas.push_back(std::make_unique<Node>("replica" + std::to_string(i),
+                                                ChainConfig{}, alloc));
+      net.AddNode(replicas.back().get());
+    }
+    sim::Scheduler sched;
+    sim::SimTransport transport(&sched, seed);
+    sim::LinkConfig cfg;
+    cfg.latency_ms = 40;
+    cfg.jitter_ms = 60;
+    cfg.loss = 0.3;
+    transport.SetDefaultLink(cfg);
+    net.SetTransport(&transport);
+    for (int i = 0; i < 5; ++i) {
+      Transaction tx = Transfer(i, Ether(1));
+      EXPECT_TRUE(producer.SubmitTransaction(tx).ok());
+      net.ProduceAndBroadcast(&producer);
+      sched.RunAll();
+    }
+    struct Outcome {
+      std::vector<uint64_t> heights;
+      std::vector<Hash32> heads;
+      sim::SimTransport::Stats stats;
+      uint64_t clock;
+    } out;
+    for (auto& r : replicas) {
+      out.heights.push_back(r->Height());
+      out.heads.push_back(r->HeadHash());
+    }
+    out.stats = transport.stats();
+    out.clock = sched.NowMs();
+    return out;
+  };
+  auto a = run(1337), b = run(1337), c = run(7331);
+  EXPECT_EQ(a.heights, b.heights);
+  EXPECT_EQ(a.heads, b.heads);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.stats.sent, b.stats.sent);
+  EXPECT_EQ(a.stats.delivered, b.stats.delivered);
+  EXPECT_EQ(a.stats.dropped_loss, b.stats.dropped_loss);
+  EXPECT_EQ(a.stats.delay_ms_sum, b.stats.delay_ms_sum);
+  // With 30% loss some replica must have missed at least one block in one
+  // of the seeds; the two seeds should not produce identical traffic.
+  EXPECT_NE(a.stats.delay_ms_sum, c.stats.delay_ms_sum);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/scheduler.h"
+#include "sim/transport.h"
+
 namespace onoff::core {
 namespace {
 
@@ -62,6 +65,8 @@ TEST(MessageBusTest, DropHook) {
   EXPECT_EQ(bus.PendingFor(Addr(3)), 1u);
   // Dropped messages still count as sent (sender-side accounting).
   EXPECT_EQ(bus.messages_sent(), 2u);
+  EXPECT_EQ(bus.messages_dropped(), 1u);
+  EXPECT_EQ(bus.bytes_dropped(), BytesOf("lost").size());
 }
 
 TEST(MessageBusTest, TamperHook) {
@@ -69,6 +74,55 @@ TEST(MessageBusTest, TamperHook) {
   bus.set_tamper_hook([](Message& m) { m.payload = BytesOf("evil"); });
   bus.Send({Addr(1), Addr(2), "t", BytesOf("good")});
   EXPECT_EQ(bus.Receive(Addr(2), "t")->payload, BytesOf("evil"));
+  EXPECT_EQ(bus.messages_tampered(), 1u);
+  EXPECT_EQ(bus.messages_dropped(), 0u);
+}
+
+TEST(MessageBusTest, AccountingStartsAtZero) {
+  MessageBus bus;
+  EXPECT_EQ(bus.messages_dropped(), 0u);
+  EXPECT_EQ(bus.bytes_dropped(), 0u);
+  EXPECT_EQ(bus.messages_tampered(), 0u);
+}
+
+TEST(MessageBusTest, TransportDefersDelivery) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 1);
+  sim::LinkConfig cfg;
+  cfg.latency_ms = 30;
+  transport.SetDefaultLink(cfg);
+  MessageBus bus;
+  bus.SetTransport(&transport);
+  bus.Send({Addr(1), Addr(2), "t", BytesOf("later")});
+  EXPECT_EQ(bus.PendingFor(Addr(2)), 0u);  // still on the wire
+  sched.RunAll();
+  EXPECT_EQ(sched.NowMs(), 30u);
+  EXPECT_EQ(bus.PendingFor(Addr(2)), 1u);
+  EXPECT_EQ(bus.Receive(Addr(2), "t")->payload, BytesOf("later"));
+}
+
+TEST(MessageBusTest, TransportSendTimeRejectionCountsAsDropped) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 1);
+  sim::LinkConfig cfg;
+  cfg.loss = 1.0;
+  transport.SetDefaultLink(cfg);
+  MessageBus bus;
+  bus.SetTransport(&transport);
+  bus.Send({Addr(1), Addr(2), "t", BytesOf("gone")});
+  sched.RunAll();
+  EXPECT_EQ(bus.PendingFor(Addr(2)), 0u);
+  EXPECT_EQ(bus.messages_sent(), 1u);
+  EXPECT_EQ(bus.messages_dropped(), 1u);
+  EXPECT_EQ(bus.bytes_dropped(), BytesOf("gone").size());
+}
+
+TEST(MessageBusTest, InstantTransportMatchesSynchronousDelivery) {
+  MessageBus bus;
+  bus.SetTransport(sim::DefaultInstantTransport());
+  bus.Send({Addr(1), Addr(2), "t", BytesOf("now")});
+  // No scheduler involved: the zero-latency special case lands immediately.
+  EXPECT_EQ(bus.PendingFor(Addr(2)), 1u);
 }
 
 }  // namespace

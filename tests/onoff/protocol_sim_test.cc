@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "onoff/protocol.h"
+#include "sim/scheduler.h"
+#include "sim/transport.h"
+
+namespace onoff::core {
+namespace {
+
+using contracts::Ether;
+using secp256k1::PrivateKey;
+
+// The protocol under simulated time. The timing template puts T1/T2/T3 at
+// +100s/+200s/+300s of chain time, i.e. virtual ms 100'000/200'000/300'000
+// relative to the start of the run.
+class ProtocolSimTest : public ::testing::Test {
+ protected:
+  ProtocolSimTest()
+      : alice_(PrivateKey::FromSeed("alice")),
+        bob_(PrivateKey::FromSeed("bob")) {
+    chain_.FundAccount(alice_.EthAddress(), Ether(10));
+    chain_.FundAccount(bob_.EthAddress(), Ether(10));
+    offchain_.secret_alice = U256(0xa11ce);
+    offchain_.secret_bob = U256(0xb0b);
+    offchain_.reveal_iterations = 20;
+  }
+
+  // Who loses this configuration's bet (decides which link to slow down).
+  Address LoserAddress() {
+    contracts::OffchainConfig cfg = offchain_;
+    cfg.alice = alice_.EthAddress();
+    cfg.bob = bob_.EthAddress();
+    return contracts::ComputeWinner(cfg) ? alice_.EthAddress()
+                                         : bob_.EthAddress();
+  }
+
+  chain::Blockchain chain_;
+  MessageBus bus_;
+  PrivateKey alice_;
+  PrivateKey bob_;
+  contracts::OffchainConfig offchain_;
+};
+
+TEST_F(ProtocolSimTest, ZeroLatencySimMatchesSynchronousRun) {
+  // Identity links: the simulated run must reproduce the synchronous one —
+  // same settlement, same gas, nothing revealed.
+  chain::Blockchain sync_chain;
+  sync_chain.FundAccount(alice_.EthAddress(), Ether(10));
+  sync_chain.FundAccount(bob_.EthAddress(), Ether(10));
+  MessageBus sync_bus;
+  BettingProtocol sync_protocol(&sync_chain, &sync_bus, alice_, bob_,
+                                offchain_, Ether(1));
+  auto sync_report = sync_protocol.Run(Behavior{}, Behavior{});
+  ASSERT_TRUE(sync_report.ok());
+
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);  // default link = identity
+  BettingProtocol protocol(&chain_, &bus_, alice_, bob_, offchain_, Ether(1));
+  protocol.BindSimulation(&sched, &transport);
+  auto report = protocol.Run(Behavior{}, Behavior{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->settlement, Settlement::kOptimistic);
+  EXPECT_EQ(report->settlement, sync_report->settlement);
+  EXPECT_EQ(report->TotalGas(), sync_report->TotalGas());
+  EXPECT_EQ(report->TotalOnchainBytes(), sync_report->TotalOnchainBytes());
+  EXPECT_EQ(report->bob_won, sync_report->bob_won);
+  EXPECT_TRUE(report->correct_payout);
+  EXPECT_EQ(report->private_bytes_revealed, 0u);
+}
+
+TEST_F(ProtocolSimTest, DisputeSucceedsWithinChallengePeriod) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  sim::LinkConfig cfg;
+  cfg.latency_ms = 1000;  // well under the 60s default challenge period
+  transport.SetDefaultLink(cfg);
+  BettingProtocol protocol(&chain_, &bus_, alice_, bob_, offchain_, Ether(1));
+  protocol.BindSimulation(&sched, &transport);
+  Behavior dishonest;
+  dishonest.admit_loss = false;
+  auto report = protocol.Run(dishonest, dishonest);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->settlement, Settlement::kDisputed);
+  EXPECT_TRUE(report->correct_payout);
+  // Two dispute transactions, one RTT each on the 1000ms link.
+  EXPECT_EQ(report->dispute_ms, 2000u);
+  EXPECT_GT(report->private_bytes_revealed, 0u);
+}
+
+TEST_F(ProtocolSimTest, DisputeTimesOutWhenLatencyExceedsChallengePeriod) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  sim::LinkConfig cfg;
+  cfg.latency_ms = 5000;
+  transport.SetDefaultLink(cfg);
+  ProtocolTiming timing;
+  timing.challenge_period_ms = 3000;  // < one-way latency: cannot be met
+  BettingProtocol protocol(&chain_, &bus_, alice_, bob_, offchain_, Ether(1),
+                           timing);
+  protocol.BindSimulation(&sched, &transport);
+  Behavior dishonest;
+  dishonest.admit_loss = false;
+  auto report = protocol.Run(dishonest, dishonest);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->settlement, Settlement::kDisputeTimedOut);
+  EXPECT_FALSE(report->correct_payout);
+  // The reveal never reached the chain.
+  EXPECT_EQ(report->private_bytes_revealed, 0u);
+}
+
+TEST_F(ProtocolSimTest, LateReassignEscalatesToDispute) {
+  // The loser DOES admit the loss, but their link is so slow the admission
+  // cannot reach the chain before T3 (reassign is sent at T2+~0, 100s of
+  // virtual headroom; the link one-way delay is 150s). The contract's time
+  // guard arbitrates: the protocol must fall through to the dispute path
+  // and still pay the winner.
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  // The link degrades at virtual 150s — after the deposits (due by T1 =
+  // 100s) have landed, before reassign is sent (just past T2 = 200s).
+  sched.ScheduleAt(150'000, [&] {
+    sim::LinkConfig slow;
+    slow.latency_ms = 150'000;
+    transport.SetLink(LoserAddress().ToHex(), "chain", slow);
+  });
+  BettingProtocol protocol(&chain_, &bus_, alice_, bob_, offchain_, Ether(1));
+  protocol.BindSimulation(&sched, &transport);
+  auto report = protocol.Run(Behavior{}, Behavior{});  // everyone honest
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->settlement, Settlement::kDisputed);
+  EXPECT_TRUE(report->correct_payout);
+  EXPECT_GT(report->private_bytes_revealed, 0u);
+}
+
+TEST_F(ProtocolSimTest, RetransmissionRidesOutPartitionWithinWindow) {
+  // The chain is unreachable for the first 2s of the challenge period; the
+  // winner's retry loop keeps re-sending and wins once the partition heals.
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  // T3 is at virtual 300'000ms; isolate the chain across it.
+  transport.SchedulePartition(299'000, {"chain"}, 302'000);
+  BettingProtocol protocol(&chain_, &bus_, alice_, bob_, offchain_, Ether(1));
+  protocol.BindSimulation(&sched, &transport);
+  Behavior dishonest;
+  dishonest.admit_loss = false;
+  auto report = protocol.Run(dishonest, dishonest);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->settlement, Settlement::kDisputed);
+  EXPECT_TRUE(report->correct_payout);
+  // Resolution waited out the partition: at least 2s after T3.
+  EXPECT_GE(report->dispute_ms, 2000u);
+  EXPECT_LT(report->dispute_ms, 10'000u);
+}
+
+TEST_F(ProtocolSimTest, PartitionOutlastingChallengePeriodTimesOut) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  ProtocolTiming timing;
+  timing.challenge_period_ms = 5000;
+  // Partition covers [T3-1s, T3+10s] — the whole 5s challenge window.
+  transport.SchedulePartition(299'000, {"chain"}, 310'000);
+  BettingProtocol protocol(&chain_, &bus_, alice_, bob_, offchain_, Ether(1),
+                           timing);
+  protocol.BindSimulation(&sched, &transport);
+  Behavior dishonest;
+  dishonest.admit_loss = false;
+  auto report = protocol.Run(dishonest, dishonest);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->settlement, Settlement::kDisputeTimedOut);
+  EXPECT_FALSE(report->correct_payout);
+}
+
+TEST_F(ProtocolSimTest, SameSeedRunsProduceIdenticalReports) {
+  auto run = [this](uint64_t seed) {
+    chain::Blockchain chain;
+    chain.FundAccount(alice_.EthAddress(), Ether(10));
+    chain.FundAccount(bob_.EthAddress(), Ether(10));
+    MessageBus bus;
+    sim::Scheduler sched;
+    sim::SimTransport transport(&sched, seed);
+    sim::LinkConfig cfg;
+    cfg.latency_ms = 800;
+    cfg.jitter_ms = 900;
+    cfg.loss = 0.2;
+    transport.SetDefaultLink(cfg);
+    BettingProtocol protocol(&chain, &bus, alice_, bob_, offchain_, Ether(1));
+    protocol.BindSimulation(&sched, &transport);
+    Behavior dishonest;
+    dishonest.admit_loss = false;
+    auto report = protocol.Run(dishonest, dishonest);
+    EXPECT_TRUE(report.ok());
+    return *report;
+  };
+  ProtocolReport a = run(9001), b = run(9001);
+  EXPECT_EQ(a.settlement, b.settlement);
+  EXPECT_EQ(a.dispute_ms, b.dispute_ms);
+  EXPECT_EQ(a.TotalGas(), b.TotalGas());
+  EXPECT_EQ(a.TotalOnchainBytes(), b.TotalOnchainBytes());
+  EXPECT_EQ(a.private_bytes_revealed, b.private_bytes_revealed);
+}
+
+TEST_F(ProtocolSimTest, UnbindRestoresSynchronousBehaviour) {
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, 42);
+  BettingProtocol protocol(&chain_, &bus_, alice_, bob_, offchain_, Ether(1));
+  protocol.BindSimulation(&sched, &transport);
+  protocol.BindSimulation(nullptr, nullptr);
+  auto report = protocol.Run(Behavior{}, Behavior{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->settlement, Settlement::kOptimistic);
+  // The scheduler never saw a single event.
+  EXPECT_EQ(sched.EventsExecuted(), 0u);
+}
+
+}  // namespace
+}  // namespace onoff::core

@@ -8,6 +8,10 @@
 //   onoffchain_cli sign <seed> <hex>         sign keccak256(data) (v,r,s)
 //   onoffchain_cli betting <aliceSeed> <bobSeed> [revealIters]
 //       generate the paper's on/off-chain betting pair and the signed copy
+//   onoffchain_cli simdispute [--sim-seed N] [--sim-latency-ms N]
+//                             [--sim-jitter-ms N] [--sim-loss P] [--trials N]
+//       run the full protocol with a dishonest loser on the deterministic
+//       network simulator and report how the dispute settled
 //
 // Any command additionally accepts --metrics-json <path> (or =<path>): after
 // the command runs, the process-global metrics registry is dumped to <path>
@@ -22,13 +26,19 @@
 #include <string>
 
 #include "abi/abi.h"
+#include "chain/blockchain.h"
 #include "contracts/betting.h"
 #include "crypto/keccak.h"
 #include "crypto/secp256k1.h"
 #include "easm/assembler.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "onoff/protocol.h"
 #include "onoff/signed_copy.h"
+#include "sim/flags.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/transport.h"
 
 using namespace onoff;
 
@@ -37,7 +47,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: onoffchain_cli "
-               "<keygen|selector|keccak|asm|disasm|sign|betting> args...\n");
+               "<keygen|selector|keccak|asm|disasm|sign|betting|simdispute> "
+               "args...\n");
   return 2;
 }
 
@@ -163,6 +174,77 @@ int CmdBetting(const std::string& alice_seed, const std::string& bob_seed,
   return 0;
 }
 
+int CmdSimDispute(const sim::SimFlags& flags) {
+  std::printf("sim: seed=%llu latency=%llums jitter=%llums loss=%.2f "
+              "trials=%llu\n",
+              static_cast<unsigned long long>(flags.seed),
+              static_cast<unsigned long long>(flags.latency_ms),
+              static_cast<unsigned long long>(flags.jitter_ms), flags.loss,
+              static_cast<unsigned long long>(flags.trials));
+  uint64_t resolved = 0;
+  for (uint64_t trial = 0; trial < flags.trials; ++trial) {
+    auto alice = secp256k1::PrivateKey::FromSeed("alice");
+    auto bob = secp256k1::PrivateKey::FromSeed("bob");
+    chain::Blockchain chain;
+    chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+    chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+    core::MessageBus bus;
+    contracts::OffchainConfig offchain;
+    offchain.secret_alice = U256(0xa11ce);
+    offchain.secret_bob = U256(0xb0b);
+    offchain.reveal_iterations = 20;
+
+    sim::Scheduler sched;
+    uint64_t state = flags.seed;
+    (void)sim::SplitMix64(&state);
+    state ^= trial;
+    sim::SimTransport transport(&sched, sim::SplitMix64(&state));
+    // Faults apply to the participant->chain links (the race the dispute
+    // path cares about); the off-chain bus keeps identity links so every
+    // trial reaches the dispute stage instead of aborting unsigned.
+    sim::LinkConfig cfg;
+    cfg.latency_ms = flags.latency_ms;
+    cfg.jitter_ms = flags.jitter_ms;
+    cfg.loss = flags.loss;
+    transport.SetLink(alice.EthAddress().ToHex(), "chain", cfg);
+    transport.SetLink(bob.EthAddress().ToHex(), "chain", cfg);
+
+    core::BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                                   contracts::Ether(1));
+    protocol.BindSimulation(&sched, &transport);
+    core::Behavior dishonest;
+    dishonest.admit_loss = false;
+    auto report = protocol.Run(dishonest, dishonest);
+    if (!report.ok()) {
+      std::printf("trial %llu: run failed: %s\n",
+                  static_cast<unsigned long long>(trial),
+                  report.status().ToString().c_str());
+      continue;
+    }
+    bool ok = report->settlement == core::Settlement::kDisputed &&
+              report->correct_payout;
+    if (ok) ++resolved;
+    std::printf("trial %llu: settlement=%s payout=%s dispute_ms=%llu "
+                "gas=%llu revealed=%zu delivered=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(trial),
+                core::SettlementName(report->settlement),
+                report->correct_payout ? "correct" : "WRONG",
+                static_cast<unsigned long long>(report->dispute_ms),
+                static_cast<unsigned long long>(report->TotalGas()),
+                report->private_bytes_revealed,
+                static_cast<unsigned long long>(transport.stats().delivered),
+                static_cast<unsigned long long>(
+                    transport.stats().dropped_total()));
+  }
+  std::printf("resolved %llu/%llu disputes within the %llums challenge "
+              "period\n",
+              static_cast<unsigned long long>(resolved),
+              static_cast<unsigned long long>(flags.trials),
+              static_cast<unsigned long long>(
+                  core::ProtocolTiming{}.challenge_period_ms));
+  return 0;
+}
+
 int Dispatch(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -179,11 +261,22 @@ int Dispatch(int argc, char** argv) {
   return Usage();
 }
 
+int DispatchWithSimFlags(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "simdispute") == 0) {
+    sim::SimFlags defaults;
+    defaults.trials = 3;
+    sim::SimFlags flags = sim::SimFlagsFromArgs(&argc, argv, defaults);
+    if (argc != 2) return Usage();  // leftover unknown arguments
+    return CmdSimDispute(flags);
+  }
+  return Dispatch(argc, argv);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metrics_path = obs::JsonPathFromArgs(&argc, argv, "");
-  int rc = Dispatch(argc, argv);
+  int rc = DispatchWithSimFlags(argc, argv);
   if (!metrics_path.empty()) {
     obs::Registry* registry = obs::Registry::Global();
     if (registry == nullptr) {
