@@ -46,8 +46,10 @@ void Blockchain::FundAccount(const Address& addr, const U256& amount) {
 }
 
 Result<Hash32> Blockchain::SubmitTransaction(const Transaction& tx) {
-  ONOFF_ASSIGN_OR_RETURN(Address sender, tx.Sender());
-  (void)sender;
+  // Validates the signature and warms the sender memo; the pool entry and
+  // ApplyTransaction reuse it, so one ECDSA recovery covers the whole
+  // transaction lifecycle.
+  ONOFF_RETURN_NOT_OK(tx.Sender().status());
   if (tx.gas_limit > config_.block_gas_limit) {
     return Status::InvalidArgument("gas limit exceeds block gas limit");
   }

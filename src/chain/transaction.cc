@@ -1,6 +1,7 @@
 #include "chain/transaction.h"
 
 #include "evm/gas.h"
+#include "obs/metrics.h"
 #include "rlp/rlp.h"
 
 namespace onoff::chain {
@@ -76,8 +77,26 @@ void Transaction::Sign(const secp256k1::PrivateKey& key) {
 }
 
 Result<Address> Transaction::Sender() const {
-  return secp256k1::RecoverAddress(SigningHash(), signature.v, signature.r,
-                                   signature.s);
+  static obs::Counter* hits = obs::GetCounterOrNull("chain.sender_cache_hits");
+  static obs::Counter* misses =
+      obs::GetCounterOrNull("chain.sender_cache_misses");
+  // The signing hash is the invalidation key: any mutation of a signed field
+  // changes it, so a stale memo can never be returned. Hashing is orders of
+  // magnitude cheaper than the ECDSA recovery it short-circuits.
+  Hash32 digest = SigningHash();
+  if (sender_cached_ && digest == sender_digest_ && signature == sender_sig_) {
+    if (hits != nullptr) hits->Inc();
+    return sender_;
+  }
+  if (misses != nullptr) misses->Inc();
+  ONOFF_ASSIGN_OR_RETURN(Address sender,
+                         secp256k1::RecoverAddress(digest, signature.v,
+                                                   signature.r, signature.s));
+  sender_cached_ = true;
+  sender_digest_ = digest;
+  sender_sig_ = signature;
+  sender_ = sender;
+  return sender;
 }
 
 uint64_t Transaction::IntrinsicGas() const {

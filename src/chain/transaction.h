@@ -43,11 +43,23 @@ class Transaction {
   // Signs in place with `key`.
   void Sign(const secp256k1::PrivateKey& key);
   // Recovers the sender from the signature; fails on unsigned/garbage.
+  // The first successful recovery is memoized keyed by (signing hash,
+  // signature), so mutating any signed field or the signature invalidates
+  // the cache automatically, and copies carry the warm cache with them
+  // (pool/block copies never re-run ECDSA). Distinct objects may recover
+  // concurrently; concurrent calls on one object are not synchronized.
   Result<Address> Sender() const;
 
   // Intrinsic gas: 21000 + calldata bytes (4 per zero, 68 per non-zero)
   // + 32000 for contract creation.
   uint64_t IntrinsicGas() const;
+
+ private:
+  // Sender() memo; mutable because recovery is logically const.
+  mutable bool sender_cached_ = false;
+  mutable Hash32 sender_digest_{};
+  mutable secp256k1::Signature sender_sig_;
+  mutable Address sender_;
 };
 
 }  // namespace onoff::chain

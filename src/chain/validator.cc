@@ -1,6 +1,7 @@
 #include "chain/validator.h"
 
 #include "obs/metrics.h"
+#include "support/thread_pool.h"
 
 namespace onoff::chain {
 
@@ -24,11 +25,30 @@ Status RecordVerifyOutcome(Status st) {
   return st;
 }
 
+// Warms every transaction's sender memo across the worker pool so the
+// serial replay below never blocks on ECDSA. Failed recoveries are not
+// cached, so the replay re-derives (and rejects) them with the exact
+// serial-path status.
+void PrerecoverSenders(const std::vector<Block>& blocks) {
+  std::vector<const Transaction*> txs;
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    for (const Transaction& tx : blocks[i].transactions) txs.push_back(&tx);
+  }
+  if (txs.size() < 2) return;
+  ThreadPool::Shared().ParallelFor(
+      txs.size(), [&txs](size_t i) { (void)txs[i]->Sender(); });
+  static obs::Counter* prerecovered =
+      obs::GetCounterOrNull("validator.prerecovered_senders");
+  if (prerecovered != nullptr) prerecovered->Inc(txs.size());
+}
+
 Status VerifyChainImpl(const std::vector<Block>& blocks,
-                       const GenesisAlloc& alloc, const ChainConfig& config) {
+                       const GenesisAlloc& alloc, const ChainConfig& config,
+                       const VerifyOptions& options) {
   if (blocks.empty()) {
     return Status::InvalidArgument("chain has no genesis block");
   }
+  if (options.parallel_sender_recovery) PrerecoverSenders(blocks);
 
   // Rebuild from genesis on a replica node.
   Blockchain replica(config);
@@ -40,7 +60,10 @@ Status VerifyChainImpl(const std::vector<Block>& blocks,
         "genesis mismatch: wrong config or allocation");
   }
 
+  static obs::Histogram* block_us = obs::GetHistogramOrNull(
+      "validator.verify_block_us", obs::DefaultTimeBucketsUs());
   for (size_t i = 1; i < blocks.size(); ++i) {
+    obs::ScopedTimer block_span(block_us);
     const Block& block = blocks[i];
     if (block.header.number != i) {
       return Status::VerificationFailed(BlockRef(i) + ": bad block number");
@@ -92,10 +115,15 @@ Status VerifyChainImpl(const std::vector<Block>& blocks,
 
 Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
                    const ChainConfig& config) {
+  return VerifyChain(blocks, alloc, config, VerifyOptions{});
+}
+
+Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
+                   const ChainConfig& config, const VerifyOptions& options) {
   static obs::Histogram* replay_us = obs::GetHistogramOrNull(
       "validator.verify_replay_us", obs::DefaultTimeBucketsUs());
   obs::ScopedTimer replay_span(replay_us);
-  return RecordVerifyOutcome(VerifyChainImpl(blocks, alloc, config));
+  return RecordVerifyOutcome(VerifyChainImpl(blocks, alloc, config, options));
 }
 
 Status VerifyChain(const Blockchain& chain, const GenesisAlloc& alloc) {

@@ -18,11 +18,23 @@ namespace onoff::chain {
 // The genesis allocation a verifier starts from.
 using GenesisAlloc = std::vector<std::pair<Address, U256>>;
 
+struct VerifyOptions {
+  // Pre-recover every transaction sender across all blocks on the shared
+  // thread pool before replaying. The replay itself stays strictly serial
+  // and deterministic: recoveries are memoized per transaction, so the
+  // replay consumes identical values whether they were computed in
+  // parallel up front or serially on demand (failed recoveries are never
+  // cached and are re-derived — and re-rejected — serially).
+  bool parallel_sender_recovery = true;
+};
+
 // Replays `blocks` (block 0 must be the genesis produced by a Blockchain
 // with `config` and `alloc`) and verifies all header commitments. Returns
 // OK iff the whole chain is internally consistent and reproducible.
 Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
                    const ChainConfig& config);
+Status VerifyChain(const std::vector<Block>& blocks, const GenesisAlloc& alloc,
+                   const ChainConfig& config, const VerifyOptions& options);
 
 // Convenience: verifies a live chain against its own config.
 Status VerifyChain(const Blockchain& chain, const GenesisAlloc& alloc);

@@ -1,0 +1,92 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace onoff {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Tasks submitted during shutdown would never run; the contract is that
+    // owners stop submitting before destruction, so run inline as a last
+    // resort rather than silently dropping the promise.
+    if (stopping_) {
+      task();
+      return;
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  // The caller is one lane; add at most n-1 helpers.
+  size_t helpers = std::min(worker_count(), n - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t i = 0; i < helpers; ++i) futures.push_back(Submit(drain));
+  drain();
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked deliberately: outlives every static user, no shutdown ordering.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace onoff

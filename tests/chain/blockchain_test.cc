@@ -6,6 +6,7 @@
 
 #include "easm/assembler.h"
 #include "evm/gas.h"
+#include "obs/metrics.h"
 
 namespace onoff::chain {
 namespace {
@@ -407,6 +408,40 @@ TEST_F(BlockchainTest, SstoreRefundCappedAtHalfGasUsed) {
   // The capped (not full) refund is what the sender got back.
   EXPECT_EQ(chain_.GetBalance(alice_.EthAddress()),
             before - U256(clear_receipt->gas_used));
+}
+
+TEST_F(BlockchainTest, ExactlyOneRecoveryPerTransactionLifecycle) {
+  obs::Registry* registry = obs::Registry::Global();
+  if (registry == nullptr) {
+    GTEST_SKIP() << "metrics disabled (ONOFF_METRICS=0)";
+  }
+  // Submit -> pool admission -> mining/apply used to recover the sender
+  // three times; the memoized sender must collapse that to ONE ECDSA
+  // recovery per transaction.
+  constexpr int kTxCount = 3;
+  uint64_t recover_before = registry->CounterValue("crypto.recover_ops");
+  uint64_t base_nonce = chain_.GetNonce(alice_.EthAddress());
+  std::array<Hash32, kTxCount> hashes;
+  for (int i = 0; i < kTxCount; ++i) {
+    Transaction tx;
+    tx.nonce = base_nonce + i;  // consecutive nonces so all three pool up
+    tx.gas_price = U256(1);
+    tx.gas_limit = 21'000;
+    tx.to = bob_.EthAddress();
+    tx.value = U256(1);
+    tx.Sign(alice_);
+    auto hash = chain_.SubmitTransaction(tx);
+    ASSERT_TRUE(hash.ok()) << hash.status().ToString();
+    hashes[i] = *hash;
+  }
+  chain_.MineBlock();
+  for (const Hash32& hash : hashes) {
+    auto receipt = chain_.GetReceipt(hash);
+    ASSERT_TRUE(receipt.ok());
+    EXPECT_TRUE(receipt->success);
+  }
+  EXPECT_EQ(registry->CounterValue("crypto.recover_ops") - recover_before,
+            uint64_t{kTxCount});
 }
 
 }  // namespace

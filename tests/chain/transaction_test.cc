@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "evm/gas.h"
+#include "obs/metrics.h"
 
 namespace onoff::chain {
 namespace {
@@ -85,6 +86,93 @@ TEST(TransactionTest, IntrinsicGas) {
   tx.data.clear();
   tx.to = Address();
   EXPECT_EQ(tx.IntrinsicGas(), evm::gas::kTx);
+}
+
+// Counter delta helper; returns 0 deltas when metrics are disabled.
+class CounterDelta {
+ public:
+  explicit CounterDelta(const std::string& name)
+      : name_(name), start_(Read()) {}
+  uint64_t Value() const { return Read() - start_; }
+
+ private:
+  uint64_t Read() const {
+    obs::Registry* r = obs::Registry::Global();
+    return r != nullptr ? r->CounterValue(name_) : 0;
+  }
+  std::string name_;
+  uint64_t start_;
+};
+
+bool MetricsEnabled() { return obs::Registry::Global() != nullptr; }
+
+TEST(TransactionTest, SenderIsMemoized) {
+  auto key = secp256k1::PrivateKey::FromSeed("memo-sender");
+  Transaction tx = MakeTx();
+  tx.Sign(key);
+  CounterDelta misses("chain.sender_cache_misses");
+  CounterDelta hits("chain.sender_cache_hits");
+  for (int i = 0; i < 5; ++i) {
+    auto sender = tx.Sender();
+    ASSERT_TRUE(sender.ok());
+    EXPECT_EQ(*sender, key.EthAddress());
+  }
+  if (MetricsEnabled()) {
+    // One ECDSA recovery, then four cache hits.
+    EXPECT_EQ(misses.Value(), 1u);
+    EXPECT_EQ(hits.Value(), 4u);
+  }
+}
+
+TEST(TransactionTest, SenderCacheInvalidatedByFieldMutation) {
+  auto key = secp256k1::PrivateKey::FromSeed("memo-mutate");
+  Transaction tx = MakeTx();
+  tx.Sign(key);
+  ASSERT_TRUE(tx.Sender().ok());
+  // Mutating any signed field changes the signing hash, so the memo must
+  // not serve the stale sender.
+  tx.nonce += 1;
+  auto tampered = tx.Sender();
+  if (tampered.ok()) {
+    EXPECT_NE(*tampered, key.EthAddress());
+  }
+  // Re-signing repairs the transaction and refreshes the memo.
+  tx.Sign(key);
+  auto sender = tx.Sender();
+  ASSERT_TRUE(sender.ok());
+  EXPECT_EQ(*sender, key.EthAddress());
+}
+
+TEST(TransactionTest, SenderCacheInvalidatedBySignatureMutation) {
+  auto key = secp256k1::PrivateKey::FromSeed("memo-sig");
+  Transaction tx = MakeTx();
+  tx.Sign(key);
+  ASSERT_TRUE(tx.Sender().ok());
+  // Same signing hash, different signature: the memo is keyed on both.
+  tx.signature.s += U256(1);
+  CounterDelta hits("chain.sender_cache_hits");
+  auto tampered = tx.Sender();
+  if (tampered.ok()) {
+    EXPECT_NE(*tampered, key.EthAddress());
+  }
+  if (MetricsEnabled()) {
+    EXPECT_EQ(hits.Value(), 0u);
+  }
+}
+
+TEST(TransactionTest, CopyCarriesWarmSenderCache) {
+  auto key = secp256k1::PrivateKey::FromSeed("memo-copy");
+  Transaction tx = MakeTx();
+  tx.Sign(key);
+  ASSERT_TRUE(tx.Sender().ok());  // warm the memo
+  Transaction copy = tx;          // pool/block copies keep the warm cache
+  CounterDelta misses("chain.sender_cache_misses");
+  auto sender = copy.Sender();
+  ASSERT_TRUE(sender.ok());
+  EXPECT_EQ(*sender, key.EthAddress());
+  if (MetricsEnabled()) {
+    EXPECT_EQ(misses.Value(), 0u);
+  }
 }
 
 TEST(TransactionTest, DistinctHashes) {

@@ -116,5 +116,87 @@ TEST_F(ValidatorTest, EmptyChainRejected) {
             StatusCode::kInvalidArgument);
 }
 
+// Serial and parallel sender pre-recovery must be observationally
+// identical: same Status code AND same message, on valid and invalid
+// chains alike.
+class ValidatorParallelTest : public ValidatorTest {
+ protected:
+  void ExpectBothModesAgree(const std::vector<Block>& blocks,
+                            StatusCode expected) {
+    VerifyOptions serial{.parallel_sender_recovery = false};
+    VerifyOptions parallel{.parallel_sender_recovery = true};
+    Status serial_st = VerifyChain(blocks, alloc_, chain_.config(), serial);
+    Status parallel_st = VerifyChain(blocks, alloc_, chain_.config(), parallel);
+    EXPECT_EQ(serial_st.code(), expected) << serial_st.ToString();
+    EXPECT_EQ(parallel_st.code(), serial_st.code());
+    EXPECT_EQ(parallel_st.message(), serial_st.message());
+  }
+};
+
+TEST_F(ValidatorParallelTest, AgreeOnValidChain) {
+  BuildActivity();
+  ExpectBothModesAgree(chain_.blocks(), StatusCode::kOk);
+}
+
+TEST_F(ValidatorParallelTest, AgreeOnManyTransactionBlocks) {
+  // Enough transactions per block that the pre-recovery pool actually fans
+  // out. SendTransaction always uses the state nonce, so batch-submit with
+  // explicit consecutive nonces instead.
+  uint64_t alice_nonce = 0;
+  uint64_t bob_nonce = 0;
+  for (int block = 0; block < 3; ++block) {
+    for (int i = 0; i < 8; ++i) {
+      const PrivateKey& signer = i % 2 == 0 ? alice_ : bob_;
+      uint64_t& nonce = i % 2 == 0 ? alice_nonce : bob_nonce;
+      Transaction tx;
+      tx.nonce = nonce++;
+      tx.gas_price = U256(1);
+      tx.gas_limit = 21'000;
+      tx.to = bob_.EthAddress();
+      tx.value = U256(1);
+      tx.Sign(signer);
+      auto hash = chain_.SubmitTransaction(tx);
+      ASSERT_TRUE(hash.ok()) << hash.status().ToString();
+    }
+    chain_.MineBlock();
+  }
+  ExpectBothModesAgree(chain_.blocks(), StatusCode::kOk);
+}
+
+TEST_F(ValidatorParallelTest, AgreeOnTamperedTransaction) {
+  BuildActivity();
+  std::vector<Block> blocks = chain_.blocks();
+  for (auto& block : blocks) {
+    for (auto& tx : block.transactions) {
+      if (tx.value == Ether(1)) tx.value = Ether(2);
+    }
+  }
+  ExpectBothModesAgree(blocks, StatusCode::kVerificationFailed);
+}
+
+TEST_F(ValidatorParallelTest, AgreeOnCorruptedSignature) {
+  BuildActivity();
+  std::vector<Block> blocks = chain_.blocks();
+  bool corrupted = false;
+  for (auto& block : blocks) {
+    if (!block.transactions.empty()) {
+      // An unrecoverable signature: the parallel pre-pass must not cache
+      // the failure, and the serial replay must report the same rejection.
+      block.transactions[0].signature.r = U256(0);
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  ExpectBothModesAgree(blocks, StatusCode::kVerificationFailed);
+}
+
+TEST_F(ValidatorParallelTest, AgreeOnTamperedStateRoot) {
+  BuildActivity();
+  std::vector<Block> blocks = chain_.blocks();
+  blocks.back().header.state_root[0] ^= 0xff;
+  ExpectBothModesAgree(blocks, StatusCode::kVerificationFailed);
+}
+
 }  // namespace
 }  // namespace onoff::chain

@@ -87,5 +87,39 @@ TEST_F(SignedCopyTest, SignatureOfUnknownSigner) {
   EXPECT_FALSE(copy_.SignatureOf(bob_.EthAddress()).ok());
 }
 
+// N >= 4 participants crosses the batch-verification threshold; the
+// parallel path must accept complete copies and report the FIRST invalid
+// signer in `required` order, exactly like the serial path.
+TEST_F(SignedCopyTest, ManyPartyBatchVerification) {
+  constexpr int kParties = 8;
+  std::vector<PrivateKey> keys;
+  std::vector<Address> required;
+  for (int i = 0; i < kParties; ++i) {
+    keys.push_back(PrivateKey::FromSeed("party-" + std::to_string(i)));
+    required.push_back(keys.back().EthAddress());
+    copy_.AddSignature(keys.back());
+  }
+  EXPECT_TRUE(copy_.VerifyComplete(required).ok());
+
+  // Corrupt two signatures; the reported failure must be the earlier one
+  // in `required` order regardless of worker scheduling.
+  auto sig2 = copy_.SignatureOf(required[2]);
+  auto sig5 = copy_.SignatureOf(required[5]);
+  ASSERT_TRUE(sig2.ok());
+  ASSERT_TRUE(sig5.ok());
+  secp256k1::Signature bad2 = *sig2;
+  bad2.s += U256(1);
+  secp256k1::Signature bad5 = *sig5;
+  bad5.s += U256(1);
+  copy_.AttachSignature(required[2], bad2);
+  copy_.AttachSignature(required[5], bad5);
+  for (int round = 0; round < 4; ++round) {  // scheduling-independent
+    auto status = copy_.VerifyComplete(required);
+    EXPECT_EQ(status.code(), StatusCode::kVerificationFailed);
+    EXPECT_NE(status.message().find(required[2].ToHex()), std::string::npos)
+        << status.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace onoff::core
