@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
     }
 
     SignedCopy copy(bytecode);
+    // The filler bytes are not real bytecode; this bench times signing, not
+    // the pre-signing audit.
+    copy.set_audit_enabled(false);
     auto t0 = std::chrono::steady_clock::now();
     for (const auto& key : keys) copy.AddSignature(key);
     double sign_ms = MsSince(t0);

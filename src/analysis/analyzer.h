@@ -1,0 +1,142 @@
+// The pre-signing / pre-deployment bytecode static analyzer (paper §III:
+// participants sign the hash of off-chain bytecode — this is the "audit
+// before you sign" step that makes that signature meaningful).
+//
+// The analyzer runs an abstract interpretation over the basic-block CFG.
+// The abstract domain per stack slot is constant-or-⊤; stack heights are
+// exact (a join of different heights is a hard error, which is stricter
+// than the EVM but true of all code our generator emits and of solc
+// output). From the fixpoint it derives:
+//
+//   * stack safety: no path underflows, no path can exceed 1024 items;
+//   * jump safety: every executed JUMP/JUMPI target is a statically known
+//     constant pointing at a real JUMPDEST (not into a PUSH immediate);
+//   * per-function worst-case gas upper bounds: the longest path through
+//     the function's block DAG using worst-case per-instruction costs, with
+//     an explicit ⊤ (unbounded) when a loop or an all-but-one-64th
+//     forwarding CALL/CREATE is reachable — checked against the block gas
+//     limit to machine-verify the paper's light/heavy classification;
+//   * state-effect classification: which functions can reach SSTORE / LOG /
+//     CALL / CREATE / SELFDESTRUCT, used to prove that declared-private
+//     (off-chain) functions cannot leak private inputs into public state.
+//
+// Soundness caveat (documented, asserted in tests): dynamically sized
+// memory/calldata operands are assumed to be at most
+// AnalysisOptions::max_dynamic_bytes; the gas bounds are upper bounds for
+// every execution whose dynamic operands stay within that envelope.
+
+#ifndef ONOFFCHAIN_ANALYSIS_ANALYZER_H_
+#define ONOFFCHAIN_ANALYSIS_ANALYZER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/diagnostic.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace onoff::analysis {
+
+// A gas upper bound: a number of gas units, or ⊤ (statically unbounded).
+struct GasBound {
+  bool bounded = true;
+  uint64_t gas = 0;
+
+  static GasBound Unbounded() { return GasBound{false, 0}; }
+
+  GasBound operator+(const GasBound& other) const {
+    if (!bounded || !other.bounded) return Unbounded();
+    return GasBound{true, gas + other.gas};
+  }
+  // Join = max (the bound must cover both alternatives).
+  static GasBound Max(const GasBound& a, const GasBound& b) {
+    if (!a.bounded || !b.bounded) return Unbounded();
+    return GasBound{true, a.gas > b.gas ? a.gas : b.gas};
+  }
+  // True when this bound covers `measured` gas.
+  bool Covers(uint64_t measured) const {
+    return !bounded || measured <= gas;
+  }
+  std::string ToString() const;  // "12345" or "unbounded"
+};
+
+struct FunctionReport {
+  uint32_t selector = 0;
+  std::string name;  // from AnalysisOptions::function_names, else hex
+  uint32_t entry_pc = 0;
+  // Worst-case gas from call entry (selector dispatch included) to halt.
+  GasBound gas_bound;
+  uint32_t effects = 0;  // union of effect:: flags over reachable blocks
+  bool has_loop = false;
+};
+
+struct AnalysisOptions {
+  // Envelope for dynamically sized memory/calldata operands (see header
+  // comment). 128 KiB comfortably covers every contract in this repo.
+  uint64_t max_dynamic_bytes = 128 * 1024;
+  // The chain's block gas limit; light functions must bound below it.
+  uint64_t block_gas_limit = 8'000'000;
+  // Selectors of functions declared light/public: a ⊤ or above-limit gas
+  // bound is an error (kUnboundedGas / kGasAboveBlockLimit).
+  std::vector<uint32_t> light_selectors;
+  // Selectors of functions declared heavy/private: reaching any state
+  // effect in effect::kStateLeakMask is an error (kPrivateStateLeak).
+  std::vector<uint32_t> private_selectors;
+  // Selector -> name, for readable reports.
+  std::map<uint32_t, std::string> function_names;
+};
+
+struct AnalysisReport {
+  ControlFlowGraph cfg;
+  std::vector<Diagnostic> diagnostics;
+  // Functions recovered from the standard selector-dispatch prologue (empty
+  // for non-dispatch programs).
+  std::vector<FunctionReport> functions;
+  // Worst-case gas from pc 0 to halt (⊤ if any reachable loop/CALL/CREATE).
+  GasBound program_bound;
+  uint32_t effects = 0;  // union over all reachable blocks
+  size_t code_size = 0;
+
+  bool HasErrors() const { return HasError(diagnostics); }
+  // First error formatted (empty when clean).
+  std::string FirstError(const easm::SourceMap* map = nullptr) const;
+};
+
+// Analyzes runtime bytecode.
+AnalysisReport AnalyzeProgram(BytesView code,
+                              const AnalysisOptions& options = {});
+
+// Deployment (init-code) analysis. When the init code matches the standard
+// WrapDeployer prologue (PUSH2 len PUSH2 off PUSH1 0 CODECOPY ... RETURN),
+// the embedded runtime is extracted and analyzed as its own program;
+// otherwise the whole init code is analyzed as one program and `runtime` is
+// empty.
+struct DeploymentReport {
+  AnalysisReport init;  // the prologue (or the whole init code)
+  std::optional<AnalysisReport> runtime;
+  size_t runtime_offset = 0;  // byte offset of the runtime inside init code
+  bool recognized_deployer = false;
+
+  // Worst-case gas for executing the init code as a creation, including
+  // the per-byte code-deposit charge for the returned runtime.
+  GasBound DeployGasBound() const;
+  bool HasErrors() const;
+  // All diagnostics, runtime pcs rebased onto the init code.
+  std::vector<Diagnostic> AllDiagnostics() const;
+};
+
+DeploymentReport AnalyzeDeployment(BytesView init_code,
+                                   const AnalysisOptions& options = {});
+
+// The mandatory pre-signing audit: OK iff `init_code` analyzes without
+// errors; otherwise kAnalysisRejected carrying the first finding.
+Status AuditForSigning(BytesView init_code,
+                       const AnalysisOptions& options = {});
+
+}  // namespace onoff::analysis
+
+#endif  // ONOFFCHAIN_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,105 @@
+#include "analysis/diagnostic.h"
+
+#include <cstdio>
+
+namespace onoff::analysis {
+
+const char* DiagCodeId(DiagCode code) {
+  switch (code) {
+    case DiagCode::kTruncatedPush:
+      return "ANA01";
+    case DiagCode::kUndefinedOpcode:
+      return "ANA02";
+    case DiagCode::kStackUnderflow:
+      return "ANA03";
+    case DiagCode::kStackOverflow:
+      return "ANA04";
+    case DiagCode::kStackHeightMismatch:
+      return "ANA05";
+    case DiagCode::kUnresolvedJump:
+      return "ANA06";
+    case DiagCode::kBadJumpTarget:
+      return "ANA07";
+    case DiagCode::kUnreachableCode:
+      return "ANA08";
+    case DiagCode::kImplicitStop:
+      return "ANA09";
+    case DiagCode::kUnboundedGas:
+      return "ANA10";
+    case DiagCode::kGasAboveBlockLimit:
+      return "ANA11";
+    case DiagCode::kPrivateStateLeak:
+      return "ANA12";
+  }
+  return "ANA??";
+}
+
+const char* DiagCodeName(DiagCode code) {
+  switch (code) {
+    case DiagCode::kTruncatedPush:
+      return "truncated-push";
+    case DiagCode::kUndefinedOpcode:
+      return "undefined-opcode";
+    case DiagCode::kStackUnderflow:
+      return "stack-underflow";
+    case DiagCode::kStackOverflow:
+      return "stack-overflow";
+    case DiagCode::kStackHeightMismatch:
+      return "stack-height-mismatch";
+    case DiagCode::kUnresolvedJump:
+      return "unresolved-jump";
+    case DiagCode::kBadJumpTarget:
+      return "bad-jump-target";
+    case DiagCode::kUnreachableCode:
+      return "unreachable-code";
+    case DiagCode::kImplicitStop:
+      return "implicit-stop";
+    case DiagCode::kUnboundedGas:
+      return "unbounded-gas";
+    case DiagCode::kGasAboveBlockLimit:
+      return "gas-above-block-limit";
+    case DiagCode::kPrivateStateLeak:
+      return "private-state-leak";
+  }
+  return "unknown";
+}
+
+bool IsError(DiagCode code) {
+  return code != DiagCode::kUnreachableCode && code != DiagCode::kImplicitStop;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diag,
+                             const easm::SourceMap* map) {
+  char pc_buf[16];
+  std::snprintf(pc_buf, sizeof(pc_buf), "0x%04x", diag.pc);
+  std::string out = IsError(diag.code) ? "error " : "warning ";
+  out += DiagCodeId(diag.code);
+  out += " (";
+  out += DiagCodeName(diag.code);
+  out += ") at pc ";
+  out += pc_buf;
+  if (map != nullptr) {
+    int line = map->LineAt(diag.pc);
+    if (line >= 0) {
+      out += ", line ";
+      out += std::to_string(line);
+    }
+    if (const std::string* label = map->LabelAt(diag.pc)) {
+      out += ", label '";
+      out += *label;
+      out += "'";
+    }
+  }
+  out += ": ";
+  out += diag.message;
+  return out;
+}
+
+bool HasError(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (IsError(d.code)) return true;
+  }
+  return false;
+}
+
+}  // namespace onoff::analysis

@@ -1,0 +1,59 @@
+// Diagnostic codes and formatting for the bytecode static analyzer.
+//
+// Every finding carries a stable machine-readable code (ANA01..ANA12), the
+// byte offset it anchors to, and a human-readable message. Formatting
+// optionally consults an easm::SourceMap so CLI output can point at the
+// assembly line that produced the offending bytes.
+
+#ifndef ONOFFCHAIN_ANALYSIS_DIAGNOSTIC_H_
+#define ONOFFCHAIN_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "easm/assembler.h"
+
+namespace onoff::analysis {
+
+enum class DiagCode {
+  kTruncatedPush,        // ANA01: PUSH immediate runs past the end of code
+  kUndefinedOpcode,      // ANA02: reachable undefined instruction byte
+  kStackUnderflow,       // ANA03: pops more items than the stack can hold
+  kStackOverflow,        // ANA04: provably exceeds the 1024-item limit
+  kStackHeightMismatch,  // ANA05: join point with inconsistent stack heights
+  kUnresolvedJump,       // ANA06: jump target not statically constant
+  kBadJumpTarget,        // ANA07: constant jump to a non-JUMPDEST byte
+  kUnreachableCode,      // ANA08 (warning): bytes no path can reach
+  kImplicitStop,         // ANA09 (warning): execution can run off code end
+  kUnboundedGas,         // ANA10: light function with a ⊤ gas bound
+  kGasAboveBlockLimit,   // ANA11: light function bound >= block gas limit
+  kPrivateStateLeak,     // ANA12: private function reaches a state effect
+};
+
+// Stable identifier ("ANA03") and short name ("stack-underflow").
+const char* DiagCodeId(DiagCode code);
+const char* DiagCodeName(DiagCode code);
+
+// Unreachable code and an implicit trailing STOP are legal EVM (the
+// interpreter treats running off the end as STOP); everything else is a
+// reason to refuse the program.
+bool IsError(DiagCode code);
+
+struct Diagnostic {
+  DiagCode code;
+  uint32_t pc = 0;  // byte offset into the analyzed code segment
+  std::string message;
+};
+
+// "error ANA03 (stack-underflow) at pc 0x0012: ..." with ", line N" and
+// ", label 'x'" appended when `map` resolves the offset.
+std::string FormatDiagnostic(const Diagnostic& diag,
+                             const easm::SourceMap* map = nullptr);
+
+// True if any diagnostic in `diags` is an error.
+bool HasError(const std::vector<Diagnostic>& diags);
+
+}  // namespace onoff::analysis
+
+#endif  // ONOFFCHAIN_ANALYSIS_DIAGNOSTIC_H_

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "analysis/analyzer.h"
 #include "evm/gas.h"
 #include "obs/metrics.h"
 #include "rlp/rlp.h"
@@ -55,6 +56,28 @@ Result<Hash32> Blockchain::SubmitTransaction(const Transaction& tx) {
   }
   if (tx.gas_limit < tx.IntrinsicGas()) {
     return Status::InvalidArgument("gas limit below intrinsic gas");
+  }
+  if (config_.deploy_lint != DeployLint::kOff && tx.IsContractCreation() &&
+      !tx.data.empty()) {
+    analysis::AnalysisOptions options;
+    options.block_gas_limit = config_.block_gas_limit;
+    analysis::DeploymentReport report =
+        analysis::AnalyzeDeployment(tx.data, options);
+    if (report.HasErrors()) {
+      static obs::Counter* findings =
+          obs::GetCounterOrNull("chain.deploy_lint_findings");
+      if (findings != nullptr) findings->Inc();
+      if (config_.deploy_lint == DeployLint::kEnforce) {
+        std::string first;
+        for (const analysis::Diagnostic& d : report.AllDiagnostics()) {
+          if (analysis::IsError(d.code)) {
+            first = analysis::FormatDiagnostic(d);
+            break;
+          }
+        }
+        return Status::AnalysisRejected("deploy lint: " + first);
+      }
+    }
   }
   ONOFF_RETURN_NOT_OK(pool_.Add(tx));
   return tx.Hash();

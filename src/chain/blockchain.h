@@ -20,6 +20,13 @@
 
 namespace onoff::chain {
 
+// What the node does with static-analysis findings on submitted init code.
+enum class DeployLint {
+  kOff,      // no analysis at submission time
+  kWarn,     // analyze, count findings in chain.deploy_lint_findings, accept
+  kEnforce,  // reject creation transactions whose init code has errors
+};
+
 struct ChainConfig {
   uint64_t block_gas_limit = 8'000'000;
   // Kovan produced blocks every ~4 seconds.
@@ -27,6 +34,10 @@ struct ChainConfig {
   Address coinbase;
   uint64_t genesis_timestamp = 1'550'000'000;  // ~Feb 2019, the paper's era
   size_t max_txs_per_block = 200;
+  // Deploy-time lint: kWarn observes without changing consensus behavior
+  // (hand-written test programs may be deliberately odd), kEnforce turns
+  // analyzer errors into submission failures.
+  DeployLint deploy_lint = DeployLint::kWarn;
 };
 
 class Blockchain {

@@ -70,10 +70,32 @@ Result<U256> ParseLiteral(const std::string& text, int line) {
 
 }  // namespace
 
+int SourceMap::LineAt(uint32_t pc) const {
+  // entries are sorted by pc: the covering instruction is the last one whose
+  // pc is <= the queried offset (PUSH immediates map to the PUSH itself).
+  int line = -1;
+  for (const Entry& e : entries) {
+    if (e.pc > pc) break;
+    line = e.line;
+  }
+  return line;
+}
+
+const std::string* SourceMap::LabelAt(uint32_t pc) const {
+  auto it = labels.find(pc);
+  return it == labels.end() ? nullptr : &it->second;
+}
+
 Result<Bytes> Assemble(std::string_view source) {
+  return AssembleWithMap(source, nullptr);
+}
+
+Result<Bytes> AssembleWithMap(std::string_view source, SourceMap* map) {
   std::vector<Token> tokens = Tokenize(source);
   CodeBuilder builder;
   std::map<std::string, CodeBuilder::Label> labels;
+  // Line of the first `PUSH @name` reference, for undefined-label errors.
+  std::map<std::string, int> first_reference_line;
 
   auto label_of = [&](const std::string& name) {
     auto it = labels.find(name);
@@ -83,11 +105,22 @@ Result<Bytes> Assemble(std::string_view source) {
     return l;
   };
 
+  auto map_instruction = [&](int line) {
+    if (map != nullptr) {
+      map->entries.push_back({static_cast<uint32_t>(builder.size()), line});
+    }
+  };
+
   for (size_t i = 0; i < tokens.size(); ++i) {
     const Token& tok = tokens[i];
     const std::string& t = tok.text;
     if (t.back() == ':') {
-      builder.Bind(label_of(t.substr(0, t.size() - 1)));
+      std::string name = t.substr(0, t.size() - 1);
+      if (map != nullptr) {
+        map->labels.emplace(static_cast<uint32_t>(builder.size()), name);
+      }
+      map_instruction(tok.line);  // the emitted JUMPDEST
+      builder.Bind(label_of(name));
       continue;
     }
     if (t[0] == '@') {
@@ -99,6 +132,7 @@ Result<Bytes> Assemble(std::string_view source) {
       if (i + 1 >= tokens.size()) {
         return Status::InvalidArgument("DB needs a hex operand");
       }
+      map_instruction(tok.line);
       ONOFF_ASSIGN_OR_RETURN(Bytes raw, FromHex(tokens[++i].text));
       builder.Raw(raw);
       continue;
@@ -110,8 +144,11 @@ Result<Bytes> Assemble(std::string_view source) {
                                        ": PUSH needs an operand");
       }
       const std::string& operand = tokens[++i].text;
+      map_instruction(tok.line);
       if (operand[0] == '@') {
-        builder.PushLabel(label_of(operand.substr(1)));
+        std::string name = operand.substr(1);
+        first_reference_line.emplace(name, tok.line);
+        builder.PushLabel(label_of(name));
         continue;
       }
       ONOFF_ASSIGN_OR_RETURN(U256 value, ParseLiteral(operand, tok.line));
@@ -136,7 +173,19 @@ Result<Bytes> Assemble(std::string_view source) {
       return Status::InvalidArgument("line " + std::to_string(tok.line) +
                                      ": " + t + " needs an operand");
     }
+    map_instruction(tok.line);
     builder.Op(static_cast<evm::Opcode>(*op));
+  }
+  // Reject references to labels that were never defined, by name, before
+  // Build() would fail anonymously (or worse, leave a jump to offset 0).
+  for (const auto& [name, label] : labels) {
+    if (!builder.IsBound(label)) {
+      auto ref = first_reference_line.find(name);
+      int line = ref == first_reference_line.end() ? 0 : ref->second;
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": jump to undefined label '" + name +
+                                     "'");
+    }
   }
   return builder.Build();
 }

@@ -16,6 +16,7 @@
 #define ONOFFCHAIN_EASM_ASSEMBLER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,8 +28,33 @@
 
 namespace onoff::easm {
 
+// Maps bytecode offsets back to the assembly source that produced them, so
+// downstream diagnostics (the static analyzer, the `lint` CLI) can report
+// "pc 0x0012 (line 7, label 'loop')" instead of a bare byte offset.
+struct SourceMap {
+  struct Entry {
+    uint32_t pc;
+    int line;
+  };
+  // One entry per emitted instruction, sorted by pc.
+  std::vector<Entry> entries;
+  // JUMPDEST offset -> label name.
+  std::map<uint32_t, std::string> labels;
+
+  // Source line of the instruction covering `pc`, or -1 if unmapped.
+  int LineAt(uint32_t pc) const;
+  // Label bound at exactly `pc`, or nullptr.
+  const std::string* LabelAt(uint32_t pc) const;
+};
+
 // Assembles text into bytecode.
 Result<Bytes> Assemble(std::string_view source);
+
+// Assemble() that additionally fills `map` (ignored when null). Jumps to
+// labels that are never defined are rejected here with the label's name and
+// the line of the first reference, instead of surfacing as an anonymous
+// build failure.
+Result<Bytes> AssembleWithMap(std::string_view source, SourceMap* map);
 
 // Renders bytecode as one instruction per line ("0x0000: PUSH1 0x60").
 std::string Disassemble(BytesView code);
@@ -56,6 +82,8 @@ class CodeBuilder {
   Label NewLabel();
   // Binds `label` to the current offset and emits JUMPDEST.
   CodeBuilder& Bind(Label label);
+  // Whether `label` has been bound yet.
+  bool IsBound(Label label) const { return label_offsets_[label] >= 0; }
 
   // Current code offset.
   size_t size() const { return code_.size(); }

@@ -64,32 +64,38 @@ struct Table {
 
   Table() {
     for (int i = 0; i < 256; ++i) {
-      info[i] = OpcodeInfo{"INVALID", 0, 0, 0, false};
+      info[i] = OpcodeInfo{"INVALID", 0, 0, 0, false, false};
     }
     for (const Entry& e : kEntries) {
-      info[e.op] = OpcodeInfo{e.name, e.in, e.out, 0, true};
+      info[e.op] = OpcodeInfo{e.name, e.in, e.out, 0, true, false};
     }
     // INVALID is a defined opcode (0xfe) that always aborts.
     info[0xfe].defined = true;
+    // Opcodes after which control never reaches the next byte.
+    for (uint8_t op : {0x00, 0x56, 0xf3, 0xfd, 0xfe, 0xff}) {
+      info[op].terminator = true;
+    }
     for (int n = 1; n <= 32; ++n) {
       uint8_t op = static_cast<uint8_t>(0x5f + n);
       names[op] = "PUSH" + std::to_string(n);
-      info[op] = OpcodeInfo{names[op], 0, 1, static_cast<uint8_t>(n), true};
+      info[op] =
+          OpcodeInfo{names[op], 0, 1, static_cast<uint8_t>(n), true, false};
     }
     for (int n = 1; n <= 16; ++n) {
       uint8_t op = static_cast<uint8_t>(0x7f + n);
       names[op] = "DUP" + std::to_string(n);
       info[op] = OpcodeInfo{names[op], static_cast<uint8_t>(n),
-                            static_cast<uint8_t>(n + 1), 0, true};
+                            static_cast<uint8_t>(n + 1), 0, true, false};
       op = static_cast<uint8_t>(0x8f + n);
       names[op] = "SWAP" + std::to_string(n);
       info[op] = OpcodeInfo{names[op], static_cast<uint8_t>(n + 1),
-                            static_cast<uint8_t>(n + 1), 0, true};
+                            static_cast<uint8_t>(n + 1), 0, true, false};
     }
     for (int n = 0; n <= 4; ++n) {
       uint8_t op = static_cast<uint8_t>(0xa0 + n);
       names[op] = "LOG" + std::to_string(n);
-      info[op] = OpcodeInfo{names[op], static_cast<uint8_t>(n + 2), 0, 0, true};
+      info[op] =
+          OpcodeInfo{names[op], static_cast<uint8_t>(n + 2), 0, 0, true, false};
     }
   }
 };

@@ -118,6 +118,9 @@ struct OpcodeInfo {
   // Immediate data bytes following the opcode (PUSHn only).
   uint8_t immediate_size;
   bool defined;
+  // Unconditionally ends the basic block: control never falls through to the
+  // next instruction (STOP, JUMP, RETURN, REVERT, INVALID, SELFDESTRUCT).
+  bool terminator;
 };
 
 // Returns the table entry for any byte (undefined opcodes have
@@ -130,6 +133,12 @@ std::optional<uint8_t> OpcodeFromName(std::string_view name);
 
 inline bool IsPush(uint8_t op) { return op >= 0x60 && op <= 0x7f; }
 inline int PushSize(uint8_t op) { return op - 0x5f; }  // valid for PUSHn
+inline bool IsDup(uint8_t op) { return op >= 0x80 && op <= 0x8f; }
+inline int DupDepth(uint8_t op) { return op - 0x7f; }  // valid for DUPn
+inline bool IsSwap(uint8_t op) { return op >= 0x90 && op <= 0x9f; }
+inline int SwapDepth(uint8_t op) { return op - 0x8f; }  // valid for SWAPn
+inline bool IsLog(uint8_t op) { return op >= 0xa0 && op <= 0xa4; }
+inline int LogTopics(uint8_t op) { return op - 0xa0; }  // valid for LOGn
 
 }  // namespace onoff::evm
 

@@ -290,17 +290,25 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
   bool signing_ok = true;
   if (alice_behavior.sign_offchain_copy) {
     SignedCopy mine(offchain_init);
-    mine.AddSignature(alice_);
-    bus_->Broadcast(alice_.EthAddress(), participants, kSignedCopyTopic,
-                    mine.Serialize());
+    // An audit rejection means an honest participant refuses to endorse the
+    // bytecode — the game aborts unsigned, exactly like an explicit refusal.
+    if (mine.AddSignature(alice_).ok()) {
+      bus_->Broadcast(alice_.EthAddress(), participants, kSignedCopyTopic,
+                      mine.Serialize());
+    } else {
+      signing_ok = false;
+    }
   } else {
     signing_ok = false;
   }
   if (bob_behavior.sign_offchain_copy) {
     SignedCopy mine(offchain_init);
-    mine.AddSignature(bob_);
-    bus_->Broadcast(bob_.EthAddress(), participants, kSignedCopyTopic,
-                    mine.Serialize());
+    if (mine.AddSignature(bob_).ok()) {
+      bus_->Broadcast(bob_.EthAddress(), participants, kSignedCopyTopic,
+                      mine.Serialize());
+    } else {
+      signing_ok = false;
+    }
   } else {
     signing_ok = false;
   }
@@ -342,9 +350,12 @@ Result<ProtocolReport> BettingProtocol::RunImpl(const Behavior& alice_behavior,
   };
   bool alice_ok = ingest(alice_, bob_.EthAddress());
   bool bob_ok = ingest(bob_, alice_.EthAddress());
-  copy.AddSignature(alice_);  // own signatures are attached locally
-  copy.AddSignature(bob_);
-  if (!alice_ok || !bob_ok || !copy.VerifyComplete(participants).ok()) {
+  // Own signatures are attached locally (audited above; re-audit is a no-op
+  // failure-wise but keeps every signing path behind the same gate).
+  bool own_ok =
+      copy.AddSignature(alice_).ok() && copy.AddSignature(bob_).ok();
+  if (!alice_ok || !bob_ok || !own_ok ||
+      !copy.VerifyComplete(participants).ok()) {
     report.settlement = Settlement::kAbortedTampered;
     report.correct_payout = true;  // aborted before any deposit
     return report;

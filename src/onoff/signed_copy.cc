@@ -6,9 +6,14 @@
 
 namespace onoff::core {
 
-void SignedCopy::AddSignature(const secp256k1::PrivateKey& key) {
-  auto sig = secp256k1::Sign(BytecodeHash(), key);
-  AttachSignature(key.EthAddress(), *sig);
+Status SignedCopy::AddSignature(const secp256k1::PrivateKey& key) {
+  if (audit_enabled_) {
+    ONOFF_RETURN_NOT_OK(analysis::AuditForSigning(bytecode_, audit_options_));
+  }
+  ONOFF_ASSIGN_OR_RETURN(secp256k1::Signature sig,
+                         secp256k1::Sign(BytecodeHash(), key));
+  AttachSignature(key.EthAddress(), sig);
+  return Status::OK();
 }
 
 void SignedCopy::AttachSignature(const Address& signer,

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "crypto/keccak.h"
 #include "crypto/secp256k1.h"
 #include "support/address.h"
@@ -26,8 +27,11 @@ class SignedCopy {
   Hash32 BytecodeHash() const { return Keccak256(bytecode_); }
 
   // Adds this participant's signature (the JavaScript `ecsign` step of
-  // Algorithm 4, done natively).
-  void AddSignature(const secp256k1::PrivateKey& key);
+  // Algorithm 4, done natively). A signature is this participant's binding
+  // endorsement of the bytecode, so the static analyzer audits it first and
+  // the signature is refused (kAnalysisRejected) on any finding. Tests that
+  // sign placeholder bytes opt out via set_audit_enabled(false).
+  Status AddSignature(const secp256k1::PrivateKey& key);
   // Attaches an externally produced signature.
   void AttachSignature(const Address& signer,
                        const secp256k1::Signature& signature);
@@ -45,6 +49,17 @@ class SignedCopy {
   Bytes Serialize() const;
   static Result<SignedCopy> Deserialize(BytesView data);
 
+  // Pre-signing audit controls. The audit is on by default; the options
+  // carry the declared light/private selector sets for this contract.
+  void set_audit_enabled(bool enabled) { audit_enabled_ = enabled; }
+  bool audit_enabled() const { return audit_enabled_; }
+  void set_audit_options(analysis::AnalysisOptions options) {
+    audit_options_ = std::move(options);
+  }
+  const analysis::AnalysisOptions& audit_options() const {
+    return audit_options_;
+  }
+
  private:
   struct Entry {
     Address signer;
@@ -53,6 +68,8 @@ class SignedCopy {
 
   Bytes bytecode_;
   std::vector<Entry> signatures_;
+  bool audit_enabled_ = true;
+  analysis::AnalysisOptions audit_options_;
 };
 
 }  // namespace onoff::core

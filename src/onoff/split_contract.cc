@@ -24,6 +24,12 @@ std::vector<const FunctionDef*> Select(const std::vector<FunctionDef>& fns,
   return out;
 }
 
+uint32_t SelectorWord(std::string_view signature) {
+  abi::Selector sel = abi::SelectorOf(signature);
+  return (uint32_t{sel[0]} << 24) | (uint32_t{sel[1]} << 16) |
+         (uint32_t{sel[2]} << 8) | uint32_t{sel[3]};
+}
+
 }  // namespace
 
 std::string DeploySignatureFor(size_t n) {
@@ -191,6 +197,48 @@ Result<SplitContracts> SplitContract(
 
     ONOFF_ASSIGN_OR_RETURN(out.offchain_runtime, w.BuildRuntime());
     out.offchain_init = contracts::WrapDeployer(out.offchain_runtime);
+  }
+
+  // ---------- Machine-checked classification ----------
+  // The generator's promise is exactly what the analyzer can verify: every
+  // light entry point fits under the block gas limit, and no heavy/private
+  // body can leak into public state.
+  {
+    analysis::AnalysisOptions& on = out.onchain_audit;
+    for (const FunctionDef* f : light) {
+      on.light_selectors.push_back(SelectorWord(f->signature));
+    }
+    // deployVerifiedInstance is exempt: CREATE of the verified instance is
+    // legitimately unbounded from the analyzer's point of view.
+    on.light_selectors.push_back(SelectorWord(kSubmitSig));
+    on.light_selectors.push_back(SelectorWord(kFinalizeSig));
+    on.light_selectors.push_back(SelectorWord(kEnforceSig));
+    for (const std::string& sig : out.onchain_signatures) {
+      on.function_names[SelectorWord(sig)] = sig;
+    }
+    analysis::AnalysisReport report =
+        analysis::AnalyzeProgram(out.onchain_runtime, on);
+    if (report.HasErrors()) {
+      return Status::AnalysisRejected(
+          "generated on-chain contract failed verification: " +
+          report.FirstError());
+    }
+
+    analysis::AnalysisOptions& off = out.offchain_audit;
+    for (const FunctionDef* f : heavy) {
+      off.private_selectors.push_back(SelectorWord(f->signature));
+    }
+    // returnDisputeResolution deliberately CALLs the on-chain contract; it
+    // is the one sanctioned state-touching path and stays unclassified.
+    for (const std::string& sig : out.offchain_signatures) {
+      off.function_names[SelectorWord(sig)] = sig;
+    }
+    report = analysis::AnalyzeProgram(out.offchain_runtime, off);
+    if (report.HasErrors()) {
+      return Status::AnalysisRejected(
+          "generated off-chain contract failed verification: " +
+          report.FirstError());
+    }
   }
 
   return out;

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "contracts/codegen.h"
 #include "onoff/signed_copy.h"
 #include "support/address.h"
@@ -80,9 +81,20 @@ struct SplitContracts {
   Bytes offchain_init;
   std::vector<std::string> onchain_signatures;   // incl. padded extras
   std::vector<std::string> offchain_signatures;  // incl. padded extra
+  // Analyzer policies matching the declared split: every on-chain function
+  // except deployVerifiedInstance (which CREATEs) is declared light; every
+  // heavy function except returnDisputeResolution (which CALLs the on-chain
+  // side) is declared private. Feed these to SignedCopy::set_audit_options
+  // so the pre-signing audit re-verifies the same classification.
+  analysis::AnalysisOptions onchain_audit;
+  analysis::AnalysisOptions offchain_audit;
 };
 
-// Splits `functions` per their tags and generates both contracts.
+// Splits `functions` per their tags, generates both contracts, and
+// machine-verifies the classification with the static analyzer: the light
+// entry points must have bounded worst-case gas under the block limit, and
+// no declared-private function may reach a state-leaking effect. A
+// violation returns kAnalysisRejected.
 Result<SplitContracts> SplitContract(const SplitConfig& config,
                                      const std::vector<FunctionDef>& functions);
 

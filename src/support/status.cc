@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ExecutionReverted";
     case StatusCode::kOutOfGas:
       return "OutOfGas";
+    case StatusCode::kAnalysisRejected:
+      return "AnalysisRejected";
     case StatusCode::kInternal:
       return "Internal";
   }

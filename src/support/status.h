@@ -29,6 +29,7 @@ enum class StatusCode {
   kVerificationFailed,  // signature/integrity checks
   kExecutionReverted,   // EVM REVERT
   kOutOfGas,
+  kAnalysisRejected,    // static analysis refused the bytecode
   kInternal,
 };
 
@@ -68,6 +69,9 @@ class Status {
   }
   static Status OutOfGas(std::string msg) {
     return Status(StatusCode::kOutOfGas, std::move(msg));
+  }
+  static Status AnalysisRejected(std::string msg) {
+    return Status(StatusCode::kAnalysisRejected, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

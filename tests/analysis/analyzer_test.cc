@@ -1,0 +1,285 @@
+#include "analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "easm/assembler.h"
+
+namespace onoff::analysis {
+namespace {
+
+Bytes Asm(const std::string& src) {
+  auto code = easm::Assemble(src);
+  EXPECT_TRUE(code.ok()) << code.status().ToString();
+  return code.ok() ? *code : Bytes{};
+}
+
+bool HasCode(const AnalysisReport& report, DiagCode code) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+TEST(AnalyzerTest, StraightLineExactGas) {
+  // PUSH1(3) + PUSH1(3) + MSTORE(3 + 3 for one memory word) + STOP(0) = 12.
+  AnalysisReport report =
+      AnalyzeProgram(Asm("PUSH1 0x00 PUSH1 0x00 MSTORE STOP"));
+  EXPECT_FALSE(report.HasErrors()) << report.FirstError();
+  ASSERT_TRUE(report.program_bound.bounded);
+  EXPECT_EQ(report.program_bound.gas, 12u);
+  EXPECT_EQ(report.effects, 0u);
+}
+
+TEST(AnalyzerTest, BranchBoundTakesTheMax) {
+  // Prefix: PUSH1(3) CALLDATALOAD(3) PUSH2(3) JUMPI(10) = 19.
+  // Cheap branch: STOP (0). Expensive branch: JUMPDEST(1) + 2*PUSH1(6) +
+  // SSTORE(20000) + STOP(0) = 20007. Bound = 19 + 20007.
+  AnalysisReport report = AnalyzeProgram(Asm(R"(
+    PUSH1 0x00 CALLDATALOAD PUSH @a JUMPI
+    STOP
+    a:
+    PUSH1 0x01 PUSH1 0x02 SSTORE STOP
+  )"));
+  EXPECT_FALSE(report.HasErrors()) << report.FirstError();
+  ASSERT_TRUE(report.program_bound.bounded);
+  EXPECT_EQ(report.program_bound.gas, 20'026u);
+  EXPECT_NE(report.effects & effect::kSstore, 0u);
+}
+
+TEST(AnalyzerTest, LoopMakesTheBoundTop) {
+  AnalysisReport report = AnalyzeProgram(Asm("loop: PUSH @loop JUMP"));
+  EXPECT_FALSE(report.HasErrors()) << report.FirstError();
+  EXPECT_FALSE(report.program_bound.bounded);
+}
+
+TEST(AnalyzerTest, DynamicJumpTargetRejected) {
+  AnalysisReport report = AnalyzeProgram(Asm("PUSH1 0x00 CALLDATALOAD JUMP"));
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kUnresolvedJump));
+}
+
+TEST(AnalyzerTest, JumpOutOfRangeRejected) {
+  AnalysisReport report = AnalyzeProgram(Asm("PUSH1 0xff JUMP STOP"));
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kBadJumpTarget));
+}
+
+TEST(AnalyzerTest, JumpIntoPushImmediateRejected) {
+  // PUSH1 0x04 JUMP PUSH1 0x5b STOP: byte 4 IS 0x5b, but it is a PUSH
+  // immediate, not an instruction — the interpreter would throw, and so
+  // must the analyzer.
+  AnalysisReport report =
+      AnalyzeProgram(Bytes{0x60, 0x04, 0x56, 0x60, 0x5b, 0x00});
+  EXPECT_TRUE(report.HasErrors());
+  ASSERT_TRUE(HasCode(report, DiagCode::kBadJumpTarget));
+  EXPECT_NE(report.FirstError().find("PUSH immediate"), std::string::npos)
+      << report.FirstError();
+}
+
+TEST(AnalyzerTest, StackUnderflowRejected) {
+  AnalysisReport report = AnalyzeProgram(Bytes{0x01});  // lone ADD
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kStackUnderflow));
+}
+
+TEST(AnalyzerTest, StackOverflowRejected) {
+  Bytes code(1025, 0x30);  // 1025x ADDRESS
+  code.push_back(0x00);    // STOP
+  AnalysisReport report = AnalyzeProgram(code);
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kStackOverflow));
+}
+
+TEST(AnalyzerTest, StackHeightMismatchAtJoinRejected) {
+  // The fallthrough path reaches `a` with one extra item vs the jump path.
+  AnalysisReport report = AnalyzeProgram(Asm(R"(
+    CALLDATASIZE PUSH @a JUMPI
+    PUSH1 0x07
+    a:
+    STOP
+  )"));
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kStackHeightMismatch));
+}
+
+TEST(AnalyzerTest, TruncatedPushRejected) {
+  AnalysisReport report = AnalyzeProgram(Bytes{0x61, 0x00});  // PUSH2 + 1 byte
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kTruncatedPush));
+}
+
+TEST(AnalyzerTest, UndefinedOpcodeRejected) {
+  AnalysisReport report = AnalyzeProgram(Bytes{0x0c});
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kUndefinedOpcode));
+}
+
+TEST(AnalyzerTest, UnreachableCodeIsOnlyAWarning) {
+  AnalysisReport report = AnalyzeProgram(Asm("STOP PUSH1 0x00 STOP"));
+  EXPECT_FALSE(report.HasErrors()) << report.FirstError();
+  EXPECT_TRUE(HasCode(report, DiagCode::kUnreachableCode));
+}
+
+TEST(AnalyzerTest, ImplicitStopIsOnlyAWarning) {
+  AnalysisReport report = AnalyzeProgram(Asm("PUSH1 0x01"));
+  EXPECT_FALSE(report.HasErrors()) << report.FirstError();
+  EXPECT_TRUE(HasCode(report, DiagCode::kImplicitStop));
+}
+
+TEST(AnalyzerTest, CallMakesGasTop) {
+  // CALL forwards GAS: statically unbounded.
+  AnalysisReport report = AnalyzeProgram(Asm(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH1 0x42 GAS CALL
+    STOP
+  )"));
+  EXPECT_FALSE(report.HasErrors()) << report.FirstError();
+  EXPECT_FALSE(report.program_bound.bounded);
+  EXPECT_NE(report.effects & effect::kCall, 0u);
+}
+
+TEST(AnalyzerTest, GasBoundAlgebra) {
+  GasBound a{true, 100};
+  GasBound b{true, 250};
+  GasBound top = GasBound::Unbounded();
+  EXPECT_EQ((a + b).gas, 350u);
+  EXPECT_FALSE((a + top).bounded);
+  EXPECT_EQ(GasBound::Max(a, b).gas, 250u);
+  EXPECT_FALSE(GasBound::Max(a, top).bounded);
+  EXPECT_TRUE(a.Covers(100));
+  EXPECT_FALSE(a.Covers(101));
+  EXPECT_TRUE(top.Covers(~uint64_t{0}));
+  EXPECT_EQ(a.ToString(), "100");
+  EXPECT_EQ(top.ToString(), "unbounded");
+}
+
+// A one-function selector dispatcher in the exact shape our codegen emits.
+Bytes Dispatcher(const std::string& body) {
+  return Asm(
+      "PUSH1 0x00 CALLDATALOAD PUSH1 0xe0 SHR\n"
+      "DUP1 PUSH4 0xaabbccdd EQ PUSH @f JUMPI\n"
+      "PUSH1 0x00 PUSH1 0x00 REVERT\n"
+      "f:\nPOP\n" +
+      body + "\nSTOP\n");
+}
+
+TEST(AnalyzerTest, DispatchRecoveryFindsFunctions) {
+  AnalysisOptions options;
+  options.function_names[0xaabbccdd] = "frob()";
+  AnalysisReport report =
+      AnalyzeProgram(Dispatcher("PUSH1 0x2a PUSH1 0x64 SSTORE"), options);
+  EXPECT_FALSE(report.HasErrors()) << report.FirstError();
+  ASSERT_EQ(report.functions.size(), 1u);
+  EXPECT_EQ(report.functions[0].selector, 0xaabbccddu);
+  EXPECT_EQ(report.functions[0].name, "frob()");
+  EXPECT_TRUE(report.functions[0].gas_bound.bounded);
+  EXPECT_NE(report.functions[0].effects & effect::kSstore, 0u);
+  EXPECT_FALSE(report.functions[0].has_loop);
+}
+
+TEST(AnalyzerTest, LightFunctionWithLoopRejected) {
+  AnalysisOptions options;
+  options.light_selectors.push_back(0xaabbccdd);
+  AnalysisReport report =
+      AnalyzeProgram(Dispatcher("loop: PUSH @loop JUMP"), options);
+  EXPECT_TRUE(report.HasErrors());
+  bool found = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    found |= d.code == DiagCode::kUnboundedGas;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyzerTest, LightFunctionAboveBlockLimitRejected) {
+  AnalysisOptions options;
+  options.light_selectors.push_back(0xaabbccdd);
+  options.block_gas_limit = 10;  // absurdly small: any SSTORE breaks it
+  AnalysisReport report =
+      AnalyzeProgram(Dispatcher("PUSH1 0x2a PUSH1 0x64 SSTORE"), options);
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kGasAboveBlockLimit));
+}
+
+TEST(AnalyzerTest, PrivateFunctionStateLeakRejected) {
+  AnalysisOptions options;
+  options.private_selectors.push_back(0xaabbccdd);
+  AnalysisReport report =
+      AnalyzeProgram(Dispatcher("PUSH1 0x2a PUSH1 0x64 SSTORE"), options);
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(HasCode(report, DiagCode::kPrivateStateLeak));
+}
+
+TEST(AnalyzerTest, PrivatePureFunctionAccepted) {
+  // SLOAD and pure computation do not leak; only writes/outbound calls do.
+  AnalysisOptions options;
+  options.private_selectors.push_back(0xaabbccdd);
+  AnalysisReport report = AnalyzeProgram(
+      Dispatcher("PUSH1 0x64 SLOAD PUSH1 0x01 ADD POP"), options);
+  EXPECT_FALSE(report.HasErrors()) << report.FirstError();
+}
+
+TEST(AnalyzerTest, RecognizesWrapDeployerPrologue) {
+  // PUSH2 0001 PUSH2 000f PUSH1 00 CODECOPY PUSH2 0001 PUSH1 00 RETURN,
+  // followed by a 1-byte runtime (STOP).
+  Bytes init{0x61, 0x00, 0x01, 0x61, 0x00, 0x0f, 0x60, 0x00,
+             0x39, 0x61, 0x00, 0x01, 0x60, 0x00, 0xf3, 0x00};
+  DeploymentReport report = AnalyzeDeployment(init);
+  EXPECT_TRUE(report.recognized_deployer);
+  EXPECT_EQ(report.runtime_offset, 15u);
+  ASSERT_TRUE(report.runtime.has_value());
+  EXPECT_EQ(report.runtime->code_size, 1u);
+  EXPECT_FALSE(report.HasErrors());
+  ASSERT_TRUE(report.DeployGasBound().bounded);
+  // Deploy bound = prologue execution + 200 gas code deposit per byte.
+  EXPECT_EQ(report.DeployGasBound().gas, report.init.program_bound.gas + 200u);
+}
+
+TEST(AnalyzerTest, RuntimeDiagnosticsAreRebasedOntoInitCode) {
+  // Same deployer, but the runtime is a lone ADD (underflow at runtime
+  // pc 0 == init pc 15).
+  Bytes init{0x61, 0x00, 0x01, 0x61, 0x00, 0x0f, 0x60, 0x00,
+             0x39, 0x61, 0x00, 0x01, 0x60, 0x00, 0xf3, 0x01};
+  DeploymentReport report = AnalyzeDeployment(init);
+  ASSERT_TRUE(report.recognized_deployer);
+  ASSERT_TRUE(report.HasErrors());
+  bool found = false;
+  for (const Diagnostic& d : report.AllDiagnostics()) {
+    if (d.code == DiagCode::kStackUnderflow) {
+      EXPECT_EQ(d.pc, 15u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyzerTest, UnrecognizedInitCodeAnalyzedWhole) {
+  DeploymentReport report = AnalyzeDeployment(Asm("PUSH1 0x00 PUSH1 0x00 RETURN"));
+  EXPECT_FALSE(report.recognized_deployer);
+  EXPECT_FALSE(report.runtime.has_value());
+  EXPECT_FALSE(report.HasErrors());
+  // Unknown runtime length: the deposit charge cannot be bounded.
+  EXPECT_FALSE(report.DeployGasBound().bounded);
+}
+
+TEST(AnalyzerTest, AuditForSigningReturnsTypedError) {
+  Status status = AuditForSigning(Bytes{0x01});
+  EXPECT_EQ(status.code(), StatusCode::kAnalysisRejected);
+  EXPECT_NE(status.message().find("ANA03"), std::string::npos)
+      << status.ToString();
+  EXPECT_TRUE(AuditForSigning(Bytes{0x00}).ok());
+}
+
+TEST(AnalyzerTest, DiagnosticFormattingUsesSourceMap) {
+  easm::SourceMap map;
+  auto code = easm::AssembleWithMap("STOP\nADD\n", &map);
+  ASSERT_TRUE(code.ok());
+  AnalysisReport report = AnalyzeProgram(*code);
+  // ADD at line 2 is unreachable (warning), which the formatter should
+  // attribute to the source line.
+  ASSERT_FALSE(report.diagnostics.empty());
+  std::string formatted = FormatDiagnostic(report.diagnostics[0], &map);
+  EXPECT_NE(formatted.find("line 2"), std::string::npos) << formatted;
+}
+
+}  // namespace
+}  // namespace onoff::analysis

@@ -1,0 +1,127 @@
+// The negative corpus: known-bad bytecode that the pre-signing audit must
+// reject with a specific diagnostic, and that SignedCopy must consequently
+// refuse to sign. Each entry is a distinct way for a malicious counterparty
+// to slip a trap into the off-chain contract before signatures are
+// exchanged.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "easm/assembler.h"
+#include "onoff/signed_copy.h"
+
+namespace onoff::analysis {
+namespace {
+
+Bytes Asm(const std::string& src) {
+  auto code = easm::Assemble(src);
+  EXPECT_TRUE(code.ok()) << code.status().ToString();
+  return code.ok() ? *code : Bytes{};
+}
+
+struct CorpusEntry {
+  const char* name;
+  Bytes bytecode;
+  DiagCode expected;
+  AnalysisOptions options;
+};
+
+std::vector<CorpusEntry> Corpus() {
+  std::vector<CorpusEntry> corpus;
+
+  // A jump whose target lands on a 0x5b byte that is a PUSH immediate, not
+  // a real JUMPDEST: the interpreter throws at runtime, after signing.
+  corpus.push_back({"jump-into-push-immediate",
+                    Bytes{0x60, 0x04, 0x56, 0x60, 0x5b, 0x00},
+                    DiagCode::kBadJumpTarget,
+                    {}});
+
+  // Pops below an empty stack on the only path through the code.
+  corpus.push_back({"stack-underflow",
+                    Asm("PUSH1 0x01 ADD ADD STOP"),
+                    DiagCode::kStackUnderflow,
+                    {}});
+
+  // PUSH20 with only two immediate bytes left: the tail of the code is
+  // silently swallowed as a zero-extended immediate.
+  corpus.push_back({"truncated-push",
+                    Bytes{0x73, 0xde, 0xad},
+                    DiagCode::kTruncatedPush,
+                    {}});
+
+  // A function declared private (off-chain, sees private inputs) that can
+  // reach SSTORE — the privacy leak the paper's split must prevent.
+  AnalysisOptions leak_options;
+  leak_options.private_selectors.push_back(0xaabbccdd);
+  leak_options.function_names[0xaabbccdd] = "secretReveal()";
+  corpus.push_back({"private-state-leak",
+                    Asm(R"(
+                      PUSH1 0x00 CALLDATALOAD PUSH1 0xe0 SHR
+                      DUP1 PUSH4 0xaabbccdd EQ PUSH @f JUMPI
+                      PUSH1 0x00 PUSH1 0x00 REVERT
+                      f:
+                      POP
+                      PUSH1 0x2a PUSH1 0x64 SSTORE
+                      STOP
+                    )"),
+                    DiagCode::kPrivateStateLeak, leak_options});
+
+  // A jump guided by calldata: the target cannot be statically verified, so
+  // the contract cannot be audited at all.
+  corpus.push_back({"unresolved-jump",
+                    Asm("PUSH1 0x00 CALLDATALOAD JUMP STOP"),
+                    DiagCode::kUnresolvedJump,
+                    {}});
+
+  return corpus;
+}
+
+TEST(AnalysisCorpusTest, EveryEntryRejectedWithExpectedDiagnostic) {
+  for (const CorpusEntry& entry : Corpus()) {
+    SCOPED_TRACE(entry.name);
+    DeploymentReport report = AnalyzeDeployment(entry.bytecode, entry.options);
+    EXPECT_TRUE(report.HasErrors());
+    bool found = false;
+    for (const Diagnostic& d : report.AllDiagnostics()) {
+      found |= d.code == entry.expected;
+    }
+    EXPECT_TRUE(found) << "expected " << DiagCodeId(entry.expected)
+                       << ", first finding: "
+                       << (report.AllDiagnostics().empty()
+                               ? std::string("none")
+                               : FormatDiagnostic(report.AllDiagnostics()[0]));
+  }
+}
+
+TEST(AnalysisCorpusTest, SignedCopyRefusesToSignEveryEntry) {
+  auto key = secp256k1::PrivateKey::FromSeed("corpus-signer");
+  for (const CorpusEntry& entry : Corpus()) {
+    SCOPED_TRACE(entry.name);
+    core::SignedCopy copy(entry.bytecode);
+    copy.set_audit_options(entry.options);
+    Status status = copy.AddSignature(key);
+    EXPECT_EQ(status.code(), StatusCode::kAnalysisRejected)
+        << status.ToString();
+    // The refusal must leave no signature behind: a half-signed copy would
+    // still be a weapon in a dispute.
+    EXPECT_EQ(copy.signature_count(), 0u);
+    // The diagnostic id is carried in the error for the CLI/logs.
+    EXPECT_NE(status.message().find(DiagCodeId(entry.expected)),
+              std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(AnalysisCorpusTest, BypassFlagStillSignsForTests) {
+  auto key = secp256k1::PrivateKey::FromSeed("corpus-signer");
+  core::SignedCopy copy(Bytes{0x01});  // lone ADD: underflows
+  copy.set_audit_enabled(false);
+  EXPECT_TRUE(copy.AddSignature(key).ok());
+  EXPECT_EQ(copy.signature_count(), 1u);
+}
+
+}  // namespace
+}  // namespace onoff::analysis

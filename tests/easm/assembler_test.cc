@@ -111,6 +111,36 @@ TEST(DisassemblerTest, TruncatedPushPadsWithZeros) {
   EXPECT_NE(dis.find("PUSH2 0x0100"), std::string::npos);
 }
 
+TEST(AssemblerTest, SourceMapTracksLinesAndLabels) {
+  SourceMap map;
+  auto code = AssembleWithMap(
+      "PUSH @end JUMP\n"
+      "PUSH1 0xff\n"
+      "end:\n"
+      "STOP\n",
+      &map);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  // PUSH2 0006 (pc 0, line 1) JUMP (pc 3, line 1) PUSH1 ff (pc 4, line 2)
+  // JUMPDEST (pc 6, line 3) STOP (pc 7, line 4)
+  EXPECT_EQ(map.LineAt(0), 1);
+  EXPECT_EQ(map.LineAt(3), 1);
+  EXPECT_EQ(map.LineAt(4), 2);
+  EXPECT_EQ(map.LineAt(6), 3);
+  EXPECT_EQ(map.LineAt(7), 4);
+  ASSERT_NE(map.LabelAt(6), nullptr);
+  EXPECT_EQ(*map.LabelAt(6), "end");
+  EXPECT_EQ(map.LabelAt(0), nullptr);
+}
+
+TEST(AssemblerTest, UndefinedLabelNamesTheLabelAndLine) {
+  auto code = Assemble("STOP\nPUSH @missing JUMP");
+  ASSERT_FALSE(code.ok());
+  EXPECT_NE(code.status().message().find("missing"), std::string::npos)
+      << code.status().ToString();
+  EXPECT_NE(code.status().message().find("line 2"), std::string::npos)
+      << code.status().ToString();
+}
+
 TEST(CodeBuilderTest, BuildsAndPatchesLabels) {
   CodeBuilder b;
   auto end = b.NewLabel();

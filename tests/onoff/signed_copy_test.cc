@@ -13,7 +13,11 @@ class SignedCopyTest : public ::testing::Test {
       : alice_(PrivateKey::FromSeed("alice")),
         bob_(PrivateKey::FromSeed("bob")),
         mallory_(PrivateKey::FromSeed("mallory")),
-        copy_(BytesOf("the off-chain contract deployment bytecode")) {}
+        copy_(BytesOf("the off-chain contract deployment bytecode")) {
+    // The fixture "bytecode" is an ASCII placeholder, not real EVM code;
+    // these tests exercise the signature machinery, not the audit.
+    copy_.set_audit_enabled(false);
+  }
 
   PrivateKey alice_;
   PrivateKey bob_;
@@ -85,6 +89,21 @@ TEST_F(SignedCopyTest, DeserializeRejectsGarbage) {
 TEST_F(SignedCopyTest, SignatureOfUnknownSigner) {
   copy_.AddSignature(alice_);
   EXPECT_FALSE(copy_.SignatureOf(bob_.EthAddress()).ok());
+}
+
+TEST_F(SignedCopyTest, AuditRefusesToSignBrokenBytecode) {
+  // 0x01 is ADD on an empty stack: the analyzer proves the underflow and
+  // AddSignature must refuse with a typed error, leaving no signature.
+  SignedCopy broken(Bytes{0x01});
+  Status status = broken.AddSignature(alice_);
+  EXPECT_EQ(status.code(), StatusCode::kAnalysisRejected);
+  EXPECT_EQ(broken.signature_count(), 0u);
+}
+
+TEST_F(SignedCopyTest, AuditAcceptsTrivialProgram) {
+  SignedCopy trivial(Bytes{0x00});  // STOP
+  EXPECT_TRUE(trivial.AddSignature(alice_).ok());
+  EXPECT_EQ(trivial.signature_count(), 1u);
 }
 
 // N >= 4 participants crosses the batch-verification threshold; the

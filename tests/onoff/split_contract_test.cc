@@ -259,6 +259,37 @@ TEST_F(SplitContractTest, VerifiedInstanceAddressIsCounterfactual) {
   EXPECT_EQ(actual, predicted);
 }
 
+TEST_F(SplitContractTest, SplitterRejectsLeakyPrivateFunction) {
+  // A function tagged heavy/private whose body writes state: the generator
+  // must refuse to produce contracts whose privacy claim is false.
+  auto fns = TestFunctions();
+  fns.push_back({"leaky()", true, [](ContractWriter& w) {
+                   w.PushU(U256(0x5ec2e7));
+                   w.b().Op(Opcode::DUP1);
+                   w.SStore(U256(9));  // leaks the secret into public state
+                 }});
+  auto split = SplitContract(config_, fns);
+  ASSERT_FALSE(split.ok());
+  EXPECT_EQ(split.status().code(), StatusCode::kAnalysisRejected);
+  EXPECT_NE(split.status().message().find("ANA12"), std::string::npos)
+      << split.status().ToString();
+}
+
+TEST_F(SplitContractTest, AuditOptionsCarryTheClassification) {
+  auto split = SplitContract(config_, TestFunctions());
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  // The splitter's policies re-verify on signing: the generated off-chain
+  // init code passes its own private-function audit.
+  SignedCopy copy(split->offchain_init);
+  copy.set_audit_options(split->offchain_audit);
+  EXPECT_TRUE(copy.AddSignature(alice_).ok());
+  EXPECT_EQ(copy.signature_count(), 1u);
+  // The on-chain policy declares the light functions (and padded extras
+  // minus deployVerifiedInstance) light.
+  EXPECT_EQ(split->onchain_audit.light_selectors.size(), 2u + 3u);
+  EXPECT_EQ(split->offchain_audit.private_selectors.size(), 1u);
+}
+
 // ---- n-party generalization ----
 
 class NPartySplitTest : public ::testing::TestWithParam<int> {};

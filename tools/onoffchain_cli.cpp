@@ -8,6 +8,11 @@
 //   onoffchain_cli sign <seed> <hex>         sign keccak256(data) (v,r,s)
 //   onoffchain_cli betting <aliceSeed> <bobSeed> [revealIters]
 //       generate the paper's on/off-chain betting pair and the signed copy
+//   onoffchain_cli lint <0xhex|file.easm|file|--bundled>
+//       run the static analyzer: CFG + stack/jump verification, worst-case
+//       gas bounds, effect classification. Prints pc (and asm line/label for
+//       .easm inputs) diagnostics; exits nonzero on any error finding.
+//       --bundled lints every contract this repo generates.
 //   onoffchain_cli simdispute [--sim-seed N] [--sim-latency-ms N]
 //                             [--sim-jitter-ms N] [--sim-loss P] [--trials N]
 //       run the full protocol with a dishonest loser on the deterministic
@@ -26,8 +31,10 @@
 #include <string>
 
 #include "abi/abi.h"
+#include "analysis/analyzer.h"
 #include "chain/blockchain.h"
 #include "contracts/betting.h"
+#include "contracts/synthetic.h"
 #include "crypto/keccak.h"
 #include "crypto/secp256k1.h"
 #include "easm/assembler.h"
@@ -47,8 +54,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: onoffchain_cli "
-               "<keygen|selector|keccak|asm|disasm|sign|betting|simdispute> "
-               "args...\n");
+               "<keygen|selector|keccak|asm|disasm|sign|betting|lint|"
+               "simdispute> args...\n");
   return 2;
 }
 
@@ -161,8 +168,13 @@ int CmdBetting(const std::string& alice_seed, const std::string& bob_seed,
               ToHex(*offchain).c_str());
 
   core::SignedCopy copy(*offchain);
-  copy.AddSignature(alice);
-  copy.AddSignature(bob);
+  Status audit_a = copy.AddSignature(alice);
+  Status audit_b = copy.AddSignature(bob);
+  if (!audit_a.ok() || !audit_b.ok()) {
+    std::fprintf(stderr, "pre-signing audit refused: %s\n",
+                 (audit_a.ok() ? audit_b : audit_a).ToString().c_str());
+    return 1;
+  }
   Hash32 digest = copy.BytecodeHash();
   std::printf("bytecode hash: 0x%s\n",
               ToHex(BytesView(digest.data(), 32)).c_str());
@@ -172,6 +184,169 @@ int CmdBetting(const std::string& alice_seed, const std::string& bob_seed,
   std::printf("native reveal(): winner = %s\n",
               contracts::ComputeWinner(off) ? "bob" : "alice");
   return 0;
+}
+
+// Prints one program's analysis report; returns the number of errors.
+int PrintAnalysis(const std::string& title,
+                  const analysis::AnalysisReport& report,
+                  const easm::SourceMap* map = nullptr) {
+  std::printf("%s: %zu bytes, %zu blocks, %zu edges, program bound %s\n",
+              title.c_str(), report.code_size, report.cfg.blocks.size(),
+              report.cfg.EdgeCount(), report.program_bound.ToString().c_str());
+  for (const analysis::FunctionReport& fn : report.functions) {
+    std::printf("  fn %-44s entry 0x%04x gas <= %-10s%s\n", fn.name.c_str(),
+                fn.entry_pc, fn.gas_bound.ToString().c_str(),
+                fn.has_loop ? "  (loop)" : "");
+  }
+  int errors = 0;
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (analysis::IsError(d.code)) ++errors;
+    std::printf("  %s\n", analysis::FormatDiagnostic(d, map).c_str());
+  }
+  return errors;
+}
+
+int PrintDeploymentAnalysis(const std::string& title, BytesView init_code,
+                            const analysis::AnalysisOptions& options) {
+  analysis::DeploymentReport report =
+      analysis::AnalyzeDeployment(init_code, options);
+  int errors = 0;
+  if (report.recognized_deployer) {
+    errors += PrintAnalysis(title + " [deployer prologue]", report.init);
+    errors += PrintAnalysis(title + " [runtime]", *report.runtime);
+    std::printf("  deploy bound (incl. code deposit): %s\n",
+                report.DeployGasBound().ToString().c_str());
+  } else {
+    errors += PrintAnalysis(title, report.init);
+  }
+  return errors;
+}
+
+uint32_t SelectorWord(std::string_view signature) {
+  abi::Selector sel = abi::SelectorOf(signature);
+  return (uint32_t{sel[0]} << 24) | (uint32_t{sel[1]} << 16) |
+         (uint32_t{sel[2]} << 8) | uint32_t{sel[3]};
+}
+
+// Options naming every signature, declaring `light` bounded-below-limit and
+// `priv` state-leak-free.
+analysis::AnalysisOptions PolicyFor(const std::vector<std::string>& names,
+                                    const std::vector<std::string>& light,
+                                    const std::vector<std::string>& priv) {
+  analysis::AnalysisOptions options;
+  for (const std::string& sig : names) {
+    options.function_names[SelectorWord(sig)] = sig;
+  }
+  for (const std::string& sig : light) {
+    options.light_selectors.push_back(SelectorWord(sig));
+  }
+  for (const std::string& sig : priv) {
+    options.private_selectors.push_back(SelectorWord(sig));
+  }
+  return options;
+}
+
+int CmdLintBundled() {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  int errors = 0;
+
+  contracts::BettingConfig cfg;
+  cfg.alice = alice.EthAddress();
+  cfg.bob = bob.EthAddress();
+  cfg.deposit_amount = contracts::Ether(1);
+  cfg.t1 = 1'000'000'100;
+  cfg.t2 = 1'000'000'200;
+  cfg.t3 = 1'000'000'300;
+  contracts::OffchainConfig off;
+  off.alice = cfg.alice;
+  off.bob = cfg.bob;
+  off.reveal_iterations = 10;
+  auto betting_on = contracts::BuildOnChainInit(cfg);
+  auto betting_off = contracts::BuildOffChainInit(off);
+  if (!betting_on.ok() || !betting_off.ok()) {
+    std::fprintf(stderr, "betting generation failed\n");
+    return 1;
+  }
+  const std::string deploy_sig =
+      "deployVerifiedInstance(bytes,uint8,bytes32,bytes32,uint8,bytes32,"
+      "bytes32)";
+  analysis::AnalysisOptions betting_on_policy = PolicyFor(
+      {"deposit()", "refundRoundOne()", "refundRoundTwo()", "reassign()",
+       deploy_sig, "enforceDisputeResolution(bool)"},
+      {"deposit()", "refundRoundOne()", "refundRoundTwo()", "reassign()",
+       "enforceDisputeResolution(bool)"},
+      {});
+  analysis::AnalysisOptions betting_off_policy =
+      PolicyFor({"getWinner()", "returnDisputeResolution(address)"}, {},
+                {"getWinner()"});
+  errors +=
+      PrintDeploymentAnalysis("betting on-chain", *betting_on,
+                              betting_on_policy);
+  errors += PrintDeploymentAnalysis("betting off-chain", *betting_off,
+                                    betting_off_policy);
+
+  contracts::SyntheticConfig synth;
+  auto whole = contracts::BuildWholeInit(synth);
+  auto hybrid_on = contracts::BuildHybridOnChainInit(synth);
+  auto hybrid_off = contracts::BuildHybridOffChainInit(synth);
+  if (!whole.ok() || !hybrid_on.ok() || !hybrid_off.ok()) {
+    std::fprintf(stderr, "synthetic generation failed\n");
+    return 1;
+  }
+  errors += PrintDeploymentAnalysis("synthetic whole", *whole, {});
+  errors += PrintDeploymentAnalysis("synthetic hybrid on-chain", *hybrid_on, {});
+  errors +=
+      PrintDeploymentAnalysis("synthetic hybrid off-chain", *hybrid_off, {});
+
+  std::printf("%d error(s) across bundled contracts\n", errors);
+  return errors == 0 ? 0 : 1;
+}
+
+int CmdLint(const std::string& arg) {
+  if (arg == "--bundled") return CmdLintBundled();
+
+  // .easm files are assembled with a source map so diagnostics carry
+  // line/label positions; everything else is hex (inline or in a file).
+  if (arg.size() > 5 && arg.rfind(".easm") == arg.size() - 5) {
+    std::ifstream in(arg);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    easm::SourceMap map;
+    auto code = easm::AssembleWithMap(buf.str(), &map);
+    if (!code.ok()) {
+      std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+      return 1;
+    }
+    analysis::AnalysisReport report = analysis::AnalyzeProgram(*code);
+    return PrintAnalysis(arg, report, &map) == 0 ? 0 : 1;
+  }
+
+  std::string hex = arg;
+  if (hex.rfind("0x", 0) != 0) {
+    std::ifstream in(arg);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    hex = buf.str();
+    while (!hex.empty() && (hex.back() == '\n' || hex.back() == '\r' ||
+                            hex.back() == ' ')) {
+      hex.pop_back();
+    }
+  }
+  auto code = FromHex(hex);
+  if (!code.ok()) {
+    std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+    return 1;
+  }
+  return PrintDeploymentAnalysis(arg, *code, {}) == 0 ? 0 : 1;
 }
 
 int CmdSimDispute(const sim::SimFlags& flags) {
@@ -254,6 +429,7 @@ int Dispatch(int argc, char** argv) {
   if (cmd == "asm" && argc == 3) return CmdAsm(argv[2]);
   if (cmd == "disasm" && argc == 3) return CmdDisasm(argv[2]);
   if (cmd == "sign" && argc == 4) return CmdSign(argv[2], argv[3]);
+  if (cmd == "lint" && argc == 3) return CmdLint(argv[2]);
   if (cmd == "betting" && (argc == 4 || argc == 5)) {
     return CmdBetting(argv[2], argv[3],
                       argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 10);
