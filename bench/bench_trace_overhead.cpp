@@ -1,0 +1,168 @@
+// Tracing overhead: transaction throughput with tracing disabled, sampled
+// (1-in-64), full span tracing, and full per-opcode structLog collection.
+// The "off" row is the baseline the others are normalized against; with no
+// tracer installed every instrumented call site costs one null-pointer test,
+// so the disabled row doubles as the "is tracing really free when off?"
+// regression check.
+//
+// Writes BENCH_trace_overhead.json (onoffchain-bench-v1) via --json <path>.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"
+#include "easm/assembler.h"
+#include "obs/export.h"
+#include "trace/structlog.h"
+#include "trace/trace.h"
+
+using namespace onoff;
+
+namespace {
+
+// A compute loop (256 iterations of ADD/DUP/GT/JUMPI) ending in an SSTORE:
+// enough opcodes per transaction that per-step hooks dominate, like a real
+// contract call rather than a bare transfer.
+Bytes BuildLoopContract() {
+  auto runtime = easm::Assemble(R"(
+    PUSH1 0x00
+    loop: JUMPDEST
+    PUSH1 0x01 ADD
+    DUP1 PUSH2 0x0100 GT
+    PUSH @loop JUMPI
+    PUSH1 0x00 SSTORE
+    STOP
+  )");
+  if (!runtime.ok()) std::exit(1);
+  std::string init_src = "PUSH2 0x" + [&] {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%04zx", runtime->size());
+    return std::string(buf);
+  }();
+  init_src += "\nPUSH @runtime PUSH1 0x01 ADD\nPUSH1 0x00\nCODECOPY\n";
+  init_src += "PUSH2 0x" + [&] {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%04zx", runtime->size());
+    return std::string(buf);
+  }();
+  init_src += " PUSH1 0x00 RETURN\nruntime: DB 0x" + ToHex(*runtime) + "\n";
+  auto init = easm::Assemble(init_src);
+  if (!init.ok()) std::exit(1);
+  return *init;
+}
+
+struct Mode {
+  const char* name;
+  bool install_tracer;
+  uint64_t sample_every;
+  bool structlog;
+};
+
+struct Measurement {
+  double wall_ms = 0;
+  double tx_per_s = 0;
+};
+
+Measurement RunMode(const Mode& mode, const Bytes& init, uint64_t txs) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(1000));
+
+  trace::TracerConfig config;
+  config.sample_every = mode.sample_every;
+  trace::Tracer tracer(config);
+  trace::Tracer* previous = nullptr;
+  if (mode.install_tracer) previous = trace::Tracer::InstallGlobal(&tracer);
+  trace::StructLogConfig slog_config;
+  slog_config.stack_top_k = 8;
+  trace::StructLogTracer structlog(slog_config);
+  if (mode.structlog) chain.set_step_tracer(&structlog);
+
+  auto deploy = chain.Execute(alice, std::nullopt, U256(), init, 500'000);
+  if (!deploy.ok() || !deploy->success) std::exit(1);
+  Address contract = deploy->contract_address;
+
+  auto run_txs = [&](uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) {
+      trace::TraceContext ctx;
+      if (mode.install_tracer) ctx = tracer.StartTrace();
+      trace::ScopedSpan span(mode.install_tracer ? &tracer : nullptr, ctx,
+                             "bench.tx", "bench");
+      trace::ScopedContext ambient(span.context());
+      auto receipt = chain.Execute(alice, contract, U256(), {}, 100'000);
+      if (!receipt.ok() || !receipt->success) std::exit(1);
+      // Per-transaction structLog, like debug_traceTransaction: keep the
+      // collection cost, drop the records.
+      if (mode.structlog) structlog.Clear();
+    }
+  };
+  run_txs(txs / 10 + 1);  // warmup
+
+  auto start = std::chrono::steady_clock::now();
+  run_txs(txs);
+  auto end = std::chrono::steady_clock::now();
+
+  if (mode.install_tracer) trace::Tracer::InstallGlobal(previous);
+  Measurement m;
+  m.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  m.tx_per_s = m.wall_ms > 0 ? 1000.0 * static_cast<double>(txs) / m.wall_ms
+                             : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path =
+      obs::JsonPathFromArgs(&argc, argv, "BENCH_trace_overhead.json");
+  uint64_t txs = 300;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--txs") == 0) {
+      txs = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  const Mode modes[] = {
+      {"off", false, 1, false},
+      {"sampled_1_in_64", true, 64, false},
+      {"full_spans", true, 1, false},
+      {"full_structlog", true, 1, true},
+  };
+
+  Bytes init = BuildLoopContract();
+  std::printf("=== Tracing overhead: %llu loop-contract txs per mode ===\n\n",
+              static_cast<unsigned long long>(txs));
+  std::printf("%-18s %12s %12s %10s\n", "mode", "wall (ms)", "tx/s",
+              "vs off");
+
+  obs::Json results = obs::Json::Array();
+  double off_tx_per_s = 0;
+  for (const Mode& mode : modes) {
+    Measurement m = RunMode(mode, init, txs);
+    if (std::strcmp(mode.name, "off") == 0) off_tx_per_s = m.tx_per_s;
+    double relative = off_tx_per_s > 0 ? m.tx_per_s / off_tx_per_s : 1.0;
+    std::printf("%-18s %12.1f %12.0f %9.2fx\n", mode.name, m.wall_ms,
+                m.tx_per_s, relative);
+    results.Push(obs::Json::Object()
+                     .Set("mode", obs::Json::Str(mode.name))
+                     .Set("txs", obs::Json::Num(static_cast<double>(txs)))
+                     .Set("wall_ms", obs::Json::Num(m.wall_ms))
+                     .Set("tx_per_s", obs::Json::Num(m.tx_per_s))
+                     .Set("throughput_vs_off", obs::Json::Num(relative)));
+  }
+
+  if (!json_path.empty()) {
+    Status st = obs::WriteBenchJson(json_path, "trace_overhead",
+                                    std::move(results));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -49,4 +49,32 @@ Bytes Receipt::Encode() const {
   return rlp::Encode(rlp::Item::List(std::move(fields)));
 }
 
+std::string DescribeReceipt(const Receipt& receipt) {
+  std::string out;
+  out += "tx " + ToHex0x(BytesView(receipt.tx_hash.data(),
+                                   receipt.tx_hash.size()));
+  out += "\n  status:   ";
+  out += receipt.success ? "success" : "failed";
+  out += "\n  block:    " + std::to_string(receipt.block_number);
+  out += "\n  gas used: " + std::to_string(receipt.gas_used);
+  out += " (cumulative " + std::to_string(receipt.cumulative_gas_used) + ")";
+  if (receipt.contract_address != Address()) {
+    out += "\n  contract: " + receipt.contract_address.ToHex();
+  }
+  if (!receipt.output.empty()) {
+    out += "\n  output:   " + ToHex0x(receipt.output);
+  }
+  out += "\n  logs:     " + std::to_string(receipt.logs.size());
+  for (size_t i = 0; i < receipt.logs.size(); ++i) {
+    const evm::LogEntry& log = receipt.logs[i];
+    out += "\n    log[" + std::to_string(i) + "] " + log.address.ToHex();
+    for (const U256& topic : log.topics) {
+      out += "\n      topic " + topic.ToHexFull();
+    }
+    out += "\n      data  ";
+    out += log.data.empty() ? "(empty)" : ToHex0x(log.data);
+  }
+  return out;
+}
+
 }  // namespace onoff::chain

@@ -4,6 +4,7 @@
 #define ONOFFCHAIN_CHAIN_BLOCK_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "chain/transaction.h"
@@ -53,6 +54,10 @@ struct Block {
 
   Hash32 Hash() const { return header.Hash(); }
 };
+
+// Human-readable multi-line receipt summary (status, gas, contract address,
+// every LOG0–LOG4 entry with topics and data) — the CLI's receipt output.
+std::string DescribeReceipt(const Receipt& receipt);
 
 }  // namespace onoff::chain
 

@@ -6,6 +6,10 @@
 #include "evm/gas.h"
 #include "obs/metrics.h"
 #include "rlp/rlp.h"
+#include "support/log.h"
+#include "trace/bounds.h"
+#include "trace/span_hook.h"
+#include "trace/trace.h"
 #include "trie/trie.h"
 
 namespace onoff::chain {
@@ -67,6 +71,9 @@ Result<Hash32> Blockchain::SubmitTransaction(const Transaction& tx) {
       static obs::Counter* findings =
           obs::GetCounterOrNull("chain.deploy_lint_findings");
       if (findings != nullptr) findings->Inc();
+      ONOFF_LOG(log::Level::kWarn, "chain",
+                "deploy lint found issues in init code of tx %s",
+                ToHex0x(BytesView(tx.Hash().data(), 8)).c_str());
       if (config_.deploy_lint == DeployLint::kEnforce) {
         std::string first;
         for (const analysis::Diagnostic& d : report.AllDiagnostics()) {
@@ -75,9 +82,17 @@ Result<Hash32> Blockchain::SubmitTransaction(const Transaction& tx) {
             break;
           }
         }
+        ONOFF_LOG(log::Level::kError, "chain", "deploy rejected: %s",
+                  first.c_str());
         return Status::AnalysisRejected("deploy lint: " + first);
       }
     }
+  }
+  // Rejoinable trace context: the Transaction wire format carries no trace
+  // ids, so remember which trace submitted this hash (no-op when the
+  // submitter has no ambient context or tracing is off).
+  if (trace::Tracer* tracer = trace::Tracer::Global()) {
+    tracer->AnnotateTx(tx.Hash(), trace::CurrentContext());
   }
   ONOFF_RETURN_NOT_OK(pool_.Add(tx));
   return tx.Hash();
@@ -137,6 +152,14 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
   receipt.block_number = block_number;
   receipt.cumulative_gas_used = cumulative_gas;
 
+  trace::Tracer* tracer = trace::Tracer::Global();
+  trace::TraceContext tx_ctx;
+  if (tracer != nullptr) tx_ctx = tracer->ContextForTx(receipt.tx_hash);
+  trace::ScopedSpan tx_span(
+      tracer, tx_ctx, "tx.apply", "chain",
+      {{"block", std::to_string(block_number)},
+       {"tx", ToHex0x(BytesView(receipt.tx_hash.data(), 32))}});
+
   auto fail = [&](const std::string& reason) {
     receipt.success = false;
     receipt.output = BytesOf(reason);
@@ -165,6 +188,16 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
   evm::Evm evm(&state_, MakeBlockContext(block_number, now_),
                evm::TxContext{sender, tx.gas_price});
 
+  // Mirror the EVM call-frame tree into the trace when this tx is traced;
+  // a configured step tracer rides along as the inner hook (or alone, when
+  // the transaction itself is not sampled into a trace).
+  trace::FrameSpanHook frame_hook(tracer, tx_span.context(), step_tracer_);
+  if (tx_span.context().valid()) {
+    evm.set_trace_hook(&frame_hook);
+  } else if (step_tracer_ != nullptr) {
+    evm.set_trace_hook(step_tracer_);
+  }
+
   uint64_t exec_gas = tx.gas_limit - intrinsic;
   evm::ExecResult result;
   if (tx.IsContractCreation()) {
@@ -192,13 +225,39 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
   state_.AddBalance(sender, tx.gas_price * U256(tx.gas_limit - gas_used));
   state_.AddBalance(config_.coinbase, tx.gas_price * U256(gas_used));
 
+  // Bounds-check mode: a successful execution must stay within the static
+  // analyzer's worst-case bound (exceptional halts consume the whole
+  // allowance by construction, so only successes are meaningful).
+  if (bounds_checker_ != nullptr && result.ok()) {
+    uint64_t evm_gas = exec_gas - result.gas_left;
+    std::optional<trace::GasBoundsChecker::Violation> violation =
+        tx.IsContractCreation()
+            ? bounds_checker_->CheckCreate(tx.data, evm_gas)
+            : bounds_checker_->CheckCall(state_.GetCode(*tx.to), tx.data,
+                                         evm_gas);
+    if (violation.has_value()) {
+      ONOFF_LOG(log::Level::kWarn, "chain", "%s",
+                violation->ToString().c_str());
+      if (tracer != nullptr) {
+        tracer->Event(tx_ctx, "trace.bounds_violation", "chain",
+                      {{"detail", violation->ToString()}});
+      }
+    }
+  }
+
   receipt.success = result.ok();
   receipt.gas_used = gas_used;
   receipt.logs = std::move(result.logs);
   receipt.output = std::move(result.output);
+  tx_span.AddArg("gas_used", std::to_string(gas_used));
+  tx_span.AddArg("success", receipt.success ? "true" : "false");
   if (!receipt.success) {
     static obs::Counter* failed = obs::GetCounterOrNull("chain.txs_failed");
     if (failed != nullptr) failed->Inc();
+    ONOFF_LOG(log::Level::kDebug, "chain", "tx %s failed: %s",
+              ToHex0x(BytesView(receipt.tx_hash.data(), 8)).c_str(),
+              std::string(receipt.output.begin(), receipt.output.end())
+                  .c_str());
   }
   return receipt;
 }
@@ -227,6 +286,7 @@ const Block& Blockchain::MineBlock() {
   size_t pending_before = pool_.size();
   std::vector<Transaction> txs =
       pool_.Take(config_.max_txs_per_block, config_.block_gas_limit);
+  trace::Tracer* tracer = trace::Tracer::Global();
   for (const Transaction& tx : txs) {
     Receipt receipt = ApplyTransaction(tx, number, cumulative_gas);
     cumulative_gas += receipt.gas_used;
@@ -237,6 +297,12 @@ const Block& Blockchain::MineBlock() {
     receipts_[HashKey(receipt.tx_hash)] = receipt;
     block.transactions.push_back(tx);
     state_.ClearJournal();
+    if (tracer != nullptr) {
+      tracer->Event(tracer->ContextForTx(receipt.tx_hash), "block.include",
+                    "chain",
+                    {{"block", std::to_string(number)},
+                     {"gas_used", std::to_string(receipt.gas_used)}});
+    }
   }
 
   block.header.gas_used = cumulative_gas;
@@ -264,6 +330,10 @@ const Block& Blockchain::MineBlock() {
   if (block_gas != nullptr) {
     block_gas->Observe(static_cast<double>(cumulative_gas));
   }
+  ONOFF_LOG(log::Level::kDebug, "chain",
+            "mined block %llu: %zu txs, %llu gas, %zu pending",
+            static_cast<unsigned long long>(number), txs.size(),
+            static_cast<unsigned long long>(cumulative_gas), pool_.size());
   return blocks_.back();
 }
 

@@ -18,6 +18,10 @@
 #include "state/world_state.h"
 #include "support/status.h"
 
+namespace onoff::trace {
+class GasBoundsChecker;
+}  // namespace onoff::trace
+
 namespace onoff::chain {
 
 // What the node does with static-analysis findings on submitted init code.
@@ -116,6 +120,18 @@ class Blockchain {
   // "miner work" metric used in the evaluation benches.
   uint64_t TotalGasUsed() const { return total_gas_used_; }
 
+  // Bounds-check mode: when set, every successfully applied transaction's
+  // EVM gas is checked against the static analyzer's bound (trace/bounds.h)
+  // and violations are logged + recorded as trace events. Not owned.
+  void set_bounds_checker(trace::GasBoundsChecker* checker) {
+    bounds_checker_ = checker;
+  }
+
+  // Per-step EVM tracer (e.g. trace::StructLogTracer): invoked for every
+  // executed opcode of every applied transaction, either directly or as the
+  // inner hook of the span mirror when the transaction is traced. Not owned.
+  void set_step_tracer(evm::TraceHook* hook) { step_tracer_ = hook; }
+
  private:
   Receipt ApplyTransaction(const Transaction& tx, uint64_t block_number,
                            uint64_t cumulative_gas);
@@ -128,6 +144,8 @@ class Blockchain {
   std::map<std::string, Receipt> receipts_;  // keyed by raw hash bytes
   uint64_t now_;
   uint64_t total_gas_used_ = 0;
+  trace::GasBoundsChecker* bounds_checker_ = nullptr;
+  evm::TraceHook* step_tracer_ = nullptr;
 };
 
 }  // namespace onoff::chain

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "obs/metrics.h"
+#include "trace/trace.h"
 
 namespace onoff::chain {
 
@@ -31,6 +32,10 @@ Status TxPool::Add(const Transaction& tx) {
   static obs::Counter* added = obs::GetCounterOrNull("txpool.added");
   if (added != nullptr) added->Inc();
   UpdateDepthGauge();
+  if (trace::Tracer* tracer = trace::Tracer::Global()) {
+    tracer->Event(tracer->ContextForTx(tx.Hash()), "pool.admit", "chain",
+                  {{"depth", std::to_string(pending_.size())}});
+  }
   return Status::OK();
 }
 

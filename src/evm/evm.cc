@@ -7,6 +7,7 @@
 #include "evm/gas.h"
 #include "evm/opcodes.h"
 #include "evm/precompiles.h"
+#include "evm/trace_hook.h"
 #include "obs/metrics.h"
 #include "rlp/rlp.h"
 
@@ -45,6 +46,32 @@ std::vector<bool> AnalyzeJumpdests(const Bytes& code) {
   }
   return valid;
 }
+
+// Pairs OnFrameEnter (constructor) with OnFrameExit (destructor) around a
+// frame body, so every exit path — including exceptional halts — reports the
+// frame's final result exactly once. `result` must outlive the scope and
+// hold the frame's outcome by the time the scope closes. When `hook` is
+// null the scope costs two never-taken branches.
+class FrameScope {
+ public:
+  FrameScope(TraceHook* hook, const FrameContext& frame,
+             const ExecResult* result)
+      : hook_(hook), frame_(frame), result_(result) {
+    if (hook_ != nullptr) hook_->OnFrameEnter(frame_);
+  }
+  ~FrameScope() {
+    if (hook_ != nullptr) {
+      hook_->OnFrameExit(frame_, *result_, frame_.gas - result_->gas_left);
+    }
+  }
+  FrameScope(const FrameScope&) = delete;
+  FrameScope& operator=(const FrameScope&) = delete;
+
+ private:
+  TraceHook* hook_;
+  const FrameContext& frame_;
+  const ExecResult* result_;
+};
 
 }  // namespace
 
@@ -90,7 +117,8 @@ class Interpreter {
         data_(std::move(data)),
         gas_(gas),
         is_static_(is_static),
-        depth_(depth) {
+        depth_(depth),
+        hook_(evm->trace_hook_) {
     code_ = override_code != nullptr ? *override_code
                                      : world_->GetCode(code_addr);
     jumpdests_ = AnalyzeJumpdests(code_);
@@ -197,6 +225,7 @@ class Interpreter {
   uint64_t gas_;
   bool is_static_;
   int depth_;
+  TraceHook* hook_;
 
   Bytes code_;
   std::vector<bool> jumpdests_;
@@ -219,6 +248,19 @@ ExecResult Interpreter::Run() {
     uint8_t op_byte = code_[pc_];
     if (op_counters != nullptr) (*op_counters)[op_byte]->Inc();
     const OpcodeInfo& info = GetOpcodeInfo(op_byte);
+    if (hook_ != nullptr) {
+      // Observed before execution (and before validity checks, so invalid
+      // instructions still appear in the structLog, like geth).
+      StepContext step;
+      step.pc = pc_;
+      step.opcode = op_byte;
+      step.op_name = info.name.data();
+      step.gas = gas_;
+      step.depth = depth_;
+      step.stack = &stack_;
+      step.memory_size = memory_.size();
+      hook_->OnStep(step);
+    }
     if (!info.defined || op_byte == static_cast<uint8_t>(Opcode::INVALID)) {
       return Halt(Outcome::kInvalidInstruction);
     }
@@ -894,6 +936,18 @@ bool Interpreter::DoCall(Opcode op) {
         child.gas_left = forwarded + stipend;
         break;
       }
+      FrameContext frame;
+      if (hook_ != nullptr) {
+        frame.kind = op == Opcode::DELEGATECALL ? "DELEGATECALL" : "CALLCODE";
+        frame.depth = depth_ + 1;
+        frame.self = self_;
+        frame.code_address = to;
+        frame.caller = op == Opcode::DELEGATECALL ? caller_ : self_;
+        frame.value = op == Opcode::DELEGATECALL ? value_ : value;
+        frame.gas = forwarded + stipend;
+        frame.input_size = input.size();
+      }
+      FrameScope frame_scope(hook_, frame, &child);
       auto snapshot = world_->TakeSnapshot();
       if (auto pre = RunPrecompile(to, input, forwarded + stipend)) {
         child.outcome = pre->success ? Outcome::kSuccess : Outcome::kOutOfGas;
@@ -1039,6 +1093,22 @@ ExecResult Evm::CallInternal(const CallMessage& msg, int depth) {
     return res;
   }
 
+  FrameContext frame;
+  if (trace_hook_ != nullptr) {
+    frame.kind = IsPrecompile(msg.to)                ? "PRECOMPILE"
+                 : world_->GetCode(msg.to).empty()   ? "TRANSFER"
+                 : msg.is_static                     ? "STATICCALL"
+                                                     : "CALL";
+    frame.depth = depth;
+    frame.self = msg.to;
+    frame.code_address = msg.to;
+    frame.caller = msg.caller;
+    frame.value = msg.value;
+    frame.gas = msg.gas;
+    frame.input_size = msg.data.size();
+  }
+  FrameScope frame_scope(trace_hook_, frame, &res);
+
   auto snapshot = world_->TakeSnapshot();
   if (!msg.value.IsZero()) {
     Status st = world_->Transfer(msg.caller, msg.to, msg.value);
@@ -1100,6 +1170,19 @@ ExecResult Evm::CreateInternal(const Address& caller, const U256& value,
     return res;
   }
 
+  FrameContext frame;
+  if (trace_hook_ != nullptr) {
+    frame.kind = salt != nullptr ? "CREATE2" : "CREATE";
+    frame.depth = depth;
+    frame.self = new_addr;
+    frame.code_address = new_addr;
+    frame.caller = caller;
+    frame.value = value;
+    frame.gas = gas;
+    frame.input_size = init_code.size();
+  }
+  FrameScope frame_scope(trace_hook_, frame, &res);
+
   auto snapshot = world_->TakeSnapshot();
   world_->CreateAccount(new_addr);
   world_->SetNonce(new_addr, 1);  // EIP-161
@@ -1116,11 +1199,13 @@ ExecResult Evm::CreateInternal(const Address& caller, const U256& value,
   if (init_res.outcome == Outcome::kRevert) {
     world_->RevertToSnapshot(snapshot);
     init_res.created = Address();
-    return init_res;
+    res = std::move(init_res);
+    return res;
   }
   if (!init_res.ok()) {
     world_->RevertToSnapshot(snapshot);
-    return init_res;
+    res = std::move(init_res);
+    return res;
   }
 
   // Deposit the returned runtime code.

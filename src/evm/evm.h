@@ -20,6 +20,8 @@
 
 namespace onoff::evm {
 
+class TraceHook;  // evm/trace_hook.h
+
 // Block-level environment visible to contracts (TIMESTAMP, NUMBER, ...).
 struct BlockContext {
   uint64_t number = 0;
@@ -110,6 +112,12 @@ class Evm {
   const BlockContext& block() const { return block_; }
   state::WorldState* world() { return world_; }
 
+  // Installs an execution tracer (see evm/trace_hook.h). The hook observes
+  // every interpreter step and call-frame boundary for the lifetime of this
+  // Evm; pass nullptr to detach. Not owned.
+  void set_trace_hook(TraceHook* hook) { trace_hook_ = hook; }
+  TraceHook* trace_hook() const { return trace_hook_; }
+
  private:
   friend class Interpreter;
 
@@ -121,6 +129,7 @@ class Evm {
   state::WorldState* world_;
   BlockContext block_;
   TxContext tx_;
+  TraceHook* trace_hook_ = nullptr;
 };
 
 }  // namespace onoff::evm

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "trace/trace.h"
 
 namespace onoff::core {
 
@@ -37,27 +38,52 @@ void MessageBus::Send(Message message) {
   static obs::Counter* sent_bytes = obs::GetCounterOrNull("bus.bytes_sent");
   if (sent != nullptr) sent->Inc();
   if (sent_bytes != nullptr) sent_bytes->Inc(message.payload.size());
+
+  // The sender's ambient trace context, captured here because a deferred
+  // transport runs the delivery closure with an empty thread-local stack.
+  trace::Tracer* tracer = trace::Tracer::Global();
+  trace::TraceContext ctx =
+      tracer != nullptr ? trace::CurrentContext() : trace::TraceContext{};
+
   if (drop_ && drop_(message)) {
     CountDrop(message.payload.size());
+    if (tracer != nullptr) {
+      tracer->Event(ctx, "bus.drop", "net",
+                    {{"reason", "drop_hook"}, {"topic", message.topic}});
+    }
     return;
   }
   if (transport_ == nullptr) {
+    if (tracer != nullptr) {
+      tracer->Event(ctx, "bus.deliver", "net", {{"topic", message.topic}});
+    }
     DeliverNow(std::move(message));
     return;
   }
   std::string from = message.from.ToHex();
   std::string to = message.to.ToHex();
   size_t bytes = message.payload.size();
+  // The in-flight span: opened at send, closed when the scheduler runs the
+  // delivery event — its duration is the simulated network latency.
+  trace::TraceContext flight;
+  if (tracer != nullptr) {
+    flight = tracer->BeginSpan(ctx, "bus.flight", "net",
+                               {{"topic", message.topic}, {"to", to}});
+  }
   bool scheduled = transport_->Deliver(
       from, to, bytes,
-      [this, message = std::move(message)]() mutable {
+      [this, tracer, flight, message = std::move(message)]() mutable {
         DeliverNow(std::move(message));
+        if (tracer != nullptr) tracer->EndSpan(flight);
       });
   if (!scheduled) {
     // Rejected at send time (loss, partition, crashed endpoint). In-flight
     // losses are invisible to the sender by design; the transport's own
     // stats account for those.
     CountDrop(bytes);
+    if (tracer != nullptr) {
+      tracer->EndSpan(flight, {{"dropped", "transport_reject"}});
+    }
   }
 }
 

@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <utility>
+
+#include "trace/trace.h"
 
 namespace onoff::core {
 
@@ -34,7 +37,9 @@ bool IsDeadlineMiss(const Status& status) {
 }
 
 // Observes each stage's wall time into the process-global registry as the
-// driver moves past it (or unwinds through an early settlement).
+// driver moves past it (or unwinds through an early settlement), and — when
+// the run is traced — mirrors each stage as a span whose context becomes the
+// ambient parent for the stage's transactions and messages.
 class StageSpans {
  public:
   StageSpans() = default;
@@ -47,12 +52,20 @@ class StageSpans {
     active_ = true;
     stage_ = stage;
     start_ = std::chrono::steady_clock::now();
+    if (trace::Tracer* tracer = trace::Tracer::Global()) {
+      span_.emplace(tracer, trace::CurrentContext(),
+                    std::string("stage.") + StageName(stage), "protocol");
+      ambient_.emplace(span_->context());
+    }
   }
 
  private:
   void Close() {
     if (!active_) return;
     active_ = false;
+    // LIFO: pop the ambient context before ending the span it points at.
+    ambient_.reset();
+    span_.reset();
     obs::Histogram* h = obs::GetHistogramOrNull(
         std::string("protocol.stage_us.") + StageName(stage_),
         obs::DefaultTimeBucketsUs());
@@ -66,6 +79,8 @@ class StageSpans {
   bool active_ = false;
   Stage stage_ = Stage::kSplitGenerate;
   std::chrono::steady_clock::time_point start_;
+  std::optional<trace::ScopedSpan> span_;
+  std::optional<trace::ScopedContext> ambient_;
 };
 
 }  // namespace
@@ -126,6 +141,16 @@ void BettingProtocol::BindSimulation(sim::Scheduler* scheduler,
   transport_ = scheduler != nullptr ? transport : nullptr;
   // Off-chain messages ride the same simulated network as transactions.
   bus_->SetTransport(transport_);
+  // When tracing is on, spans are stamped from the virtual clock so trace
+  // timestamps line up with the simulated network delays (and two runs with
+  // the same seed export byte-identical traces).
+  if (trace::Tracer* tracer = trace::Tracer::Global()) {
+    if (sched_ != nullptr) {
+      tracer->SetClock([sched = sched_] { return sched->NowMs() * 1000; });
+    } else {
+      tracer->SetClock(nullptr);
+    }
+  }
 }
 
 obs::Counter* BettingProtocol::StageCounter(Stage stage, const char* field) {
@@ -155,13 +180,28 @@ Result<chain::Receipt> BettingProtocol::ExecuteViaSim(
   // hold only a weak reference so abandoning the call frees everything.
   auto attempt = std::make_shared<std::function<void()>>();
   std::weak_ptr<std::function<void()>> weak_attempt = attempt;
+  // The submitter's ambient trace context, captured now because both the
+  // retry timer and the delivery callback run from the scheduler with an
+  // empty thread-local stack. Re-pushed around Execute so the chain links
+  // the mined transaction back to this protocol run.
+  trace::Tracer* tracer = trace::Tracer::Global();
+  trace::TraceContext submit_ctx =
+      tracer != nullptr ? trace::CurrentContext() : trace::TraceContext{};
+  auto attempts = std::make_shared<int>(0);
   *attempt = [this, call, weak_attempt, sender, from, to, value,
-              data = std::move(data), gas_limit, wire_bytes, deadline_ms] {
+              data = std::move(data), gas_limit, wire_bytes, deadline_ms,
+              tracer, submit_ctx, attempts] {
     if (call->done || call->cancelled) return;
+    if (++*attempts > 1 && tracer != nullptr) {
+      tracer->Event(submit_ctx, "tx.retransmit", "protocol",
+                    {{"attempt", std::to_string(*attempts)},
+                     {"from", sender}});
+    }
     transport_->Deliver(
         sender, kChainEndpoint, wire_bytes,
-        [this, call, from, to, value, data, gas_limit] {
+        [this, call, from, to, value, data, gas_limit, submit_ctx] {
           if (call->done || call->cancelled) return;
+          trace::ScopedContext ambient(submit_ctx);
           // Block timestamps follow the virtual clock: the chain's time is
           // pulled up to the delivery instant before the transaction mines.
           chain_->AdvanceTimeTo(run_start_ts_ +
@@ -180,6 +220,11 @@ Result<chain::Receipt> BettingProtocol::ExecuteViaSim(
   sched_->RunUntil(deadline_ms, [call] { return call->done; });
   if (!call->done) {
     call->cancelled = true;
+    if (tracer != nullptr) {
+      tracer->Event(submit_ctx, "tx.deadline_miss", "protocol",
+                    {{"deadline_ms", std::to_string(deadline_ms)},
+                     {"from", sender}});
+    }
     return Status::FailedPrecondition(
         "transaction from " + sender + " missed its deadline (virtual t=" +
         std::to_string(deadline_ms) + "ms)");
@@ -207,8 +252,20 @@ Result<chain::Receipt> BettingProtocol::Transact(
 Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
                                             const Behavior& bob_behavior) {
   stage_registry_.Reset();
+  // Root of the causal trace: everything this run touches — off-chain
+  // messages, network hops, pool admission, block inclusion, EVM frames —
+  // inherits this context and shares one trace id.
+  trace::Tracer* tracer = trace::Tracer::Global();
+  trace::TraceContext root_ctx;
+  if (tracer != nullptr) root_ctx = tracer->StartTrace();
+  trace::ScopedSpan run_span(tracer, root_ctx, "protocol.run", "protocol");
+  trace::ScopedContext ambient(run_span.context());
   ONOFF_ASSIGN_OR_RETURN(ProtocolReport report,
                          RunImpl(alice_behavior, bob_behavior));
+  if (tracer != nullptr) {
+    tracer->Event(run_span.context(), "protocol.settled", "protocol",
+                  {{"settlement", SettlementName(report.settlement)}});
+  }
   // Materialise the StageReport view from the per-run ledger. Every path —
   // aborts, refunds, optimistic, disputed — funnels through here, so the
   // view is complete regardless of where RunImpl settled.
@@ -225,6 +282,8 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
     s.transactions = static_cast<int>(
         stage_registry_.CounterValue(StageKey(stage, "transactions")));
   }
+  run_span.AddArg("settlement", SettlementName(report.settlement));
+  run_span.AddArg("gas_used", std::to_string(report.TotalGas()));
   // Mirror run totals into the global registry (no-ops when disabled).
   if (obs::Registry* g = obs::Registry::Global()) {
     g->GetCounter("protocol.runs")->Inc();

@@ -1,6 +1,7 @@
 #include "sim/transport.h"
 
 #include "obs/metrics.h"
+#include "trace/trace.h"
 
 namespace onoff::sim {
 
@@ -116,28 +117,55 @@ bool SimTransport::Deliver(const std::string& from, const std::string& to,
   ++stats_.sent;
   static obs::Counter* sent = obs::GetCounterOrNull("sim.msgs_sent");
   if (sent != nullptr) sent->Inc();
+
+  // Sender's ambient trace context, captured before the scheduler defers
+  // delivery (the closure runs with an empty thread-local context stack).
+  trace::Tracer* tracer = trace::Tracer::Global();
+  trace::TraceContext ctx =
+      tracer != nullptr ? trace::CurrentContext() : trace::TraceContext{};
+  auto drop_event = [&](const char* reason) {
+    if (tracer != nullptr) {
+      tracer->Event(ctx, "net.drop", "net",
+                    {{"link", from + "->" + to}, {"reason", reason}});
+    }
+  };
+
   if (crashed_.count(from) > 0 || crashed_.count(to) > 0) {
     CountDrop(from, to, &stats_.dropped_crash, "crash");
+    drop_event("crash");
     return false;
   }
   if (!SameSide(from, to)) {
     CountDrop(from, to, &stats_.dropped_partition, "partition");
+    drop_event("partition");
     return false;
   }
   auto delay = LinkFor(from, to).SampleDelay(bytes);
   if (!delay.has_value()) {
     CountDrop(from, to, &stats_.dropped_loss, "loss");
+    drop_event("loss");
     return false;
   }
   if (obs::Registry* g = obs::Registry::Global()) {
     g->GetHistogram("sim.delay_ms", DelayBucketsMs())
         ->Observe(static_cast<double>(*delay));
   }
+  // One hop in flight on the virtual clock: the span's duration is the
+  // sampled link delay.
+  trace::TraceContext flight;
+  if (tracer != nullptr) {
+    flight = tracer->BeginSpan(ctx, "net.flight", "net",
+                               {{"link", from + "->" + to},
+                                {"delay_ms", std::to_string(*delay)}});
+  }
   scheduler_->ScheduleAfter(
-      *delay, [this, from, to, delay = *delay,
+      *delay, [this, from, to, delay = *delay, tracer, flight,
                deliver = std::move(deliver)] {
         if (crashed_.count(to) > 0) {
           CountDrop(from, to, &stats_.dropped_crash, "crash");
+          if (tracer != nullptr) {
+            tracer->EndSpan(flight, {{"dropped", "crash_on_arrival"}});
+          }
           return;
         }
         ++stats_.delivered;
@@ -147,6 +175,7 @@ bool SimTransport::Deliver(const std::string& from, const std::string& to,
           g->GetCounter("sim.link." + from + "->" + to + ".delivered")->Inc();
         }
         deliver();
+        if (tracer != nullptr) tracer->EndSpan(flight);
       });
   return true;
 }

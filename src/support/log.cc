@@ -1,0 +1,119 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace onoff::log {
+
+namespace {
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("ONOFF_LOG_LEVEL");
+    Level initial = env != nullptr ? LevelFromString(env) : Level::kInfo;
+    return static_cast<int>(initial);
+  }();
+  return level;
+}
+
+std::mutex& WriterMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::atomic<FILE*>& SinkStore() {
+  static std::atomic<FILE*> sink{nullptr};
+  return sink;
+}
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  if (a.size() != std::strlen(b)) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kTrace:
+      return "trace";
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Level LevelFromString(const std::string& text, Level fallback) {
+  for (Level level : {Level::kTrace, Level::kDebug, Level::kInfo, Level::kWarn,
+                      Level::kError, Level::kOff}) {
+    if (EqualsIgnoreCase(text, LevelName(level))) return level;
+  }
+  return fallback;
+}
+
+Level GetLevel() { return static_cast<Level>(LevelStore().load(std::memory_order_relaxed)); }
+
+void SetLevel(Level level) {
+  LevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level LevelFromArgs(int* argc, char** argv) {
+  const char* kFlag = "--log-level";
+  const size_t kFlagLen = std::strlen(kFlag);
+  std::string value;
+  bool found = false;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, kFlag) == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
+      found = true;
+      ++i;
+      continue;
+    }
+    if (std::strncmp(arg, kFlag, kFlagLen) == 0 && arg[kFlagLen] == '=') {
+      value = arg + kFlagLen + 1;
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (found) SetLevel(LevelFromString(value, GetLevel()));
+  return GetLevel();
+}
+
+void Logf(Level level, const char* component, const char* format, ...) {
+  if (!Enabled(level)) return;
+  char message[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+  FILE* sink = SinkStore().load(std::memory_order_acquire);
+  if (sink == nullptr) sink = stderr;
+  std::lock_guard<std::mutex> lock(WriterMutex());
+  std::fprintf(sink, "[%s] %s: %s\n", LevelName(level), component, message);
+  std::fflush(sink);
+}
+
+void SetSinkForTest(FILE* sink) {
+  SinkStore().store(sink, std::memory_order_release);
+}
+
+}  // namespace onoff::log

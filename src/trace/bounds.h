@@ -1,0 +1,69 @@
+// The bounds-check mode of the tracer: compares *observed* execution gas
+// (from receipts / the structLog tracer) against the PR 4 static analyzer's
+// worst-case bounds and flags violations. A violation means either the
+// analyzer's bound is unsound or the execution escaped the analyzed
+// envelope — both are bugs worth an alarm, which is exactly what the
+// paper's pre-signing audit story needs to stay trustworthy.
+//
+// Analysis reports are cached by code hash, so checking every transaction
+// of a protocol run analyzes each distinct contract once.
+
+#ifndef ONOFFCHAIN_TRACE_BOUNDS_H_
+#define ONOFFCHAIN_TRACE_BOUNDS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "crypto/keccak.h"
+#include "support/bytes.h"
+
+namespace onoff::trace {
+
+class GasBoundsChecker {
+ public:
+  explicit GasBoundsChecker(analysis::AnalysisOptions options = {});
+
+  struct Violation {
+    uint32_t selector = 0;       // 0 when no selector dispatch applied
+    std::string function;        // function name, hex selector or "(program)"
+    uint64_t observed_gas = 0;
+    uint64_t bound_gas = 0;      // the (bounded) static bound that was beaten
+    std::string ToString() const;
+  };
+
+  // Checks a message call into `code` with `calldata` that consumed
+  // `observed_gas`. Returns a Violation iff the static bound for the
+  // dispatched function (or the whole program when no selector matches) is
+  // bounded and observed_gas exceeds it. Unbounded (⊤) bounds never violate.
+  std::optional<Violation> CheckCall(const Bytes& code, const Bytes& calldata,
+                                     uint64_t observed_gas);
+
+  // Checks a contract creation: observed deployment gas against the
+  // analyzer's DeployGasBound for `init_code`.
+  std::optional<Violation> CheckCreate(const Bytes& init_code,
+                                       uint64_t observed_gas);
+
+  uint64_t checks() const;
+  uint64_t violations() const;
+
+ private:
+  const analysis::AnalysisReport& ReportFor(const Bytes& code);
+  const analysis::DeploymentReport& DeployReportFor(const Bytes& init_code);
+  std::optional<Violation> Record(std::optional<Violation> violation);
+
+  analysis::AnalysisOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<Hash32, analysis::AnalysisReport> call_cache_;       // by code hash
+  std::map<Hash32, analysis::DeploymentReport> deploy_cache_;   // by code hash
+  uint64_t checks_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace onoff::trace
+
+#endif  // ONOFFCHAIN_TRACE_BOUNDS_H_

@@ -1,0 +1,39 @@
+// FrameSpanHook: an evm::TraceHook that mirrors the EVM call-frame tree
+// into the span tracer, so one trace links MessageBus delivery → tx-pool
+// admission → block inclusion → EVM call frames. Optionally chains to an
+// inner hook (e.g. a StructLogTracer) since an Evm carries a single hook
+// pointer.
+
+#ifndef ONOFFCHAIN_TRACE_SPAN_HOOK_H_
+#define ONOFFCHAIN_TRACE_SPAN_HOOK_H_
+
+#include <vector>
+
+#include "evm/trace_hook.h"
+#include "trace/trace.h"
+
+namespace onoff::trace {
+
+class FrameSpanHook : public evm::TraceHook {
+ public:
+  // Frames become spans under `root` in `tracer`. A null tracer or invalid
+  // root degrades to pure forwarding.
+  FrameSpanHook(Tracer* tracer, const TraceContext& root,
+                evm::TraceHook* inner = nullptr)
+      : tracer_(tracer), root_(root), inner_(inner) {}
+
+  void OnFrameEnter(const evm::FrameContext& frame) override;
+  void OnFrameExit(const evm::FrameContext& frame,
+                   const evm::ExecResult& result, uint64_t gas_used) override;
+  void OnStep(const evm::StepContext& step) override;
+
+ private:
+  Tracer* tracer_;
+  TraceContext root_;
+  evm::TraceHook* inner_;
+  std::vector<TraceContext> stack_;  // open frame spans, innermost last
+};
+
+}  // namespace onoff::trace
+
+#endif  // ONOFFCHAIN_TRACE_SPAN_HOOK_H_

@@ -1,0 +1,133 @@
+// LOG0–LOG4 entries travel end-to-end: emitted by the EVM, carried on the
+// transaction receipt, queryable via GetLogs, and rendered by
+// DescribeReceipt (the CLI's receipt output).
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "easm/assembler.h"
+
+namespace onoff::chain {
+namespace {
+
+const U256 kEther = U256(10).Exp(U256(18));
+
+// Wraps assembled runtime bytes in the standard CODECOPY deployer.
+Bytes DeployerFor(const Bytes& runtime) {
+  char size_hex[8];
+  std::snprintf(size_hex, sizeof size_hex, "%04zx", runtime.size());
+  std::string src = std::string("PUSH2 0x") + size_hex +
+                    "\nPUSH @runtime PUSH1 0x01 ADD\nPUSH1 0x00\nCODECOPY\n" +
+                    "PUSH2 0x" + size_hex + " PUSH1 0x00 RETURN\n" +
+                    "runtime: DB 0x" + ToHex(runtime) + "\n";
+  auto init = easm::Assemble(src);
+  EXPECT_TRUE(init.ok()) << init.status().ToString();
+  return *init;
+}
+
+TEST(ReceiptLogTest, LogsRideTheReceipt) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), kEther);
+
+  // On call: MSTORE 0x2a at 0, emit LOG1(topic 0x77, data = that word),
+  // then LOG0 with empty data.
+  auto runtime = easm::Assemble(R"(
+    PUSH1 0x2a PUSH1 0x00 MSTORE
+    PUSH1 0x77 PUSH1 0x20 PUSH1 0x00 LOG1
+    PUSH1 0x00 PUSH1 0x00 LOG0
+    STOP
+  )");
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+
+  auto deploy =
+      chain.Execute(alice, std::nullopt, U256(), DeployerFor(*runtime),
+                    500'000);
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(deploy->success);
+  Address contract = deploy->contract_address;
+
+  auto receipt = chain.Execute(alice, contract, U256(), {}, 200'000);
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_TRUE(receipt->success);
+
+  ASSERT_EQ(receipt->logs.size(), 2u);
+  const evm::LogEntry& first = receipt->logs[0];
+  EXPECT_EQ(first.address, contract);
+  ASSERT_EQ(first.topics.size(), 1u);
+  EXPECT_EQ(first.topics[0], U256(0x77));
+  ASSERT_EQ(first.data.size(), 32u);
+  EXPECT_EQ(first.data[31], 0x2a);
+  const evm::LogEntry& second = receipt->logs[1];
+  EXPECT_TRUE(second.topics.empty());
+  EXPECT_TRUE(second.data.empty());
+
+  // The same entries come back through the eth_getLogs-style query.
+  Blockchain::LogQuery query;
+  query.address = contract;
+  EXPECT_EQ(chain.GetLogs(query).size(), 2u);
+  query.topic0 = U256(0x77);
+  EXPECT_EQ(chain.GetLogs(query).size(), 1u);
+
+  // And the receipt lookup returns them too (not just the Execute copy).
+  auto looked_up = chain.GetReceipt(receipt->tx_hash);
+  ASSERT_TRUE(looked_up.ok());
+  EXPECT_EQ(looked_up->logs.size(), 2u);
+}
+
+TEST(ReceiptLogTest, DescribeReceiptRendersLogs) {
+  Receipt receipt;
+  receipt.tx_hash[0] = 0xab;
+  receipt.success = true;
+  receipt.block_number = 7;
+  receipt.gas_used = 30'000;
+  receipt.cumulative_gas_used = 30'000;
+  evm::LogEntry log;
+  std::array<uint8_t, 20> raw{};
+  raw[19] = 0xcc;
+  log.address = Address(raw);
+  log.topics.push_back(U256(0x77));
+  log.data = {0xde, 0xad};
+  receipt.logs.push_back(log);
+  receipt.logs.push_back(evm::LogEntry{});  // LOG0, no data
+
+  std::string text = DescribeReceipt(receipt);
+  EXPECT_NE(text.find("status:   success"), std::string::npos);
+  EXPECT_NE(text.find("block:    7"), std::string::npos);
+  EXPECT_NE(text.find("logs:     2"), std::string::npos);
+  EXPECT_NE(text.find("log[0]"), std::string::npos);
+  EXPECT_NE(text.find(log.address.ToHex()), std::string::npos);
+  EXPECT_NE(text.find(U256(0x77).ToHexFull()), std::string::npos);
+  EXPECT_NE(text.find("0xdead"), std::string::npos);
+  EXPECT_NE(text.find("(empty)"), std::string::npos);
+}
+
+TEST(ReceiptLogTest, FailedTransactionDropsLogs) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), kEther);
+
+  // Emits a LOG0 then reverts: the receipt must not carry the entry.
+  auto runtime = easm::Assemble(R"(
+    PUSH1 0x00 PUSH1 0x00 LOG0
+    PUSH1 0x00 PUSH1 0x00 REVERT
+  )");
+  ASSERT_TRUE(runtime.ok());
+  auto deploy =
+      chain.Execute(alice, std::nullopt, U256(), DeployerFor(*runtime),
+                    500'000);
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(deploy->success);
+
+  auto receipt =
+      chain.Execute(alice, deploy->contract_address, U256(), {}, 200'000);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_FALSE(receipt->success);
+  EXPECT_TRUE(receipt->logs.empty());
+  Blockchain::LogQuery query;
+  query.address = deploy->contract_address;
+  EXPECT_TRUE(chain.GetLogs(query).empty());
+}
+
+}  // namespace
+}  // namespace onoff::chain

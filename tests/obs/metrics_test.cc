@@ -170,5 +170,26 @@ TEST(MetricsTest, GlobalRegistryRespectsCompileTimeSwitch) {
 #endif
 }
 
+// Export determinism: the same instruments dumped from registries populated
+// in different insertion orders serialise to byte-identical JSON (keys are
+// sorted), so diffing two runs' metric dumps is meaningful.
+TEST(MetricsTest, JsonDumpIsByteDeterministicAcrossInsertionOrder) {
+  Registry forward;
+  forward.GetCounter("alpha")->Inc(1);
+  forward.GetCounter("zeta")->Inc(2);
+  forward.GetGauge("mid")->Set(3);
+  forward.GetHistogram("hist", {1.0, 2.0})->Observe(1.5);
+
+  Registry reversed;
+  reversed.GetHistogram("hist", {1.0, 2.0})->Observe(1.5);
+  reversed.GetGauge("mid")->Set(3);
+  reversed.GetCounter("zeta")->Inc(2);
+  reversed.GetCounter("alpha")->Inc(1);
+
+  std::string a = forward.ToJsonString();
+  EXPECT_EQ(a, reversed.ToJsonString());
+  EXPECT_LT(a.find("\"alpha\""), a.find("\"zeta\""));
+}
+
 }  // namespace
 }  // namespace onoff::obs

@@ -1,0 +1,123 @@
+#include "trace/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"
+#include "easm/assembler.h"
+#include "onoff/protocol.h"
+#include "sim/scheduler.h"
+#include "sim/transport.h"
+
+namespace onoff::trace {
+namespace {
+
+TEST(GasBoundsCheckerTest, ObservedWithinBoundPasses) {
+  auto code = easm::Assemble("PUSH1 0x02 PUSH1 0x03 ADD POP STOP");
+  ASSERT_TRUE(code.ok());
+  GasBoundsChecker checker;
+  // Actual execution costs 11 gas (3+3+3+2+0), exactly the static bound.
+  EXPECT_FALSE(checker.CheckCall(*code, {}, 11).has_value());
+  EXPECT_EQ(checker.checks(), 1u);
+  EXPECT_EQ(checker.violations(), 0u);
+}
+
+TEST(GasBoundsCheckerTest, ObservedAboveBoundViolates) {
+  auto code = easm::Assemble("PUSH1 0x02 PUSH1 0x03 ADD POP STOP");
+  ASSERT_TRUE(code.ok());
+  GasBoundsChecker checker;
+  // A loop-free 5-instruction program is bounded well under 1000 gas; an
+  // observation above the bound must surface as a violation.
+  auto violation = checker.CheckCall(*code, {}, 1'000'000);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->observed_gas, 1'000'000u);
+  EXPECT_GE(violation->observed_gas, violation->bound_gas);
+  EXPECT_FALSE(violation->ToString().empty());
+  EXPECT_EQ(checker.violations(), 1u);
+}
+
+TEST(GasBoundsCheckerTest, UnboundedProgramsNeverViolate) {
+  // An unconditional backwards jump: the analyzer cannot bound it, so the
+  // checker must not cry wolf regardless of the observation.
+  auto code = easm::Assemble("loop: JUMPDEST PUSH @loop JUMP");
+  ASSERT_TRUE(code.ok());
+  GasBoundsChecker checker;
+  EXPECT_FALSE(checker.CheckCall(*code, {}, UINT64_MAX / 2).has_value());
+}
+
+// Every transaction the protocol driver sends — deploys, deposits, the
+// dispute round trip — stays within the static analyzer's bounds, for both
+// the optimistic and the disputed path. This is the paper's soundness story
+// told end-to-end: worst-case bounds certified before signing are never
+// beaten by observed execution.
+class ProtocolBoundsTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ProtocolBoundsTest, NoViolationOnDriverPath) {
+  const bool dispute = GetParam();
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+  chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+  GasBoundsChecker checker;
+  chain.set_bounds_checker(&checker);
+
+  core::MessageBus bus;
+  contracts::OffchainConfig offchain;
+  offchain.secret_alice = U256(0xa11ce);
+  offchain.secret_bob = U256(0xb0b);
+  offchain.reveal_iterations = 10;
+  core::BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                                 contracts::Ether(1));
+  core::Behavior behavior;
+  behavior.admit_loss = !dispute;
+  auto report = protocol.Run(behavior, behavior);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->correct_payout);
+
+  EXPECT_GT(checker.checks(), 0u);
+  EXPECT_EQ(checker.violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(OptimisticAndDisputed, ProtocolBoundsTest,
+                         ::testing::Values(false, true));
+
+// The same invariant under the simulated network (retransmissions, delays):
+// the full dispute path on the sim driver never beats a bound either.
+TEST(GasBoundsCheckerTest, NoViolationOnSimulatedDisputePath) {
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+  chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+  GasBoundsChecker checker;
+  chain.set_bounds_checker(&checker);
+
+  core::MessageBus bus;
+  contracts::OffchainConfig offchain;
+  offchain.secret_alice = U256(0xa11ce);
+  offchain.secret_bob = U256(0xb0b);
+  offchain.reveal_iterations = 10;
+
+  sim::Scheduler sched;
+  sim::SimTransport transport(&sched, /*seed=*/7);
+  sim::LinkConfig link;
+  link.latency_ms = 40;
+  link.jitter_ms = 10;
+  transport.SetLink(alice.EthAddress().ToHex(), "chain", link);
+  transport.SetLink(bob.EthAddress().ToHex(), "chain", link);
+
+  core::BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                                 contracts::Ether(1));
+  protocol.BindSimulation(&sched, &transport);
+  core::Behavior dishonest;
+  dishonest.admit_loss = false;
+  auto report = protocol.Run(dishonest, dishonest);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_GT(checker.checks(), 0u);
+  EXPECT_EQ(checker.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace onoff::trace

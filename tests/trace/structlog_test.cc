@@ -1,0 +1,213 @@
+#include "trace/structlog.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"
+#include "easm/assembler.h"
+#include "evm/evm.h"
+#include "state/world_state.h"
+
+namespace onoff::trace {
+namespace {
+
+Address Addr(uint8_t tag) {
+  std::array<uint8_t, 20> raw{};
+  raw[19] = tag;
+  return Address(raw);
+}
+
+const Address kSender = Addr(0xaa);
+const Address kContract = Addr(0xcc);
+
+class StructLogTest : public ::testing::Test {
+ protected:
+  StructLogTest() {
+    block_.number = 100;
+    block_.timestamp = 1'550'000'000;
+    block_.gas_limit = 8'000'000;
+    tx_.origin = kSender;
+    tx_.gas_price = U256(1);
+    world_.AddBalance(kSender, U256(1'000'000'000));
+  }
+
+  evm::ExecResult Run(const std::string& source, StructLogTracer* tracer,
+                      uint64_t gas = 100'000) {
+    auto code = easm::Assemble(source);
+    EXPECT_TRUE(code.ok()) << code.status().ToString();
+    world_.SetCode(kContract, *code);
+    evm::Evm evm(&world_, block_, tx_);
+    evm.set_trace_hook(tracer);
+    evm::CallMessage msg;
+    msg.caller = kSender;
+    msg.to = kContract;
+    msg.gas = gas;
+    return evm.Call(msg);
+  }
+
+  state::WorldState world_;
+  evm::BlockContext block_;
+  evm::TxContext tx_;
+};
+
+// Golden structLog for a fixed program: every pc, opcode, remaining gas,
+// per-step cost, and stack against hand-computed values.
+TEST_F(StructLogTest, GoldenSmallProgram) {
+  StructLogTracer tracer;
+  evm::ExecResult res =
+      Run("PUSH1 0x02 PUSH1 0x03 ADD PUSH1 0x00 MSTORE STOP", &tracer);
+  ASSERT_TRUE(res.ok());
+
+  const auto& records = tracer.records();
+  ASSERT_EQ(records.size(), 6u);
+  struct Golden {
+    uint64_t pc;
+    const char* op;
+    uint64_t gas;
+    uint64_t gas_cost;
+    std::vector<U256> stack;  // top first
+  };
+  // PUSH1 costs 3, ADD 3, MSTORE 3 + 3 memory expansion (one word), STOP 0.
+  const Golden golden[] = {
+      {0, "PUSH1", 100'000, 3, {}},
+      {2, "PUSH1", 99'997, 3, {U256(2)}},
+      {4, "ADD", 99'994, 3, {U256(3), U256(2)}},
+      {5, "PUSH1", 99'991, 3, {U256(5)}},
+      {7, "MSTORE", 99'988, 6, {U256(0), U256(5)}},
+      {8, "STOP", 99'982, 0, {}},
+  };
+  for (size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(records[i].pc, golden[i].pc);
+    EXPECT_EQ(records[i].op, golden[i].op);
+    EXPECT_EQ(records[i].gas, golden[i].gas);
+    EXPECT_EQ(records[i].gas_cost, golden[i].gas_cost);
+    EXPECT_EQ(records[i].depth, 0);
+    EXPECT_EQ(records[i].stack_top, golden[i].stack);
+  }
+  ASSERT_EQ(tracer.frames().size(), 1u);
+  EXPECT_EQ(tracer.frames()[0].gas_used, 18u);
+  EXPECT_EQ(tracer.TotalGasUsed(), 18u);
+}
+
+TEST_F(StructLogTest, CallFrameTreeAndGasAttribution) {
+  // Callee at 0xcd: PUSH1 1 PUSH1 0 SSTORE STOP (3 + 3 + 20000-ish SSTORE).
+  auto callee = easm::Assemble("PUSH1 0x01 PUSH1 0x00 SSTORE STOP");
+  ASSERT_TRUE(callee.ok());
+  Address callee_addr = Addr(0xcd);
+  world_.SetCode(callee_addr, *callee);
+
+  StructLogTracer tracer;
+  // CALL(gas, to, value, inoff, insize, outoff, outsize).
+  evm::ExecResult res = Run(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 "
+      "PUSH20 0x00000000000000000000000000000000000000cd "
+      "PUSH3 0x00ffff CALL STOP",
+      &tracer);
+  ASSERT_TRUE(res.ok());
+
+  const auto& frames = tracer.frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].kind, "CALL");
+  EXPECT_EQ(frames[0].depth, 0);
+  EXPECT_EQ(frames[0].parent, -1);
+  ASSERT_EQ(frames[0].children.size(), 1u);
+  EXPECT_EQ(frames[0].children[0], 1);
+  EXPECT_EQ(frames[1].kind, "CALL");
+  EXPECT_EQ(frames[1].depth, 1);
+  EXPECT_EQ(frames[1].self, callee_addr);
+  EXPECT_EQ(frames[1].parent, 0);
+  // Parent's total includes the child; self-gas excludes it.
+  EXPECT_EQ(frames[0].gas_self + frames[1].gas_used, frames[0].gas_used);
+  EXPECT_GT(frames[1].gas_used, 20'000u);  // cold SSTORE dominates
+
+  // The CALL step's cost covers the child's net consumption (geth default).
+  uint64_t call_cost = 0;
+  for (const StructLogRecord& rec : tracer.records()) {
+    if (rec.op == std::string("CALL")) call_cost = rec.gas_cost;
+  }
+  EXPECT_GT(call_cost, frames[1].gas_used);
+}
+
+TEST_F(StructLogTest, StackTopKAndRecordCapRespected) {
+  StructLogConfig config;
+  config.stack_top_k = 2;
+  config.max_records = 4;
+  StructLogTracer tracer(config);
+  evm::ExecResult res = Run(
+      "PUSH1 0x01 PUSH1 0x02 PUSH1 0x03 PUSH1 0x04 ADD ADD ADD STOP",
+      &tracer);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(tracer.records().size(), 4u);
+  EXPECT_EQ(tracer.steps_seen(), 8u);
+  EXPECT_EQ(tracer.records_dropped(), 4u);
+  // Fourth record: stack is [1,2,3] but only the top 2 are kept.
+  const StructLogRecord& rec = tracer.records()[3];
+  ASSERT_EQ(rec.stack_top.size(), 2u);
+  EXPECT_EQ(rec.stack_top[0], U256(3));
+  EXPECT_EQ(rec.stack_top[1], U256(2));
+}
+
+// The "bundled contract" golden: deploying the paper's off-chain betting
+// program twice produces byte-identical structLog JSON, and the frame tree's
+// root accounts for exactly the EVM-level gas the receipt reports.
+TEST_F(StructLogTest, BundledContractDeterministicAndGasConsistent) {
+  auto run_once = [](std::string* dump, uint64_t* root_gas,
+                     uint64_t* receipt_gas, uint64_t* intrinsic) {
+    auto alice = secp256k1::PrivateKey::FromSeed("alice");
+    contracts::OffchainConfig config;
+    config.alice = alice.EthAddress();
+    config.bob = secp256k1::PrivateKey::FromSeed("bob").EthAddress();
+    config.secret_alice = U256(0xa11ce);
+    config.secret_bob = U256(0xb0b);
+    config.reveal_iterations = 5;
+    auto init = contracts::BuildOffChainInit(config);
+    ASSERT_TRUE(init.ok());
+
+    chain::Blockchain chain;
+    chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+    StructLogTracer tracer;
+    chain.set_step_tracer(&tracer);
+    auto receipt = chain.Execute(alice, std::nullopt, U256(), *init,
+                                 8'000'000);
+    ASSERT_TRUE(receipt.ok());
+    ASSERT_TRUE(receipt->success);
+    ASSERT_EQ(tracer.frames().size(), 1u);
+    *dump = tracer.ToJson().Dump();
+    *root_gas = tracer.frames()[0].gas_used;
+    *receipt_gas = receipt->gas_used;
+    chain::Transaction probe;
+    probe.to = std::nullopt;
+    probe.data = *init;
+    *intrinsic = probe.IntrinsicGas();
+  };
+  std::string dump1, dump2;
+  uint64_t root_gas = 0, receipt_gas = 0, intrinsic = 0;
+  run_once(&dump1, &root_gas, &receipt_gas, &intrinsic);
+  {
+    uint64_t g = 0, r = 0, i = 0;
+    run_once(&dump2, &g, &r, &i);
+  }
+  EXPECT_EQ(dump1, dump2);
+  EXPECT_GT(dump1.size(), 1000u);
+  // receipt gas = intrinsic + EVM execution + code-deposit charge; the
+  // structLog frame sees the middle term plus the deposit taken inside the
+  // create frame, so it can never exceed the receipt's total.
+  EXPECT_GT(root_gas, 0u);
+  EXPECT_LE(root_gas, receipt_gas - intrinsic);
+}
+
+TEST_F(StructLogTest, ClearResetsEverything) {
+  StructLogTracer tracer;
+  ASSERT_TRUE(Run("PUSH1 0x00 POP STOP", &tracer).ok());
+  EXPECT_FALSE(tracer.records().empty());
+  tracer.Clear();
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_TRUE(tracer.frames().empty());
+  EXPECT_EQ(tracer.steps_seen(), 0u);
+  ASSERT_TRUE(Run("PUSH1 0x00 POP STOP", &tracer).ok());
+  EXPECT_EQ(tracer.records().size(), 3u);
+}
+
+}  // namespace
+}  // namespace onoff::trace

@@ -17,18 +17,33 @@
 //                             [--sim-jitter-ms N] [--sim-loss P] [--trials N]
 //       run the full protocol with a dishonest loser on the deterministic
 //       network simulator and report how the dispute settled
+//   onoffchain_cli trace [sim flags] [--chrome-json <path>]
+//                        [--trace-json <path>] [--structlog <path>]
+//                        [--check-bounds] [--sample-every N]
+//       run the bundled dispute scenario with end-to-end causal tracing: one
+//       trace id links message-bus delivery, network hops, tx-pool admission,
+//       block inclusion, EVM call frames and settlement. Exports Chrome
+//       trace-event JSON (chrome://tracing / ui.perfetto.dev), the
+//       onoffchain-trace-v1 span dump, and optionally a per-opcode structLog;
+//       --check-bounds verifies observed gas against the static analyzer's
+//       bounds and exits nonzero on a violation.
 //
 // Any command additionally accepts --metrics-json <path> (or =<path>): after
 // the command runs, the process-global metrics registry is dumped to <path>
-// in the onoffchain-metrics-v1 JSON schema.
+// in the onoffchain-metrics-v1 JSON schema; and --log-level
+// <trace|debug|info|warn|error|off> to filter the structured diagnostics the
+// library layers emit on stderr.
 //
 // Everything runs fully offline against the in-repo substrate.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "abi/abi.h"
 #include "analysis/analyzer.h"
@@ -46,6 +61,10 @@
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/transport.h"
+#include "support/log.h"
+#include "trace/bounds.h"
+#include "trace/structlog.h"
+#include "trace/trace.h"
 
 using namespace onoff;
 
@@ -55,7 +74,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: onoffchain_cli "
                "<keygen|selector|keccak|asm|disasm|sign|betting|lint|"
-               "simdispute> args...\n");
+               "simdispute|trace> args...\n");
   return 2;
 }
 
@@ -94,14 +113,14 @@ int CmdKeccak(const std::string& arg) {
 int CmdAsm(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    ONOFF_LOG(log::Level::kError, "cli", "cannot open %s", path.c_str());
     return 1;
   }
   std::stringstream buf;
   buf << in.rdbuf();
   auto code = easm::Assemble(buf.str());
   if (!code.ok()) {
-    std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+    ONOFF_LOG(log::Level::kError, "cli", "%s", code.status().ToString().c_str());
     return 1;
   }
   std::printf("0x%s\n", ToHex(*code).c_str());
@@ -111,7 +130,7 @@ int CmdAsm(const std::string& path) {
 int CmdDisasm(const std::string& hex) {
   auto code = FromHex(hex);
   if (!code.ok()) {
-    std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+    ONOFF_LOG(log::Level::kError, "cli", "%s", code.status().ToString().c_str());
     return 1;
   }
   std::fputs(easm::Disassemble(*code).c_str(), stdout);
@@ -124,7 +143,7 @@ int CmdSign(const std::string& seed, const std::string& data_arg) {
   Hash32 digest = Keccak256(data);
   auto sig = secp256k1::Sign(digest, key);
   if (!sig.ok()) {
-    std::fprintf(stderr, "%s\n", sig.status().ToString().c_str());
+    ONOFF_LOG(log::Level::kError, "cli", "%s", sig.status().ToString().c_str());
     return 1;
   }
   std::printf("signer: %s\n", key.EthAddress().ToHex().c_str());
@@ -157,7 +176,7 @@ int CmdBetting(const std::string& alice_seed, const std::string& bob_seed,
   auto onchain = contracts::BuildOnChainInit(cfg);
   auto offchain = contracts::BuildOffChainInit(off);
   if (!onchain.ok() || !offchain.ok()) {
-    std::fprintf(stderr, "generation failed\n");
+    ONOFF_LOG(log::Level::kError, "cli", "generation failed");
     return 1;
   }
   std::printf("participants: %s (alice), %s (bob)\n", cfg.alice.ToHex().c_str(),
@@ -171,8 +190,8 @@ int CmdBetting(const std::string& alice_seed, const std::string& bob_seed,
   Status audit_a = copy.AddSignature(alice);
   Status audit_b = copy.AddSignature(bob);
   if (!audit_a.ok() || !audit_b.ok()) {
-    std::fprintf(stderr, "pre-signing audit refused: %s\n",
-                 (audit_a.ok() ? audit_b : audit_a).ToString().c_str());
+    ONOFF_LOG(log::Level::kError, "cli", "pre-signing audit refused: %s",
+              (audit_a.ok() ? audit_b : audit_a).ToString().c_str());
     return 1;
   }
   Hash32 digest = copy.BytecodeHash();
@@ -265,7 +284,7 @@ int CmdLintBundled() {
   auto betting_on = contracts::BuildOnChainInit(cfg);
   auto betting_off = contracts::BuildOffChainInit(off);
   if (!betting_on.ok() || !betting_off.ok()) {
-    std::fprintf(stderr, "betting generation failed\n");
+    ONOFF_LOG(log::Level::kError, "cli", "betting generation failed");
     return 1;
   }
   const std::string deploy_sig =
@@ -291,7 +310,7 @@ int CmdLintBundled() {
   auto hybrid_on = contracts::BuildHybridOnChainInit(synth);
   auto hybrid_off = contracts::BuildHybridOffChainInit(synth);
   if (!whole.ok() || !hybrid_on.ok() || !hybrid_off.ok()) {
-    std::fprintf(stderr, "synthetic generation failed\n");
+    ONOFF_LOG(log::Level::kError, "cli", "synthetic generation failed");
     return 1;
   }
   errors += PrintDeploymentAnalysis("synthetic whole", *whole, {});
@@ -311,7 +330,7 @@ int CmdLint(const std::string& arg) {
   if (arg.size() > 5 && arg.rfind(".easm") == arg.size() - 5) {
     std::ifstream in(arg);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+      ONOFF_LOG(log::Level::kError, "cli", "cannot open %s", arg.c_str());
       return 1;
     }
     std::stringstream buf;
@@ -319,7 +338,7 @@ int CmdLint(const std::string& arg) {
     easm::SourceMap map;
     auto code = easm::AssembleWithMap(buf.str(), &map);
     if (!code.ok()) {
-      std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+      ONOFF_LOG(log::Level::kError, "cli", "%s", code.status().ToString().c_str());
       return 1;
     }
     analysis::AnalysisReport report = analysis::AnalyzeProgram(*code);
@@ -330,7 +349,7 @@ int CmdLint(const std::string& arg) {
   if (hex.rfind("0x", 0) != 0) {
     std::ifstream in(arg);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+      ONOFF_LOG(log::Level::kError, "cli", "cannot open %s", arg.c_str());
       return 1;
     }
     std::stringstream buf;
@@ -343,7 +362,7 @@ int CmdLint(const std::string& arg) {
   }
   auto code = FromHex(hex);
   if (!code.ok()) {
-    std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+    ONOFF_LOG(log::Level::kError, "cli", "%s", code.status().ToString().c_str());
     return 1;
   }
   return PrintDeploymentAnalysis(arg, *code, {}) == 0 ? 0 : 1;
@@ -420,6 +439,187 @@ int CmdSimDispute(const sim::SimFlags& flags) {
   return 0;
 }
 
+struct TraceFlags {
+  std::string chrome_json;
+  std::string trace_json;
+  std::string structlog_json;
+  bool check_bounds = false;
+  uint64_t sample_every = 1;
+};
+
+// Strips --chrome-json/--trace-json/--structlog/--check-bounds/--sample-every
+// from argv (both "--flag value" and "--flag=value" spellings).
+TraceFlags TraceFlagsFromArgs(int* argc, char** argv) {
+  TraceFlags flags;
+  auto take_value = [&](int* i, const char* name, std::string* out) {
+    std::string arg = argv[*i];
+    std::string prefix = std::string(name) + "=";
+    if (arg == name && *i + 1 < *argc) {
+      *out = argv[*i + 1];
+      return 2;
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      *out = arg.substr(prefix.size());
+      return 1;
+    }
+    return 0;
+  };
+  int out_i = 0;
+  for (int i = 0; i < *argc;) {
+    std::string value;
+    int eaten = take_value(&i, "--chrome-json", &flags.chrome_json);
+    if (eaten == 0) eaten = take_value(&i, "--trace-json", &flags.trace_json);
+    if (eaten == 0) {
+      eaten = take_value(&i, "--structlog", &flags.structlog_json);
+    }
+    if (eaten == 0 && (eaten = take_value(&i, "--sample-every", &value)) > 0) {
+      flags.sample_every = std::strtoull(value.c_str(), nullptr, 10);
+      if (flags.sample_every == 0) flags.sample_every = 1;
+    }
+    if (eaten == 0 && std::strcmp(argv[i], "--check-bounds") == 0) {
+      flags.check_bounds = true;
+      eaten = 1;
+    }
+    if (eaten == 0) {
+      argv[out_i++] = argv[i++];
+    } else {
+      i += eaten;
+    }
+  }
+  *argc = out_i;
+  return flags;
+}
+
+int WriteJsonFile(const obs::Json& json, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    ONOFF_LOG(log::Level::kError, "cli", "cannot open %s for writing",
+              path.c_str());
+    return 1;
+  }
+  out << json.Dump(/*pretty=*/true) << '\n';
+  return out.good() ? 0 : 1;
+}
+
+// Indented causal tree of one trace's spans, roots first.
+void PrintSpanTree(const std::vector<trace::Span>& spans) {
+  std::map<uint64_t, std::vector<const trace::Span*>> children;
+  for (const trace::Span& s : spans) children[s.parent_span_id].push_back(&s);
+  std::function<void(uint64_t, int)> walk = [&](uint64_t parent, int depth) {
+    auto it = children.find(parent);
+    if (it == children.end()) return;
+    for (const trace::Span* s : it->second) {
+      std::string line(static_cast<size_t>(depth) * 2, ' ');
+      line += s->instant ? "* " : "- ";
+      line += s->name;
+      std::printf("%-48s %10llu us", line.c_str(),
+                  static_cast<unsigned long long>(s->start_us));
+      if (!s->instant) {
+        std::printf("  +%llu us", static_cast<unsigned long long>(s->dur_us));
+      }
+      for (const auto& [key, value] : s->args) {
+        std::string shown = value;
+        if (shown.size() > 18) shown = shown.substr(0, 18) + "..";
+        std::printf("  %s=%s", key.c_str(), shown.c_str());
+      }
+      std::printf("\n");
+      walk(s->span_id, depth + 1);
+    }
+  };
+  walk(0, 0);
+}
+
+int CmdTrace(const sim::SimFlags& sim_flags, const TraceFlags& flags) {
+  trace::TracerConfig tracer_config;
+  tracer_config.sample_every = flags.sample_every;
+  trace::Tracer tracer(tracer_config);
+  trace::Tracer* previous = trace::Tracer::InstallGlobal(&tracer);
+
+  trace::StructLogTracer structlog;
+  trace::GasBoundsChecker bounds;
+
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  chain::Blockchain chain;
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
+  chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
+  if (!flags.structlog_json.empty()) chain.set_step_tracer(&structlog);
+  if (flags.check_bounds) chain.set_bounds_checker(&bounds);
+
+  core::MessageBus bus;
+  contracts::OffchainConfig offchain;
+  offchain.secret_alice = U256(0xa11ce);
+  offchain.secret_bob = U256(0xb0b);
+  offchain.reveal_iterations = 20;
+
+  sim::Scheduler sched;
+  uint64_t state = sim_flags.seed;
+  sim::SimTransport transport(&sched, sim::SplitMix64(&state));
+  sim::LinkConfig cfg;
+  cfg.latency_ms = sim_flags.latency_ms;
+  cfg.jitter_ms = sim_flags.jitter_ms;
+  cfg.loss = sim_flags.loss;
+  transport.SetLink(alice.EthAddress().ToHex(), "chain", cfg);
+  transport.SetLink(bob.EthAddress().ToHex(), "chain", cfg);
+
+  core::BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                                 contracts::Ether(1));
+  protocol.BindSimulation(&sched, &transport);
+  core::Behavior dishonest;
+  dishonest.admit_loss = false;
+  auto report = protocol.Run(dishonest, dishonest);
+  trace::Tracer::InstallGlobal(previous);
+  if (!report.ok()) {
+    ONOFF_LOG(log::Level::kError, "cli", "traced run failed: %s",
+              report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("traced dispute run: settlement=%s payout=%s gas=%llu\n",
+              core::SettlementName(report->settlement),
+              report->correct_payout ? "correct" : "WRONG",
+              static_cast<unsigned long long>(report->TotalGas()));
+  std::printf("spans: %llu completed, %llu dropped (ring %zu), traces: %llu\n",
+              static_cast<unsigned long long>(tracer.spans_completed()),
+              static_cast<unsigned long long>(tracer.spans_dropped()),
+              tracer.config().ring_capacity,
+              static_cast<unsigned long long>(tracer.traces_started()));
+
+  std::vector<trace::Span> spans = tracer.Snapshot();
+  std::printf("\nspan tree (virtual time):\n");
+  PrintSpanTree(spans);
+
+  std::printf("\nreceipts:\n");
+  for (const chain::Block& block : chain.blocks()) {
+    for (const chain::Transaction& tx : block.transactions) {
+      auto receipt = chain.GetReceipt(tx.Hash());
+      if (receipt.ok()) std::printf("%s\n", DescribeReceipt(*receipt).c_str());
+    }
+  }
+
+  int rc = 0;
+  if (!flags.trace_json.empty()) {
+    rc |= WriteJsonFile(tracer.ToJson(), flags.trace_json);
+  }
+  if (!flags.chrome_json.empty()) {
+    rc |= WriteJsonFile(tracer.ToChromeTrace(), flags.chrome_json);
+  }
+  if (!flags.structlog_json.empty()) {
+    std::printf("structLog: %llu steps (%llu dropped), %zu frames\n",
+                static_cast<unsigned long long>(structlog.steps_seen()),
+                static_cast<unsigned long long>(structlog.records_dropped()),
+                structlog.frames().size());
+    rc |= WriteJsonFile(structlog.ToJson(), flags.structlog_json);
+  }
+  if (flags.check_bounds) {
+    std::printf("gas bounds: %llu checks, %llu violations\n",
+                static_cast<unsigned long long>(bounds.checks()),
+                static_cast<unsigned long long>(bounds.violations()));
+    if (bounds.violations() > 0) rc = 1;
+  }
+  return rc;
+}
+
 int Dispatch(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -445,23 +645,32 @@ int DispatchWithSimFlags(int argc, char** argv) {
     if (argc != 2) return Usage();  // leftover unknown arguments
     return CmdSimDispute(flags);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
+    TraceFlags trace_flags = TraceFlagsFromArgs(&argc, argv);
+    sim::SimFlags defaults;
+    defaults.trials = 1;
+    sim::SimFlags sim_flags = sim::SimFlagsFromArgs(&argc, argv, defaults);
+    if (argc != 2) return Usage();  // leftover unknown arguments
+    return CmdTrace(sim_flags, trace_flags);
+  }
   return Dispatch(argc, argv);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  log::SetLevel(log::LevelFromArgs(&argc, argv));
   std::string metrics_path = obs::JsonPathFromArgs(&argc, argv, "");
   int rc = DispatchWithSimFlags(argc, argv);
   if (!metrics_path.empty()) {
     obs::Registry* registry = obs::Registry::Global();
     if (registry == nullptr) {
-      std::fprintf(stderr, "metrics are disabled; not writing %s\n",
-                   metrics_path.c_str());
+      ONOFF_LOG(log::Level::kWarn, "cli", "metrics are disabled; not writing %s",
+              metrics_path.c_str());
     } else {
       Status st = registry->WriteJsonFile(metrics_path);
       if (!st.ok()) {
-        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        ONOFF_LOG(log::Level::kError, "cli", "%s", st.ToString().c_str());
         if (rc == 0) rc = 1;
       }
     }
