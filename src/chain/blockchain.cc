@@ -1,8 +1,10 @@
 #include "chain/blockchain.h"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "analysis/analyzer.h"
+#include "chain/parallel_executor.h"
 #include "evm/gas.h"
 #include "obs/metrics.h"
 #include "rlp/rlp.h"
@@ -34,6 +36,13 @@ Hash32 IndexedRoot(const std::vector<Bytes>& payloads) {
 
 Blockchain::Blockchain(ChainConfig config)
     : config_(std::move(config)), now_(config_.genesis_timestamp) {
+  // The pool packs each sender's transactions as a contiguous nonce run
+  // from the account nonce; anything below it is unminable and dropped.
+  pool_.set_base_nonce_provider(
+      [this](const Address& addr) { return state_.GetNonce(addr); });
+  if (config_.exec_workers > 0) {
+    exec_pool_ = std::make_unique<ThreadPool>(config_.exec_workers);
+  }
   Block genesis;
   genesis.header.number = 0;
   genesis.header.timestamp = now_;
@@ -141,18 +150,17 @@ evm::BlockContext Blockchain::MakeBlockContext(uint64_t number,
   return ctx;
 }
 
-Receipt Blockchain::ApplyTransaction(const Transaction& tx,
-                                     uint64_t block_number,
-                                     uint64_t cumulative_gas) {
+Receipt Blockchain::ExecuteTransaction(state::StateView& state,
+                                       const Transaction& tx,
+                                       uint64_t block_number, bool quiet) {
   static obs::Histogram* apply_us = obs::GetHistogramOrNull(
       "chain.apply_tx_us", obs::DefaultTimeBucketsUs());
-  obs::ScopedTimer apply_span(apply_us);
+  obs::ScopedTimer apply_span(quiet ? nullptr : apply_us);
   Receipt receipt;
   receipt.tx_hash = tx.Hash();
   receipt.block_number = block_number;
-  receipt.cumulative_gas_used = cumulative_gas;
 
-  trace::Tracer* tracer = trace::Tracer::Global();
+  trace::Tracer* tracer = quiet ? nullptr : trace::Tracer::Global();
   trace::TraceContext tx_ctx;
   if (tracer != nullptr) tx_ctx = tracer->ContextForTx(receipt.tx_hash);
   trace::ScopedSpan tx_span(
@@ -170,22 +178,22 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
   if (!sender_result.ok()) return fail("invalid signature");
   Address sender = *sender_result;
 
-  if (tx.nonce != state_.GetNonce(sender)) return fail("nonce mismatch");
+  if (tx.nonce != state.GetNonce(sender)) return fail("nonce mismatch");
 
   uint64_t intrinsic = tx.IntrinsicGas();
   if (tx.gas_limit < intrinsic) return fail("intrinsic gas exceeds limit");
 
   U256 upfront = tx.gas_price * U256(tx.gas_limit) + tx.value;
-  if (state_.GetBalance(sender) < upfront) {
+  if (state.GetBalance(sender) < upfront) {
     return fail("insufficient balance for gas * price + value");
   }
 
   // Charge the full gas allowance upfront; unused gas is refunded below.
-  Status st = state_.SubBalance(sender, tx.gas_price * U256(tx.gas_limit));
+  Status st = state.SubBalance(sender, tx.gas_price * U256(tx.gas_limit));
   assert(st.ok());
   (void)st;
 
-  evm::Evm evm(&state_, MakeBlockContext(block_number, now_),
+  evm::Evm evm(&state, MakeBlockContext(block_number, now_),
                evm::TxContext{sender, tx.gas_price});
 
   // Mirror the EVM call-frame tree into the trace when this tx is traced;
@@ -194,7 +202,7 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
   trace::FrameSpanHook frame_hook(tracer, tx_span.context(), step_tracer_);
   if (tx_span.context().valid()) {
     evm.set_trace_hook(&frame_hook);
-  } else if (step_tracer_ != nullptr) {
+  } else if (!quiet && step_tracer_ != nullptr) {
     evm.set_trace_hook(step_tracer_);
   }
 
@@ -204,7 +212,7 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
     result = evm.Create(sender, tx.value, tx.data, exec_gas);
     receipt.contract_address = result.created;
   } else {
-    state_.IncrementNonce(sender);
+    state.IncrementNonce(sender);
     evm::CallMessage msg;
     msg.caller = sender;
     msg.to = *tx.to;
@@ -221,19 +229,22 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
     gas_used -= refund;
   }
 
-  // Return unused gas; pay the miner.
-  state_.AddBalance(sender, tx.gas_price * U256(tx.gas_limit - gas_used));
-  state_.AddBalance(config_.coinbase, tx.gas_price * U256(gas_used));
+  // Return unused gas; pay the miner. The fee goes through CreditFee so a
+  // speculative view records it as a commutative delta instead of a
+  // read-modify-write of the coinbase balance (which would serialize every
+  // block — all transactions pay the same miner).
+  state.AddBalance(sender, tx.gas_price * U256(tx.gas_limit - gas_used));
+  state.CreditFee(config_.coinbase, tx.gas_price * U256(gas_used));
 
   // Bounds-check mode: a successful execution must stay within the static
   // analyzer's worst-case bound (exceptional halts consume the whole
   // allowance by construction, so only successes are meaningful).
-  if (bounds_checker_ != nullptr && result.ok()) {
+  if (!quiet && bounds_checker_ != nullptr && result.ok()) {
     uint64_t evm_gas = exec_gas - result.gas_left;
     std::optional<trace::GasBoundsChecker::Violation> violation =
         tx.IsContractCreation()
             ? bounds_checker_->CheckCreate(tx.data, evm_gas)
-            : bounds_checker_->CheckCall(state_.GetCode(*tx.to), tx.data,
+            : bounds_checker_->CheckCall(state.GetCode(*tx.to), tx.data,
                                          evm_gas);
     if (violation.has_value()) {
       ONOFF_LOG(log::Level::kWarn, "chain", "%s",
@@ -251,7 +262,7 @@ Receipt Blockchain::ApplyTransaction(const Transaction& tx,
   receipt.output = std::move(result.output);
   tx_span.AddArg("gas_used", std::to_string(gas_used));
   tx_span.AddArg("success", receipt.success ? "true" : "false");
-  if (!receipt.success) {
+  if (!quiet && !receipt.success) {
     static obs::Counter* failed = obs::GetCounterOrNull("chain.txs_failed");
     if (failed != nullptr) failed->Inc();
     ONOFF_LOG(log::Level::kDebug, "chain", "tx %s failed: %s",
@@ -287,8 +298,28 @@ const Block& Blockchain::MineBlock() {
   std::vector<Transaction> txs =
       pool_.Take(config_.max_txs_per_block, config_.block_gas_limit);
   trace::Tracer* tracer = trace::Tracer::Global();
-  for (const Transaction& tx : txs) {
-    Receipt receipt = ApplyTransaction(tx, number, cumulative_gas);
+
+  // The optimistic path needs at least two transactions to overlap and is
+  // mutually exclusive with per-step instrumentation (a step tracer or
+  // bounds checker observes execution order, which speculation scrambles).
+  bool parallel = config_.exec_mode == ExecMode::kParallel &&
+                  txs.size() >= 2 && step_tracer_ == nullptr &&
+                  bounds_checker_ == nullptr;
+  std::vector<Receipt> block_receipts;
+  if (parallel) {
+    block_receipts = ExecuteBlockParallel(txs, number);
+  } else {
+    block_receipts.reserve(txs.size());
+    for (const Transaction& tx : txs) {
+      block_receipts.push_back(
+          ExecuteTransaction(state_, tx, number, /*quiet=*/false));
+      state_.ClearJournal();
+    }
+  }
+
+  for (size_t i = 0; i < txs.size(); ++i) {
+    const Transaction& tx = txs[i];
+    Receipt& receipt = block_receipts[i];
     cumulative_gas += receipt.gas_used;
     receipt.cumulative_gas_used = cumulative_gas;
     total_gas_used_ += receipt.gas_used;
@@ -296,7 +327,6 @@ const Block& Blockchain::MineBlock() {
     receipt_payloads.push_back(receipt.Encode());
     receipts_[HashKey(receipt.tx_hash)] = receipt;
     block.transactions.push_back(tx);
-    state_.ClearJournal();
     if (tracer != nullptr) {
       tracer->Event(tracer->ContextForTx(receipt.tx_hash), "block.include",
                     "chain",
@@ -335,6 +365,50 @@ const Block& Blockchain::MineBlock() {
             static_cast<unsigned long long>(number), txs.size(),
             static_cast<unsigned long long>(cumulative_gas), pool_.size());
   return blocks_.back();
+}
+
+std::vector<Receipt> Blockchain::ExecuteBlockParallel(
+    const std::vector<Transaction>& txs, uint64_t block_number) {
+  // The equivalence cross-check replays from the pre-block state.
+  std::optional<state::WorldState> pre_state;
+  if (config_.assert_parallel_equivalence) pre_state = state_.Clone();
+
+  ParallelExecutor executor(exec_pool_.get());
+  std::vector<Receipt> receipts = executor.ExecuteBlock(
+      state_, txs,
+      [this, block_number](state::StateView& view, const Transaction& tx) {
+        return ExecuteTransaction(view, tx, block_number, /*quiet=*/true);
+      });
+
+  // Quiet executions skip the per-tx failure telemetry; settle it here for
+  // the receipts that actually made the block.
+  static obs::Counter* failed = obs::GetCounterOrNull("chain.txs_failed");
+  for (const Receipt& receipt : receipts) {
+    if (failed != nullptr && !receipt.success) failed->Inc();
+  }
+
+  if (pre_state.has_value()) {
+    state::WorldState replay = std::move(*pre_state);
+    for (size_t i = 0; i < txs.size(); ++i) {
+      Receipt serial =
+          ExecuteTransaction(replay, txs[i], block_number, /*quiet=*/true);
+      replay.ClearJournal();
+      if (serial.Encode() != receipts[i].Encode()) {
+        ONOFF_LOG(log::Level::kError, "chain",
+                  "parallel execution diverged from serial at tx %zu of "
+                  "block %llu",
+                  i, static_cast<unsigned long long>(block_number));
+        std::abort();
+      }
+    }
+    if (replay.StateRoot() != state_.StateRoot()) {
+      ONOFF_LOG(log::Level::kError, "chain",
+                "parallel state root diverged from serial in block %llu",
+                static_cast<unsigned long long>(block_number));
+      std::abort();
+    }
+  }
+  return receipts;
 }
 
 void Blockchain::MineAllPending() {

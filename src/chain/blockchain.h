@@ -7,6 +7,7 @@
 #define ONOFFCHAIN_CHAIN_BLOCKCHAIN_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "evm/evm.h"
 #include "state/world_state.h"
 #include "support/status.h"
+#include "support/thread_pool.h"
 
 namespace onoff::trace {
 class GasBoundsChecker;
@@ -31,6 +33,13 @@ enum class DeployLint {
   kEnforce,  // reject creation transactions whose init code has errors
 };
 
+// How a block's transactions are executed during mining.
+enum class ExecMode {
+  kSerial,    // one by one on the world state (the reference semantics)
+  kParallel,  // optimistic speculation wave + ordered commit; results are
+              // byte-identical to kSerial (chain/parallel_executor.h)
+};
+
 struct ChainConfig {
   uint64_t block_gas_limit = 8'000'000;
   // Kovan produced blocks every ~4 seconds.
@@ -42,6 +51,14 @@ struct ChainConfig {
   // (hand-written test programs may be deliberately odd), kEnforce turns
   // analyzer errors into submission failures.
   DeployLint deploy_lint = DeployLint::kWarn;
+  ExecMode exec_mode = ExecMode::kSerial;
+  // Worker threads for parallel execution; 0 = the shared pool sized to the
+  // hardware.
+  size_t exec_workers = 0;
+  // Debug/CI cross-check: after every parallel block, replay its
+  // transactions serially from a clone of the pre-block state and abort on
+  // any state-root or receipt divergence.
+  bool assert_parallel_equivalence = false;
 };
 
 class Blockchain {
@@ -133,8 +150,18 @@ class Blockchain {
   void set_step_tracer(evm::TraceHook* hook) { step_tracer_ = hook; }
 
  private:
-  Receipt ApplyTransaction(const Transaction& tx, uint64_t block_number,
-                           uint64_t cumulative_gas);
+  // Applies one transaction against `state` (the world state, a serial
+  // replay clone, or a speculative overlay). `quiet` suppresses per-tx
+  // telemetry — spans, histograms, failure counters, bounds checks — for
+  // speculative executions that may be discarded; the block-level wave
+  // telemetry covers the parallel path instead.
+  Receipt ExecuteTransaction(state::StateView& state, const Transaction& tx,
+                             uint64_t block_number, bool quiet);
+  // Parallel-path body of MineBlock; returns one receipt per transaction
+  // and leaves state_ identical to what serial application would produce
+  // (checked when config_.assert_parallel_equivalence is set).
+  std::vector<Receipt> ExecuteBlockParallel(const std::vector<Transaction>& txs,
+                                            uint64_t block_number);
   evm::BlockContext MakeBlockContext(uint64_t number, uint64_t timestamp) const;
 
   ChainConfig config_;
@@ -146,6 +173,8 @@ class Blockchain {
   uint64_t total_gas_used_ = 0;
   trace::GasBoundsChecker* bounds_checker_ = nullptr;
   evm::TraceHook* step_tracer_ = nullptr;
+  // Dedicated workers when config_.exec_workers > 0 (else the shared pool).
+  std::unique_ptr<ThreadPool> exec_pool_;
 };
 
 }  // namespace onoff::chain

@@ -2,25 +2,41 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "trace/trace.h"
 
 namespace onoff::chain {
 
+TxPool::TxPool(TxPoolConfig config) : config_(config) {
+  if (config_.shard_count == 0) config_.shard_count = 1;
+  shards_.reserve(config_.shard_count);
+  for (size_t i = 0; i < config_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t TxPool::ShardIndexFor(const Entry& entry) const {
+  if (entry.has_sender) {
+    return std::hash<Address>{}(entry.sender) % shards_.size();
+  }
+  // No recoverable sender: stripe by transaction hash (still deterministic,
+  // so a duplicate lands on the stripe that has seen it).
+  Hash32 h = entry.tx.Hash();
+  uint64_t prefix = 0;
+  for (size_t i = 0; i < sizeof(prefix); ++i) {
+    prefix = (prefix << 8) | h[i];
+  }
+  return prefix % shards_.size();
+}
+
 void TxPool::UpdateDepthGauge() const {
   static obs::Gauge* depth = obs::GetGaugeOrNull("txpool.depth");
-  if (depth != nullptr) depth->Set(static_cast<int64_t>(pending_.size()));
+  if (depth != nullptr) depth->Set(static_cast<int64_t>(size()));
 }
 
 Status TxPool::Add(const Transaction& tx) {
-  std::string key = HashKey(tx.Hash());
-  if (seen_.count(key) > 0) {
-    static obs::Counter* dups = obs::GetCounterOrNull("txpool.duplicates");
-    if (dups != nullptr) dups->Inc();
-    return Status::AlreadyExists("transaction already in pool");
-  }
-  seen_.insert(std::move(key));
   Entry entry;
   entry.tx = tx;
   auto sender = tx.Sender();
@@ -28,62 +44,213 @@ Status TxPool::Add(const Transaction& tx) {
     entry.has_sender = true;
     entry.sender = *sender;
   }
-  pending_.push_back(std::move(entry));
+  std::string key = HashKey(tx.Hash());
+  Shard& shard = *shards_[ShardIndexFor(entry)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.pending_hashes.count(key) > 0) {
+      static obs::Counter* dups = obs::GetCounterOrNull("txpool.duplicates");
+      if (dups != nullptr) dups->Inc();
+      return Status::AlreadyExists("transaction already in pool");
+    }
+    if (shard.recent_taken.count(key) > 0) {
+      static obs::Counter* retaken =
+          obs::GetCounterOrNull("txpool.retaken_rejected");
+      if (retaken != nullptr) retaken->Inc();
+      return Status::AlreadyExists(
+          "transaction was recently taken (in flight or mined)");
+    }
+    shard.pending_hashes.insert(std::move(key));
+    entry.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    shard.entries.push_back(std::move(entry));
+  }
+  pending_count_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* added = obs::GetCounterOrNull("txpool.added");
   if (added != nullptr) added->Inc();
   UpdateDepthGauge();
   if (trace::Tracer* tracer = trace::Tracer::Global()) {
     tracer->Event(tracer->ContextForTx(tx.Hash()), "pool.admit", "chain",
-                  {{"depth", std::to_string(pending_.size())}});
+                  {{"depth", std::to_string(size())}});
   }
   return Status::OK();
 }
 
 std::vector<Transaction> TxPool::Take(size_t max_count, uint64_t gas_budget) {
+  // Drain every stripe into a staging area; stripes are only locked for the
+  // move, so gossip Adds keep flowing while we pack (their entries carry
+  // later sequence numbers and simply miss this batch).
+  std::vector<Entry> staged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    std::move(shard->entries.begin(), shard->entries.end(),
+              std::back_inserter(staged));
+    shard->entries.clear();
+  }
+  std::sort(staged.begin(), staged.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+
   // Slot-preserving per-sender nonce sort: collect each sender's entry
   // indices (their slots, in submission order) and reassign that sender's
   // transactions to those slots in ascending nonce order. Applying the
   // transform to an already-ordered sequence is the identity, which is what
   // makes block replay (validator/network) reproduce the producer's order.
-  std::vector<size_t> order(pending_.size());
+  std::vector<size_t> order(staged.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   std::map<Address, std::vector<size_t>> by_sender;
-  for (size_t i = 0; i < pending_.size(); ++i) {
-    if (pending_[i].has_sender) by_sender[pending_[i].sender].push_back(i);
+  for (size_t i = 0; i < staged.size(); ++i) {
+    if (staged[i].has_sender) by_sender[staged[i].sender].push_back(i);
   }
+  std::map<Address, uint64_t> min_nonce;
   for (auto& [sender, slots] : by_sender) {
+    uint64_t lowest = UINT64_MAX;
+    for (size_t i : slots) lowest = std::min(lowest, staged[i].tx.nonce);
+    min_nonce[sender] = lowest;
     if (slots.size() < 2) continue;
     std::vector<size_t> sorted = slots;
-    std::stable_sort(sorted.begin(), sorted.end(), [this](size_t a, size_t b) {
-      return pending_[a].tx.nonce < pending_[b].tx.nonce;
-    });
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&staged](size_t a, size_t b) {
+                       return staged[a].tx.nonce < staged[b].tx.nonce;
+                     });
     for (size_t j = 0; j < slots.size(); ++j) order[slots[j]] = sorted[j];
   }
 
-  // Greedy prefix take under the count and gas budgets. Packing stops (does
-  // not skip ahead) at the first transaction that would overflow the budget
-  // so a sender's nonce sequence is never reordered by deferral.
-  std::vector<Transaction> out;
-  size_t taken = 0;
+  // Greedy packing under the count and gas budgets. An entry that does not
+  // fit the remaining budget blocks only the rest of its own sender's nonce
+  // sequence (skipping ahead within one sender would reorder nonces);
+  // packing continues with other senders. A sender's entries are only
+  // taken while contiguous from the base nonce: gapped entries stay
+  // pending, already-consumed nonces are dropped as unminable.
+  enum class Fate : char { kDefer, kTake, kDrop };
+  std::vector<Fate> fate(staged.size(), Fate::kDefer);
+  struct SenderState {
+    uint64_t expected = 0;
+    bool blocked = false;
+  };
+  std::map<Address, SenderState> senders;
   uint64_t budget = gas_budget;
-  while (taken < order.size() && out.size() < max_count) {
-    const Entry& candidate = pending_[order[taken]];
-    if (candidate.tx.gas_limit > budget) break;
-    budget -= candidate.tx.gas_limit;
-    seen_.erase(HashKey(candidate.tx.Hash()));
-    out.push_back(candidate.tx);
-    ++taken;
+  size_t taken_count = 0;
+  size_t dropped_count = 0;
+  std::vector<Transaction> out;
+  for (size_t pos = 0; pos < order.size() && taken_count < max_count; ++pos) {
+    Entry& entry = staged[order[pos]];
+    if (!entry.has_sender) {
+      // No nonce sequence to protect: pack whenever it fits.
+      if (entry.tx.gas_limit <= budget) {
+        fate[order[pos]] = Fate::kTake;
+        budget -= entry.tx.gas_limit;
+        out.push_back(entry.tx);
+        ++taken_count;
+      }
+      continue;
+    }
+    auto [it, first_seen] = senders.try_emplace(entry.sender);
+    SenderState& ss = it->second;
+    if (first_seen) {
+      ss.expected = base_nonce_ ? base_nonce_(entry.sender)
+                                : min_nonce[entry.sender];
+    }
+    if (ss.blocked) continue;
+    if (entry.tx.nonce < ss.expected) {
+      fate[order[pos]] = Fate::kDrop;
+      ++dropped_count;
+      static obs::Counter* stale =
+          obs::GetCounterOrNull("txpool.stale_dropped");
+      if (stale != nullptr) stale->Inc();
+      continue;
+    }
+    if (entry.tx.nonce > ss.expected) {
+      // Nonce gap: hold this and the rest of the sender's sequence until
+      // the missing transaction arrives.
+      ss.blocked = true;
+      static obs::Counter* gaps = obs::GetCounterOrNull("txpool.gap_held");
+      if (gaps != nullptr) gaps->Inc();
+      continue;
+    }
+    if (entry.tx.gas_limit > budget) {
+      ss.blocked = true;
+      static obs::Counter* skips =
+          obs::GetCounterOrNull("txpool.budget_skipped");
+      if (skips != nullptr) skips->Inc();
+      continue;
+    }
+    fate[order[pos]] = Fate::kTake;
+    budget -= entry.tx.gas_limit;
+    out.push_back(entry.tx);
+    ++ss.expected;
+    ++taken_count;
   }
 
-  // Keep the untaken remainder in its (reordered) sequence.
-  std::deque<Entry> rest;
-  for (size_t i = taken; i < order.size(); ++i) {
-    rest.push_back(std::move(pending_[order[i]]));
+  // Redistribute: deferred entries go back to the front of their stripes
+  // (still ahead of anything added while we packed — sequence numbers keep
+  // them ordered); taken hashes enter the bounded recently-taken window;
+  // dropped hashes are simply forgotten.
+  std::vector<std::vector<Entry>> deferred(shards_.size());
+  std::vector<std::vector<std::string>> taken_keys(shards_.size());
+  for (size_t i = 0; i < staged.size(); ++i) {
+    size_t shard_index = ShardIndexFor(staged[i]);
+    switch (fate[i]) {
+      case Fate::kDefer:
+        deferred[shard_index].push_back(std::move(staged[i]));
+        break;
+      case Fate::kTake:
+      case Fate::kDrop: {
+        std::string key = HashKey(staged[i].tx.Hash());
+        if (fate[i] == Fate::kTake) {
+          taken_keys[shard_index].push_back(std::move(key));
+        } else {
+          std::lock_guard<std::mutex> lock(shards_[shard_index]->mu);
+          shards_[shard_index]->pending_hashes.erase(key);
+        }
+        break;
+      }
+    }
   }
-  pending_ = std::move(rest);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (deferred[s].empty() && taken_keys[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!deferred[s].empty()) {
+      shard.entries.insert(shard.entries.begin(),
+                           std::make_move_iterator(deferred[s].begin()),
+                           std::make_move_iterator(deferred[s].end()));
+    }
+    if (!taken_keys[s].empty()) {
+      for (const std::string& key : taken_keys[s]) {
+        shard.pending_hashes.erase(key);
+        shard.recent_taken.insert(key);
+      }
+      shard.recent_batches.push_back(std::move(taken_keys[s]));
+      while (shard.recent_batches.size() > config_.recent_take_batches) {
+        for (const std::string& key : shard.recent_batches.front()) {
+          shard.recent_taken.erase(key);
+        }
+        shard.recent_batches.pop_front();
+      }
+    }
+  }
+  pending_count_.fetch_sub(taken_count + dropped_count,
+                           std::memory_order_relaxed);
   UpdateDepthGauge();
   return out;
+}
+
+bool TxPool::Contains(const Hash32& tx_hash) const {
+  std::string key = HashKey(tx_hash);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->pending_hashes.count(key) > 0) return true;
+  }
+  return false;
+}
+
+bool TxPool::RecentlyTaken(const Hash32& tx_hash) const {
+  std::string key = HashKey(tx_hash);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->recent_taken.count(key) > 0) return true;
+  }
+  return false;
 }
 
 }  // namespace onoff::chain

@@ -1,17 +1,43 @@
-// A minimal transaction pool: pending transactions ordered per-sender by
-// nonce, popped for block inclusion under a block gas budget.
+// The transaction pool: pending transactions ordered per-sender by nonce,
+// popped for block inclusion under a block gas budget.
 //
-// Submission order decides which *slots* a sender's transactions occupy in
-// the take sequence (first come, first served across senders), but within
-// one sender's slots the transactions are handed out in ascending nonce
-// order. A sender who submits nonces {2,0,1} therefore still gets them
-// mined as 0,1,2 instead of burning gas on nonce-gap failures.
+// Internally the pool is sharded by sender into lock-striped partitions so
+// concurrent Add calls (gossip / simulation threads) only contend when they
+// hit the same stripe, and Take drains stripes briefly instead of holding
+// one big pool lock while it packs. A global arrival sequence number
+// preserves the seed pool's ordering contract: submission order decides
+// which *slots* a sender's transactions occupy in the take sequence (first
+// come, first served across senders), but within one sender's slots the
+// transactions are handed out in ascending nonce order. A sender who
+// submits nonces {2,0,1} therefore still gets them mined as 0,1,2 instead
+// of burning gas on nonce-gap failures.
+//
+// Packing semantics (see Take):
+//  - A transaction whose gas limit no longer fits the remaining block
+//    budget is *skipped* along with the rest of its sender's sequence
+//    (deferring a lower nonce must defer the higher ones), and packing
+//    continues with other senders — no head-of-line blocking.
+//  - A sender's transactions are only packed while their nonces are
+//    contiguous from the sender's base nonce (the account nonce when a
+//    provider is wired, else the sender's lowest pending nonce); gapped
+//    entries are held in the pool until the gap fills instead of being
+//    mined into certain nonce-mismatch failures.
+//  - Entries whose nonce is already below the base nonce can never be
+//    mined and are dropped.
+//  - Hashes of recently taken (in-flight/mined) transactions are remembered
+//    in a bounded window keyed off take batches (≈ mined blocks), and Add
+//    rejects them, so a late gossip duplicate cannot be mined twice.
 
 #ifndef ONOFFCHAIN_CHAIN_TX_POOL_H_
 #define ONOFFCHAIN_CHAIN_TX_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -20,42 +46,79 @@
 
 namespace onoff::chain {
 
+struct TxPoolConfig {
+  // Lock stripes; sized for a handful of producer threads. Must be > 0.
+  size_t shard_count = 16;
+  // How many Take batches (≈ mined blocks) of taken hashes each stripe
+  // remembers for duplicate rejection before forgetting the oldest.
+  size_t recent_take_batches = 128;
+};
+
 class TxPool {
  public:
-  // Rejects duplicate transaction hashes.
+  TxPool() : TxPool(TxPoolConfig{}) {}
+  explicit TxPool(TxPoolConfig config);
+
+  // Maps a sender to its current account nonce — the base the pool packs
+  // contiguous nonce runs from. Wire-up time only (not thread-safe against
+  // concurrent Add/Take); called under the pool's stripe locks, so it must
+  // not call back into the pool.
+  using BaseNonceFn = std::function<uint64_t(const Address&)>;
+  void set_base_nonce_provider(BaseNonceFn fn) { base_nonce_ = std::move(fn); }
+
+  // Rejects duplicates of pending transactions and of recently taken ones.
   Status Add(const Transaction& tx);
 
   // Removes and returns up to `max_count` transactions ordered per-sender
-  // by nonce. Packing stops at the first transaction whose gas limit no
-  // longer fits in `gas_budget` (the block gas limit minus what has been
-  // taken so far); the remainder stays pending for later blocks.
+  // by nonce under the gas budget, per the packing semantics above.
+  // Single-consumer: concurrent Take calls are not supported (Adds may run
+  // concurrently; transactions added while Take packs simply miss this
+  // batch).
   std::vector<Transaction> Take(size_t max_count,
                                 uint64_t gas_budget = UINT64_MAX);
 
-  size_t size() const { return pending_.size(); }
-  bool empty() const { return pending_.empty(); }
-  // True while the transaction is pending (not yet taken).
-  bool Contains(const Hash32& tx_hash) const {
-    return seen_.count(HashKey(tx_hash)) > 0;
+  size_t size() const {
+    return pending_count_.load(std::memory_order_relaxed);
   }
+  bool empty() const { return size() == 0; }
+  // True while the transaction is pending (not yet taken).
+  bool Contains(const Hash32& tx_hash) const;
+  // True while the transaction's hash is inside the recently-taken window.
+  bool RecentlyTaken(const Hash32& tx_hash) const;
 
  private:
   struct Entry {
     Transaction tx;
     // Sender recovered once at Add; entries with an unrecoverable sender
-    // keep their submission slot untouched.
+    // keep their submission slot untouched and pack by arrival order.
     bool has_sender = false;
     Address sender;
+    uint64_t seq = 0;  // global arrival order
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Entry> entries;  // ascending seq
+    std::unordered_set<std::string> pending_hashes;
+    std::unordered_set<std::string> recent_taken;
+    std::deque<std::vector<std::string>> recent_batches;
   };
 
   static std::string HashKey(const Hash32& h) {
     return std::string(reinterpret_cast<const char*>(h.data()), h.size());
   }
 
+  // Shard by sender so one sender's nonce sequence lives in one stripe and
+  // a duplicate hash always lands on the stripe that knows about it.
+  size_t ShardIndexFor(const Entry& entry) const;
+
   void UpdateDepthGauge() const;
 
-  std::deque<Entry> pending_;
-  std::unordered_set<std::string> seen_;
+  TxPoolConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<size_t> pending_count_{0};
+  BaseNonceFn base_nonce_;
 };
 
 }  // namespace onoff::chain

@@ -217,7 +217,7 @@ class Interpreter {
   bool DoCreate(Opcode op);
 
   Evm* evm_;
-  state::WorldState* world_;
+  state::StateView* world_;
   Address self_;
   Address caller_;
   U256 value_;

@@ -1,4 +1,5 @@
-// The EVM interpreter: executes contract bytecode against a WorldState with
+// The EVM interpreter: executes contract bytecode against a StateView
+// (normally the WorldState, or a speculative overlay of it) with
 // the Byzantium gas schedule, message calls, contract creation and the
 // standard precompiles. This is the "miners execute the contract" substrate
 // that the on/off-chain protocol runs on — and also what participants use
@@ -13,7 +14,7 @@
 #include <vector>
 
 #include "crypto/keccak.h"
-#include "state/world_state.h"
+#include "state/state_view.h"
 #include "support/address.h"
 #include "support/bytes.h"
 #include "support/u256.h"
@@ -90,7 +91,7 @@ struct CallMessage {
 
 class Evm {
  public:
-  Evm(state::WorldState* world, BlockContext block, TxContext tx)
+  Evm(state::StateView* world, BlockContext block, TxContext tx)
       : world_(world), block_(std::move(block)), tx_(std::move(tx)) {}
 
   // Executes a message call (including plain value transfers and
@@ -110,7 +111,7 @@ class Evm {
                                 const Bytes& init_code);
 
   const BlockContext& block() const { return block_; }
-  state::WorldState* world() { return world_; }
+  state::StateView* world() { return world_; }
 
   // Installs an execution tracer (see evm/trace_hook.h). The hook observes
   // every interpreter step and call-frame boundary for the lifetime of this
@@ -126,7 +127,7 @@ class Evm {
                             const Bytes& init_code, uint64_t gas,
                             const U256* salt, int depth);
 
-  state::WorldState* world_;
+  state::StateView* world_;
   BlockContext block_;
   TxContext tx_;
   TraceHook* trace_hook_ = nullptr;

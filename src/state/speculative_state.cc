@@ -1,0 +1,296 @@
+#include "state/speculative_state.h"
+
+#include <algorithm>
+
+// GCC 12's std::variant-in-vector inlining reports spurious
+// -Wmaybe-uninitialized for journal alternatives that are always
+// brace-initialized at their push sites (the same family of -O2/-O3 false
+// positives as the -Wrestrict exclusions in CI; see GCC bug 80635).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace onoff::state {
+
+namespace {
+
+// Access-location key encodings: 20 address bytes + one kind byte
+// (+ 32 slot bytes for storage). Collisions across kinds are impossible
+// because the kind byte differs and lengths match per kind.
+constexpr char kExistence = 'e';
+constexpr char kBalance = 'b';
+constexpr char kNonce = 'n';
+constexpr char kCode = 'c';
+constexpr char kStorage = 's';
+
+std::string AddrKey(const Address& addr) {
+  return std::string(reinterpret_cast<const char*>(addr.view().data()),
+                     Address::kSize);
+}
+
+std::string FieldKey(const Address& addr, char kind) {
+  std::string key = AddrKey(addr);
+  key.push_back(kind);
+  return key;
+}
+
+std::string SlotKey(const Address& addr, const U256& slot) {
+  std::string key = FieldKey(addr, kStorage);
+  Bytes be = slot.ToBytes();
+  key.append(reinterpret_cast<const char*>(be.data()), be.size());
+  return key;
+}
+
+}  // namespace
+
+bool AccessSet::Intersects(const AccessSet& writes) const {
+  for (const std::string& key : keys) {
+    if (writes.keys.count(key) > 0) return true;
+    if (!writes.accounts.empty() &&
+        writes.accounts.count(key.substr(0, Address::kSize)) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AccessSet::MergeFrom(const AccessSet& other) {
+  keys.insert(other.keys.begin(), other.keys.end());
+  accounts.insert(other.accounts.begin(), other.accounts.end());
+}
+
+SpeculativeState::OverlayAccount& SpeculativeState::Materialize(
+    const Address& addr) const {
+  auto it = overlay_.find(addr);
+  if (it != overlay_.end()) return it->second;
+  OverlayAccount acc;
+  acc.base_existed = base_->Exists(addr);
+  acc.exists = acc.base_existed;
+  reads_.keys.insert(FieldKey(addr, kExistence));
+  return overlay_.emplace(addr, std::move(acc)).first->second;
+}
+
+void SpeculativeState::EnsureBalance(OverlayAccount& acc,
+                                     const Address& addr) const {
+  if (acc.balance_loaded) return;
+  if (acc.base_existed && !acc.wiped) {
+    acc.balance = base_->GetBalance(addr);
+    reads_.keys.insert(FieldKey(addr, kBalance));
+  }
+  acc.balance_loaded = true;
+}
+
+void SpeculativeState::EnsureNonce(OverlayAccount& acc,
+                                   const Address& addr) const {
+  if (acc.nonce_loaded) return;
+  if (acc.base_existed && !acc.wiped) {
+    acc.nonce = base_->GetNonce(addr);
+    reads_.keys.insert(FieldKey(addr, kNonce));
+  }
+  acc.nonce_loaded = true;
+}
+
+void SpeculativeState::EnsureCode(OverlayAccount& acc,
+                                  const Address& addr) const {
+  if (acc.code_loaded) return;
+  if (acc.base_existed && !acc.wiped) {
+    acc.code = base_->GetCode(addr);
+    reads_.keys.insert(FieldKey(addr, kCode));
+  }
+  acc.code_loaded = true;
+}
+
+SpeculativeState::OverlayAccount& SpeculativeState::MaterializeForWrite(
+    const Address& addr) {
+  OverlayAccount& acc = Materialize(addr);
+  // GetOrCreate parity: WorldState mutators create absent accounts.
+  if (!acc.exists) {
+    journal_.push_back(JCreate{addr, acc.exists, acc.existence_written});
+    acc.exists = true;
+    acc.existence_written = true;
+    writes_.keys.insert(FieldKey(addr, kExistence));
+  }
+  return acc;
+}
+
+bool SpeculativeState::Exists(const Address& addr) const {
+  return Materialize(addr).exists;
+}
+
+void SpeculativeState::CreateAccount(const Address& addr) {
+  (void)MaterializeForWrite(addr);
+}
+
+void SpeculativeState::DeleteAccount(const Address& addr) {
+  OverlayAccount& acc = Materialize(addr);
+  if (!acc.exists) return;
+  journal_.push_back(JDelete{addr, acc});
+  OverlayAccount wiped;
+  wiped.base_existed = acc.base_existed;
+  wiped.exists = false;
+  wiped.nonce_loaded = wiped.balance_loaded = wiped.code_loaded = true;
+  wiped.existence_written = true;
+  wiped.wiped = true;
+  acc = std::move(wiped);
+  writes_.accounts.insert(AddrKey(addr));
+}
+
+U256 SpeculativeState::GetBalance(const Address& addr) const {
+  OverlayAccount& acc = Materialize(addr);
+  EnsureBalance(acc, addr);
+  return acc.balance;
+}
+
+void SpeculativeState::AddBalance(const Address& addr, const U256& amount) {
+  OverlayAccount& acc = MaterializeForWrite(addr);
+  EnsureBalance(acc, addr);
+  journal_.push_back(JBalance{addr, acc.balance, acc.balance_written});
+  acc.balance += amount;
+  acc.balance_written = true;
+  writes_.keys.insert(FieldKey(addr, kBalance));
+}
+
+Status SpeculativeState::SubBalance(const Address& addr, const U256& amount) {
+  OverlayAccount& acc = MaterializeForWrite(addr);
+  EnsureBalance(acc, addr);
+  if (acc.balance < amount) {
+    return Status::FailedPrecondition("insufficient balance");
+  }
+  journal_.push_back(JBalance{addr, acc.balance, acc.balance_written});
+  acc.balance -= amount;
+  acc.balance_written = true;
+  writes_.keys.insert(FieldKey(addr, kBalance));
+  return Status::OK();
+}
+
+uint64_t SpeculativeState::GetNonce(const Address& addr) const {
+  OverlayAccount& acc = Materialize(addr);
+  EnsureNonce(acc, addr);
+  return acc.nonce;
+}
+
+void SpeculativeState::SetNonce(const Address& addr, uint64_t nonce) {
+  OverlayAccount& acc = MaterializeForWrite(addr);
+  EnsureNonce(acc, addr);
+  journal_.push_back(JNonce{addr, acc.nonce, acc.nonce_written});
+  acc.nonce = nonce;
+  acc.nonce_written = true;
+  writes_.keys.insert(FieldKey(addr, kNonce));
+}
+
+const Bytes& SpeculativeState::GetCode(const Address& addr) const {
+  OverlayAccount& acc = Materialize(addr);
+  EnsureCode(acc, addr);
+  return acc.code;
+}
+
+void SpeculativeState::SetCode(const Address& addr, Bytes code) {
+  OverlayAccount& acc = MaterializeForWrite(addr);
+  EnsureCode(acc, addr);
+  journal_.push_back(JCode{addr, std::move(acc.code), acc.code_written});
+  acc.code = std::move(code);
+  acc.code_written = true;
+  writes_.keys.insert(FieldKey(addr, kCode));
+}
+
+U256 SpeculativeState::GetStorage(const Address& addr, const U256& key) const {
+  OverlayAccount& acc = Materialize(addr);
+  auto it = acc.storage.find(key);
+  if (it != acc.storage.end()) return it->second;
+  if (!acc.base_existed || acc.wiped) return U256();
+  U256 value = base_->GetStorage(addr, key);
+  reads_.keys.insert(SlotKey(addr, key));
+  acc.storage.emplace(key, value);
+  return value;
+}
+
+void SpeculativeState::SetStorage(const Address& addr, const U256& key,
+                                  const U256& value) {
+  // Materialize the current value first so the journal can restore it (the
+  // base pull records a read; conservative but matches SSTORE, which always
+  // loads the slot for gas metering anyway).
+  U256 prev = GetStorage(addr, key);
+  OverlayAccount& acc = MaterializeForWrite(addr);
+  journal_.push_back(
+      JStorage{addr, key, prev, acc.slots_written.count(key) > 0});
+  acc.storage[key] = value;
+  acc.slots_written.insert(key);
+  writes_.keys.insert(SlotKey(addr, key));
+}
+
+void SpeculativeState::CreditFee(const Address& addr, const U256& amount) {
+  writes_.keys.insert(FieldKey(addr, kBalance));
+  fee_credits_.emplace_back(addr, amount);
+}
+
+void SpeculativeState::RevertToSnapshot(Snapshot snap) {
+  while (journal_.size() > snap) {
+    JournalEntry entry = std::move(journal_.back());
+    journal_.pop_back();
+    std::visit(
+        [this](auto&& e) {
+          using T = std::decay_t<decltype(e)>;
+          OverlayAccount& acc = overlay_[e.addr];
+          if constexpr (std::is_same_v<T, JBalance>) {
+            acc.balance = e.prev;
+            acc.balance_written = e.prev_written;
+          } else if constexpr (std::is_same_v<T, JNonce>) {
+            acc.nonce = e.prev;
+            acc.nonce_written = e.prev_written;
+          } else if constexpr (std::is_same_v<T, JCode>) {
+            acc.code = std::move(e.prev);
+            acc.code_written = e.prev_written;
+          } else if constexpr (std::is_same_v<T, JStorage>) {
+            acc.storage[e.key] = e.prev;
+            if (!e.prev_written) acc.slots_written.erase(e.key);
+          } else if constexpr (std::is_same_v<T, JCreate>) {
+            acc.exists = e.prev_exists;
+            acc.existence_written = e.prev_written;
+          } else if constexpr (std::is_same_v<T, JDelete>) {
+            acc = std::move(e.prev);
+          }
+        },
+        std::move(entry));
+  }
+}
+
+void SpeculativeState::ApplyTo(WorldState& target) const {
+  std::vector<Address> addrs;
+  addrs.reserve(overlay_.size());
+  for (const auto& [addr, acc] : overlay_) addrs.push_back(addr);
+  std::sort(addrs.begin(), addrs.end());
+  for (const Address& addr : addrs) {
+    const OverlayAccount& acc = overlay_.at(addr);
+    if (acc.wiped) {
+      target.DeleteAccount(addr);
+      if (acc.exists) {
+        target.CreateAccount(addr);
+        target.SetNonce(addr, acc.nonce);
+        target.SetBalance(addr, acc.balance);
+        target.SetCode(addr, acc.code);
+        std::vector<U256> slots;
+        for (const auto& [k, v] : acc.storage) slots.push_back(k);
+        std::sort(slots.begin(), slots.end());
+        for (const U256& k : slots) {
+          target.SetStorage(addr, k, acc.storage.at(k));
+        }
+      }
+      continue;
+    }
+    if (acc.existence_written && acc.exists) target.CreateAccount(addr);
+    if (acc.nonce_written) target.SetNonce(addr, acc.nonce);
+    if (acc.balance_written) target.SetBalance(addr, acc.balance);
+    if (acc.code_written) target.SetCode(addr, acc.code);
+    if (!acc.slots_written.empty()) {
+      std::vector<U256> slots(acc.slots_written.begin(),
+                              acc.slots_written.end());
+      std::sort(slots.begin(), slots.end());
+      for (const U256& k : slots) target.SetStorage(addr, k, acc.storage.at(k));
+    }
+  }
+  for (const auto& [addr, amount] : fee_credits_) {
+    target.AddBalance(addr, amount);
+  }
+}
+
+}  // namespace onoff::state

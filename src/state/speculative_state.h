@@ -1,0 +1,159 @@
+// A copy-on-write overlay over a frozen WorldState, recording per-field
+// read and write sets — the substrate of optimistic parallel transaction
+// execution (chain/parallel_executor.h).
+//
+// A transaction speculated on an overlay only ever *reads* the base (all
+// mutation lands in the overlay), so many overlays can execute concurrently
+// against one base. Every value pulled from the base is recorded in the
+// read set at the granularity the conflict detector needs: account
+// existence, balance, nonce, code, and individual storage slots. Every
+// mutation is recorded in the write set at the same granularity
+// (SELFDESTRUCT coarsens to a whole-account write). A speculation is valid
+// — its overlay may be committed verbatim — exactly when its read set is
+// disjoint from the writes committed by earlier transactions in the block.
+
+#ifndef ONOFFCHAIN_STATE_SPECULATIVE_STATE_H_
+#define ONOFFCHAIN_STATE_SPECULATIVE_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "state/state_view.h"
+#include "state/world_state.h"
+
+namespace onoff::state {
+
+// A set of state locations touched by one speculative execution. `keys`
+// holds encoded (address, kind[, slot]) locations; `accounts` holds
+// addresses written wholesale (SELFDESTRUCT), which conflict with any
+// access to that address.
+struct AccessSet {
+  std::unordered_set<std::string> keys;
+  std::unordered_set<std::string> accounts;
+
+  // True when `this` (interpreted as a read set) overlaps `writes`.
+  bool Intersects(const AccessSet& writes) const;
+  // Accumulates another set (used for the block's committed-writes union).
+  void MergeFrom(const AccessSet& other);
+  size_t size() const { return keys.size() + accounts.size(); }
+};
+
+class SpeculativeState final : public StateView {
+ public:
+  // `base` must outlive this view and stay unmodified while the view is
+  // live (commits to the base happen after the view's execution finished).
+  explicit SpeculativeState(const WorldState& base) : base_(&base) {}
+
+  // ---- StateView ----
+  bool Exists(const Address& addr) const override;
+  void CreateAccount(const Address& addr) override;
+  void DeleteAccount(const Address& addr) override;
+  U256 GetBalance(const Address& addr) const override;
+  void AddBalance(const Address& addr, const U256& amount) override;
+  Status SubBalance(const Address& addr, const U256& amount) override;
+  uint64_t GetNonce(const Address& addr) const override;
+  void SetNonce(const Address& addr, uint64_t nonce) override;
+  const Bytes& GetCode(const Address& addr) const override;
+  void SetCode(const Address& addr, Bytes code) override;
+  U256 GetStorage(const Address& addr, const U256& key) const override;
+  void SetStorage(const Address& addr, const U256& key,
+                  const U256& value) override;
+  Snapshot TakeSnapshot() const override { return journal_.size(); }
+  void RevertToSnapshot(Snapshot snap) override;
+  void ClearJournal() override { journal_.clear(); }
+
+  // Recorded as a balance *write* plus a commutative pending delta — not a
+  // read — so per-transaction miner fees do not serialize the block. Must
+  // be the last mutation of the execution (it is not journaled and later
+  // overlay reads of `addr` would not see it).
+  void CreditFee(const Address& addr, const U256& amount) override;
+
+  // ---- Speculation results ----
+  const AccessSet& reads() const { return reads_; }
+  const AccessSet& writes() const { return writes_; }
+
+  // Replays this overlay's writes onto `target` (normally the base this
+  // view was created over, after earlier transactions committed). Writes
+  // are absolute except fee credits, which apply as balance deltas.
+  void ApplyTo(WorldState& target) const;
+
+ private:
+  struct OverlayAccount {
+    bool exists = false;
+    bool base_existed = false;
+    // Lazily loaded fields; `*_loaded` marks the value authoritative.
+    bool nonce_loaded = false;
+    bool balance_loaded = false;
+    bool code_loaded = false;
+    uint64_t nonce = 0;
+    U256 balance;
+    Bytes code;
+    std::unordered_map<U256, U256> storage;  // materialized slots
+    // Dirty flags: what ApplyTo must write back.
+    bool existence_written = false;
+    bool nonce_written = false;
+    bool balance_written = false;
+    bool code_written = false;
+    std::unordered_set<U256> slots_written;
+    // SELFDESTRUCTed: the base's record is dead for this view; reads after
+    // the wipe are self-inflicted and record no base dependence.
+    bool wiped = false;
+  };
+
+  struct JBalance {
+    Address addr;
+    U256 prev;
+    bool prev_written = false;
+  };
+  struct JNonce {
+    Address addr;
+    uint64_t prev = 0;
+    bool prev_written = false;
+  };
+  struct JCode {
+    Address addr;
+    Bytes prev;
+    bool prev_written = false;
+  };
+  struct JStorage {
+    Address addr;
+    U256 key;
+    U256 prev;
+    bool prev_written = false;
+  };
+  struct JCreate {
+    Address addr;
+    bool prev_exists = false;
+    bool prev_written = false;
+  };
+  struct JDelete {
+    Address addr;
+    OverlayAccount prev;
+  };
+  using JournalEntry =
+      std::variant<JBalance, JNonce, JCode, JStorage, JCreate, JDelete>;
+
+  OverlayAccount& Materialize(const Address& addr) const;
+  void EnsureBalance(OverlayAccount& acc, const Address& addr) const;
+  void EnsureNonce(OverlayAccount& acc, const Address& addr) const;
+  void EnsureCode(OverlayAccount& acc, const Address& addr) const;
+  // GetOrCreate parity with WorldState: mutators create absent accounts.
+  OverlayAccount& MaterializeForWrite(const Address& addr);
+
+  const WorldState* base_;
+  // Reads materialize lazily through const accessors.
+  mutable std::unordered_map<Address, OverlayAccount> overlay_;
+  mutable AccessSet reads_;
+  AccessSet writes_;
+  std::vector<std::pair<Address, U256>> fee_credits_;
+  mutable std::vector<JournalEntry> journal_;
+};
+
+}  // namespace onoff::state
+
+#endif  // ONOFFCHAIN_STATE_SPECULATIVE_STATE_H_

@@ -1,0 +1,80 @@
+// The mutable-state interface the EVM and transaction application execute
+// against. `WorldState` is the canonical implementation; `SpeculativeState`
+// (speculative_state.h) is a copy-on-write overlay used by the optimistic
+// parallel executor to run transactions concurrently against a frozen base
+// and commit (or discard) their effects afterwards.
+
+#ifndef ONOFFCHAIN_STATE_STATE_VIEW_H_
+#define ONOFFCHAIN_STATE_STATE_VIEW_H_
+
+#include <cstdint>
+
+#include "crypto/keccak.h"
+#include "support/address.h"
+#include "support/bytes.h"
+#include "support/status.h"
+#include "support/u256.h"
+
+namespace onoff::state {
+
+class StateView {
+ public:
+  using Snapshot = size_t;
+
+  virtual ~StateView() = default;
+
+  // ---- Account lifecycle ----
+  virtual bool Exists(const Address& addr) const = 0;
+  virtual void CreateAccount(const Address& addr) = 0;
+  virtual void DeleteAccount(const Address& addr) = 0;
+
+  // ---- Balances ----
+  virtual U256 GetBalance(const Address& addr) const = 0;
+  virtual void AddBalance(const Address& addr, const U256& amount) = 0;
+  virtual Status SubBalance(const Address& addr, const U256& amount) = 0;
+  Status Transfer(const Address& from, const Address& to, const U256& amount) {
+    ONOFF_RETURN_NOT_OK(SubBalance(from, amount));
+    AddBalance(to, amount);
+    return Status::OK();
+  }
+  // Miner-fee credit. Semantically AddBalance (and that is the default), but
+  // kept distinct so speculative views can record it as a commutative delta:
+  // every transaction pays the coinbase, and treating that pay as a plain
+  // read-modify-write would serialize the whole block.
+  virtual void CreditFee(const Address& addr, const U256& amount) {
+    AddBalance(addr, amount);
+  }
+
+  // ---- Nonces ----
+  virtual uint64_t GetNonce(const Address& addr) const = 0;
+  virtual void SetNonce(const Address& addr, uint64_t nonce) = 0;
+  void IncrementNonce(const Address& addr) {
+    SetNonce(addr, GetNonce(addr) + 1);
+  }
+
+  // ---- Code ----
+  // The returned reference stays valid until the account's code changes.
+  virtual const Bytes& GetCode(const Address& addr) const = 0;
+  virtual void SetCode(const Address& addr, Bytes code) = 0;
+  Hash32 GetCodeHash(const Address& addr) const {
+    return Keccak256(GetCode(addr));
+  }
+
+  // ---- Storage ----
+  virtual U256 GetStorage(const Address& addr, const U256& key) const = 0;
+  virtual void SetStorage(const Address& addr, const U256& key,
+                          const U256& value) = 0;
+
+  // ---- Journaling ----
+  // Captures a revert point. Snapshots nest: reverting to an earlier snapshot
+  // undoes everything after it.
+  virtual Snapshot TakeSnapshot() const = 0;
+  virtual void RevertToSnapshot(Snapshot snap) = 0;
+  // Drops journal entries (e.g. at the end of a transaction); snapshots taken
+  // before this call become invalid.
+  virtual void ClearJournal() = 0;
+};
+
+}  // namespace onoff::state
+
+#endif  // ONOFFCHAIN_STATE_STATE_VIEW_H_

@@ -7,6 +7,12 @@
 
 namespace onoff::state {
 
+WorldState WorldState::Clone() const {
+  WorldState copy;
+  copy.accounts_ = accounts_;
+  return copy;
+}
+
 const Account* WorldState::Find(const Address& addr) const {
   auto it = accounts_.find(addr);
   return it == accounts_.end() ? nullptr : &it->second;
@@ -53,11 +59,10 @@ Status WorldState::SubBalance(const Address& addr, const U256& amount) {
   return Status::OK();
 }
 
-Status WorldState::Transfer(const Address& from, const Address& to,
-                            const U256& amount) {
-  ONOFF_RETURN_NOT_OK(SubBalance(from, amount));
-  AddBalance(to, amount);
-  return Status::OK();
+void WorldState::SetBalance(const Address& addr, const U256& amount) {
+  Account& acc = GetOrCreate(addr);
+  journal_.push_back(BalanceChange{addr, acc.balance});
+  acc.balance = amount;
 }
 
 uint64_t WorldState::GetNonce(const Address& addr) const {
@@ -69,10 +74,6 @@ void WorldState::SetNonce(const Address& addr, uint64_t nonce) {
   Account& acc = GetOrCreate(addr);
   journal_.push_back(NonceChange{addr, acc.nonce});
   acc.nonce = nonce;
-}
-
-void WorldState::IncrementNonce(const Address& addr) {
-  SetNonce(addr, GetNonce(addr) + 1);
 }
 
 const Bytes& WorldState::GetCode(const Address& addr) const {
@@ -88,10 +89,6 @@ void WorldState::SetCode(const Address& addr, Bytes code) {
   Account& acc = GetOrCreate(addr);
   journal_.push_back(CodeChange{addr, std::move(acc.code)});
   acc.code = std::move(code);
-}
-
-Hash32 WorldState::GetCodeHash(const Address& addr) const {
-  return Keccak256(GetCode(addr));
 }
 
 U256 WorldState::GetStorage(const Address& addr, const U256& key) const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "crypto/keccak.h"
+#include "state/state_view.h"
 #include "support/address.h"
 #include "support/bytes.h"
 #include "support/status.h"
@@ -33,55 +34,58 @@ struct Account {
   }
 };
 
-class WorldState {
+class WorldState final : public StateView {
  public:
-  using Snapshot = size_t;
+  using Snapshot = StateView::Snapshot;
 
   WorldState() = default;
   // Deliberately move-only: accidental copies of a whole chain state are
-  // almost always bugs.
+  // almost always bugs. Deliberate copies (pre-block snapshots for the
+  // parallel-vs-serial equivalence check) go through Clone().
   WorldState(const WorldState&) = delete;
   WorldState& operator=(const WorldState&) = delete;
   WorldState(WorldState&&) = default;
   WorldState& operator=(WorldState&&) = default;
 
+  // An explicit deep copy of the accounts (the journal does not carry over).
+  WorldState Clone() const;
+
   // ---- Account lifecycle ----
-  bool Exists(const Address& addr) const;
+  bool Exists(const Address& addr) const override;
   // Creates the account if absent; returns it either way.
-  void CreateAccount(const Address& addr);
+  void CreateAccount(const Address& addr) override;
   // Removes the account entirely (SELFDESTRUCT).
-  void DeleteAccount(const Address& addr);
+  void DeleteAccount(const Address& addr) override;
 
   // ---- Balances ----
-  U256 GetBalance(const Address& addr) const;
-  void AddBalance(const Address& addr, const U256& amount);
+  U256 GetBalance(const Address& addr) const override;
+  void AddBalance(const Address& addr, const U256& amount) override;
   // Fails if the balance is insufficient.
-  Status SubBalance(const Address& addr, const U256& amount);
-  // Unconditional transfer helper used by the EVM after its own check.
-  Status Transfer(const Address& from, const Address& to, const U256& amount);
+  Status SubBalance(const Address& addr, const U256& amount) override;
+  // Absolute write (journaled) — used when committing speculative overlays.
+  void SetBalance(const Address& addr, const U256& amount);
 
   // ---- Nonces ----
-  uint64_t GetNonce(const Address& addr) const;
-  void SetNonce(const Address& addr, uint64_t nonce);
-  void IncrementNonce(const Address& addr);
+  uint64_t GetNonce(const Address& addr) const override;
+  void SetNonce(const Address& addr, uint64_t nonce) override;
 
   // ---- Code ----
-  const Bytes& GetCode(const Address& addr) const;
-  void SetCode(const Address& addr, Bytes code);
-  Hash32 GetCodeHash(const Address& addr) const;
+  const Bytes& GetCode(const Address& addr) const override;
+  void SetCode(const Address& addr, Bytes code) override;
 
   // ---- Storage ----
-  U256 GetStorage(const Address& addr, const U256& key) const;
-  void SetStorage(const Address& addr, const U256& key, const U256& value);
+  U256 GetStorage(const Address& addr, const U256& key) const override;
+  void SetStorage(const Address& addr, const U256& key,
+                  const U256& value) override;
 
   // ---- Journaling ----
   // Captures a revert point. Snapshots nest: reverting to an earlier snapshot
   // undoes everything after it.
-  Snapshot TakeSnapshot() const { return journal_.size(); }
-  void RevertToSnapshot(Snapshot snap);
+  Snapshot TakeSnapshot() const override { return journal_.size(); }
+  void RevertToSnapshot(Snapshot snap) override;
   // Drops journal entries (e.g. at the end of a transaction); snapshots taken
   // before this call become invalid.
-  void ClearJournal() { journal_.clear(); }
+  void ClearJournal() override { journal_.clear(); }
 
   // ---- Commitment ----
   // keccak state root over the secure Merkle Patricia trie of RLP-encoded

@@ -48,8 +48,11 @@ TEST_F(BlockchainTest, SimpleValueTransfer) {
 }
 
 TEST_F(BlockchainTest, NonceSequenceEnforced) {
+  // Regression (pool gap-holding): a gapped nonce used to be mined into a
+  // guaranteed "nonce mismatch" failure. It must instead stay pending until
+  // the gap fills, then mine in nonce order.
   Transaction tx;
-  tx.nonce = 5;  // wrong: should be 0
+  tx.nonce = 2;  // gapped: account nonce is 0
   tx.gas_price = U256(1);
   tx.gas_limit = 21'000;
   tx.to = bob_.EthAddress();
@@ -58,10 +61,25 @@ TEST_F(BlockchainTest, NonceSequenceEnforced) {
   auto hash = chain_.SubmitTransaction(tx);
   ASSERT_TRUE(hash.ok());
   chain_.MineBlock();
+  EXPECT_FALSE(chain_.GetReceipt(*hash).ok());  // held, not mined
+  EXPECT_EQ(chain_.PendingCount(), 1u);
+  EXPECT_EQ(chain_.GetNonce(alice_.EthAddress()), 0u);
+  for (uint64_t nonce : {0u, 1u}) {
+    Transaction fill;
+    fill.nonce = nonce;
+    fill.gas_price = U256(1);
+    fill.gas_limit = 21'000;
+    fill.to = bob_.EthAddress();
+    fill.value = U256(1);
+    fill.Sign(alice_);
+    ASSERT_TRUE(chain_.SubmitTransaction(fill).ok());
+  }
+  const Block& block = chain_.MineBlock();
+  EXPECT_EQ(block.transactions.size(), 3u);
   auto receipt = chain_.GetReceipt(*hash);
   ASSERT_TRUE(receipt.ok());
-  EXPECT_FALSE(receipt->success);
-  EXPECT_EQ(receipt->gas_used, 0u);  // invalid txs burn nothing
+  EXPECT_TRUE(receipt->success);
+  EXPECT_EQ(chain_.GetNonce(alice_.EthAddress()), 3u);
 }
 
 TEST_F(BlockchainTest, NonceIncrementsPerTransaction) {

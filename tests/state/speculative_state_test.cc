@@ -1,0 +1,172 @@
+#include "state/speculative_state.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "state/world_state.h"
+
+namespace onoff::state {
+namespace {
+
+Address Addr(uint8_t tag) {
+  std::array<uint8_t, Address::kSize> raw{};
+  raw[Address::kSize - 1] = tag;
+  return Address(raw);
+}
+
+class SpeculativeStateTest : public ::testing::Test {
+ protected:
+  SpeculativeStateTest() {
+    base_.AddBalance(Addr(1), U256(1'000));
+    base_.SetNonce(Addr(1), 7);
+    base_.SetCode(Addr(1), Bytes{0x60, 0x01});
+    base_.SetStorage(Addr(1), U256(5), U256(42));
+    base_.AddBalance(Addr(2), U256(500));
+    base_.ClearJournal();
+  }
+
+  WorldState base_;
+};
+
+TEST_F(SpeculativeStateTest, ReadsPassThroughAndAreRecorded) {
+  SpeculativeState view(base_);
+  EXPECT_EQ(view.GetBalance(Addr(1)), U256(1'000));
+  EXPECT_EQ(view.GetNonce(Addr(1)), 7u);
+  EXPECT_EQ(view.GetCode(Addr(1)), (Bytes{0x60, 0x01}));
+  EXPECT_EQ(view.GetStorage(Addr(1), U256(5)), U256(42));
+  EXPECT_FALSE(view.Exists(Addr(3)));
+  // existence(1), balance, nonce, code, slot 5, existence(3).
+  EXPECT_EQ(view.reads().size(), 6u);
+  EXPECT_EQ(view.writes().size(), 0u);
+}
+
+TEST_F(SpeculativeStateTest, WritesStayInOverlayUntilApplied) {
+  SpeculativeState view(base_);
+  view.AddBalance(Addr(1), U256(100));
+  view.SetStorage(Addr(1), U256(5), U256(43));
+  view.SetNonce(Addr(2), 3);
+  EXPECT_EQ(view.GetBalance(Addr(1)), U256(1'100));
+  EXPECT_EQ(view.GetStorage(Addr(1), U256(5)), U256(43));
+  // The base is untouched until ApplyTo.
+  EXPECT_EQ(base_.GetBalance(Addr(1)), U256(1'000));
+  EXPECT_EQ(base_.GetStorage(Addr(1), U256(5)), U256(42));
+  EXPECT_EQ(base_.GetNonce(Addr(2)), 0u);
+  view.ApplyTo(base_);
+  EXPECT_EQ(base_.GetBalance(Addr(1)), U256(1'100));
+  EXPECT_EQ(base_.GetStorage(Addr(1), U256(5)), U256(43));
+  EXPECT_EQ(base_.GetNonce(Addr(2)), 3u);
+}
+
+TEST_F(SpeculativeStateTest, MutatorsCreateAbsentAccountsLikeWorldState) {
+  // GetOrCreate parity: WorldState mutators create absent accounts (and
+  // empty accounts appear in the state root), so the overlay must too.
+  WorldState direct = base_.Clone();
+  direct.AddBalance(Addr(9), U256(0));
+  direct.ClearJournal();
+
+  SpeculativeState view(base_);
+  view.AddBalance(Addr(9), U256(0));
+  EXPECT_TRUE(view.Exists(Addr(9)));
+  view.ApplyTo(base_);
+  EXPECT_TRUE(base_.Exists(Addr(9)));
+  EXPECT_EQ(base_.StateRoot(), direct.StateRoot());
+}
+
+TEST_F(SpeculativeStateTest, SnapshotRevertDiscardsOverlayChanges) {
+  SpeculativeState view(base_);
+  view.AddBalance(Addr(1), U256(100));
+  auto snap = view.TakeSnapshot();
+  (void)view.SubBalance(Addr(1), U256(50)).ok();
+  view.SetStorage(Addr(1), U256(5), U256(99));
+  view.SetCode(Addr(2), Bytes{0xfe});
+  view.CreateAccount(Addr(7));
+  view.RevertToSnapshot(snap);
+  EXPECT_EQ(view.GetBalance(Addr(1)), U256(1'100));
+  EXPECT_EQ(view.GetStorage(Addr(1), U256(5)), U256(42));
+  EXPECT_TRUE(view.GetCode(Addr(2)).empty());
+  EXPECT_FALSE(view.Exists(Addr(7)));
+  view.ApplyTo(base_);
+  EXPECT_EQ(base_.GetBalance(Addr(1)), U256(1'100));
+  EXPECT_EQ(base_.GetStorage(Addr(1), U256(5)), U256(42));
+  EXPECT_FALSE(base_.Exists(Addr(7)));
+}
+
+TEST_F(SpeculativeStateTest, DeleteAccountWipesAndRecordsWholeAccountWrite) {
+  SpeculativeState view(base_);
+  view.DeleteAccount(Addr(1));
+  EXPECT_FALSE(view.Exists(Addr(1)));
+  EXPECT_EQ(view.GetBalance(Addr(1)), U256(0));
+  EXPECT_EQ(view.GetStorage(Addr(1), U256(5)), U256(0));
+  EXPECT_EQ(view.writes().accounts.size(), 1u);
+  view.ApplyTo(base_);
+  EXPECT_FALSE(base_.Exists(Addr(1)));
+
+  // A whole-account write conflicts with any read of that address.
+  SpeculativeState reader(base_);
+  (void)reader.GetBalance(Addr(1));
+  EXPECT_TRUE(reader.reads().Intersects(view.writes()));
+}
+
+TEST_F(SpeculativeStateTest, DisjointAccessSetsDoNotConflict) {
+  SpeculativeState a(base_);
+  a.AddBalance(Addr(1), U256(1));
+  SpeculativeState b(base_);
+  b.AddBalance(Addr(2), U256(1));
+  EXPECT_FALSE(b.reads().Intersects(a.writes()));
+  EXPECT_FALSE(a.reads().Intersects(b.writes()));
+}
+
+TEST_F(SpeculativeStateTest, ReadOfWrittenFieldConflicts) {
+  SpeculativeState writer(base_);
+  writer.SetStorage(Addr(1), U256(5), U256(43));
+  SpeculativeState reader(base_);
+  (void)reader.GetStorage(Addr(1), U256(5));
+  EXPECT_TRUE(reader.reads().Intersects(writer.writes()));
+  // A different slot of the same account does not conflict.
+  SpeculativeState other(base_);
+  (void)other.GetStorage(Addr(1), U256(6));
+  EXPECT_FALSE(other.reads().Intersects(writer.writes()));
+}
+
+TEST_F(SpeculativeStateTest, CreditFeeIsAWriteNotARead) {
+  SpeculativeState payer(base_);
+  payer.CreditFee(Addr(2), U256(21'000));
+  EXPECT_EQ(payer.reads().size(), 0u);
+  EXPECT_EQ(payer.writes().size(), 1u);
+  // Two fee credits to the same account commute: neither *reads* the
+  // balance, so a later transaction's credit does not conflict-check
+  // against the earlier one's write via its read set.
+  SpeculativeState payer2(base_);
+  payer2.CreditFee(Addr(2), U256(42'000));
+  EXPECT_FALSE(payer2.reads().Intersects(payer.writes()));
+  payer.ApplyTo(base_);
+  payer2.ApplyTo(base_);
+  EXPECT_EQ(base_.GetBalance(Addr(2)), U256(500 + 21'000 + 42'000));
+}
+
+TEST_F(SpeculativeStateTest, ApplyToMatchesDirectExecution) {
+  // The same mutation sequence applied directly and through an overlay must
+  // produce identical state roots (byte-identical commit).
+  WorldState direct = base_.Clone();
+  (void)direct.SubBalance(Addr(1), U256(300)).ok();
+  direct.AddBalance(Addr(2), U256(300));
+  direct.IncrementNonce(Addr(1));
+  direct.SetStorage(Addr(1), U256(5), U256(1));
+  direct.SetStorage(Addr(1), U256(6), U256(2));
+  direct.SetCode(Addr(3), Bytes{0x00});
+  direct.ClearJournal();
+
+  SpeculativeState view(base_);
+  (void)view.SubBalance(Addr(1), U256(300)).ok();
+  view.AddBalance(Addr(2), U256(300));
+  view.IncrementNonce(Addr(1));
+  view.SetStorage(Addr(1), U256(5), U256(1));
+  view.SetStorage(Addr(1), U256(6), U256(2));
+  view.SetCode(Addr(3), Bytes{0x00});
+  view.ApplyTo(base_);
+  EXPECT_EQ(base_.StateRoot(), direct.StateRoot());
+}
+
+}  // namespace
+}  // namespace onoff::state
