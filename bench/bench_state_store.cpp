@@ -1,0 +1,218 @@
+// The incremental authenticated state store vs the from-scratch trie
+// rebuild it replaced: state-root time as total accounts scale, as the
+// per-block write set scales, plus the cost of copy-on-write Clone() and
+// snapshots. Every row cross-checks the incremental root against the
+// rebuilt root (`roots_match`), so the speedups are over a verified-equal
+// commitment.
+//
+// Writes BENCH_state_store.json (onoffchain-bench-v1) via --json <path>.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "state/world_state.h"
+#include "storage/node_store.h"
+#include "support/address.h"
+#include "support/u256.h"
+
+using namespace onoff;
+
+namespace {
+
+// Real addresses are keccak outputs, uniform from byte 0 (which is what
+// std::hash<Address> keys on) — so spread the index over the leading bytes.
+Address AddrOf(uint64_t i) {
+  std::array<uint8_t, Address::kSize> raw{};
+  uint64_t x = (i + 1) * 0x9E3779B97F4A7C15ull;  // splitmix-style spread
+  for (int b = 0; b < 8; ++b) {
+    raw[b] = static_cast<uint8_t>(x >> (8 * b));
+  }
+  raw[19] = 0x5A;
+  return Address(raw);
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// N accounts, each with a balance, nonce, and two storage slots.
+state::WorldState BuildState(uint64_t accounts) {
+  state::WorldState ws;
+  for (uint64_t i = 0; i < accounts; ++i) {
+    Address a = AddrOf(i);
+    ws.SetBalance(a, U256(1'000'000 + i));
+    ws.SetNonce(a, i % 7);
+    ws.SetStorage(a, U256(1), U256(i));
+    ws.SetStorage(a, U256(2), U256(i * 2 + 1));
+    if (i % 4096 == 0) ws.ClearJournal();
+  }
+  ws.ClearJournal();
+  return ws;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path =
+      obs::JsonPathFromArgs(&argc, argv, "BENCH_state_store.json");
+  std::vector<uint64_t> account_counts = {1'000, 10'000, 100'000};
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--accounts") == 0) {
+      // One explicit size instead of the default sweep (e.g. 1000000 for
+      // the EXPERIMENTS.md scaling row).
+      account_counts = {std::strtoull(argv[i + 1], nullptr, 10)};
+    }
+  }
+
+  obs::Json results = obs::Json::Array();
+
+  std::printf("=== State-root scaling: incremental store vs rebuild ===\n\n");
+  std::printf("%10s %12s %14s %12s %10s %10s %6s\n", "accounts",
+              "rebuild (ms)", "1-acct incr", "speedup", "clone (ms)",
+              "snap (ms)", "roots");
+
+  for (uint64_t accounts : account_counts) {
+    state::WorldState ws = BuildState(accounts);
+
+    // Baseline: the seed's from-scratch trie build, timed on the settled
+    // state (this is what every block used to pay).
+    auto t0 = std::chrono::steady_clock::now();
+    Hash32 rebuilt = ws.RebuildStateRoot();
+    double rebuild_ms = MsSince(t0);
+
+    // First incremental commit folds every account once (block 0).
+    t0 = std::chrono::steady_clock::now();
+    Hash32 initial = ws.StateRoot();
+    double initial_commit_ms = MsSince(t0);
+    if (initial != rebuilt) {
+      std::fprintf(stderr, "initial root mismatch at %llu accounts\n",
+                   static_cast<unsigned long long>(accounts));
+      return 1;
+    }
+
+    // The headline number: one touched account in a sea of N.
+    ws.SetBalance(AddrOf(accounts / 2), U256(42));
+    t0 = std::chrono::steady_clock::now();
+    Hash32 incremental = ws.StateRoot();
+    double incremental_ms = MsSince(t0);
+    bool roots_match = incremental == ws.RebuildStateRoot();
+    double speedup = incremental_ms > 0 ? rebuild_ms / incremental_ms : 0;
+
+    // Copy-on-write costs.
+    t0 = std::chrono::steady_clock::now();
+    state::WorldState clone = ws.Clone();
+    double clone_ms = MsSince(t0);
+    bool clone_root_ok = clone.StateRoot() == incremental;
+
+    t0 = std::chrono::steady_clock::now();
+    storage::StateSnapshot snap = ws.TakeStateSnapshot();
+    double snapshot_ms = MsSince(t0);
+    bool snap_root_ok = snap.root == incremental;
+    roots_match = roots_match && clone_root_ok && snap_root_ok;
+
+    std::printf("%10llu %12.1f %11.3fms %11.1fx %10.2f %10.3f %6s\n",
+                static_cast<unsigned long long>(accounts), rebuild_ms,
+                incremental_ms, speedup, clone_ms, snapshot_ms,
+                roots_match ? "ok" : "DIFF");
+
+    results.Push(
+        obs::Json::Object()
+            .Set("scenario", obs::Json::Str("scaling"))
+            .Set("accounts", obs::Json::Num(static_cast<double>(accounts)))
+            .Set("touched_accounts", obs::Json::Num(1))
+            .Set("rebuild_ms", obs::Json::Num(rebuild_ms))
+            .Set("initial_commit_ms", obs::Json::Num(initial_commit_ms))
+            .Set("incremental_ms", obs::Json::Num(incremental_ms))
+            .Set("speedup_vs_rebuild", obs::Json::Num(speedup))
+            .Set("clone_ms", obs::Json::Num(clone_ms))
+            .Set("snapshot_ms", obs::Json::Num(snapshot_ms))
+            .Set("roots_match", obs::Json::Bool(roots_match)));
+    if (!roots_match) {
+      std::fprintf(stderr, "root mismatch at %llu accounts\n",
+                   static_cast<unsigned long long>(accounts));
+      return 1;
+    }
+  }
+
+  // Write-set scaling: commit time vs number of touched accounts at a
+  // fixed state size (block cost should track the write set, not N).
+  uint64_t base = account_counts.back();
+  state::WorldState ws = BuildState(base);
+  ws.StateRoot();
+  std::printf("\n=== Write-set scaling at %llu accounts ===\n\n",
+              static_cast<unsigned long long>(base));
+  std::printf("%10s %16s %6s\n", "touched", "commit (ms)", "roots");
+  for (uint64_t touched : {1ULL << 0, 1ULL << 4, 1ULL << 8, 1ULL << 12}) {
+    if (touched > base) break;
+    for (uint64_t i = 0; i < touched; ++i) {
+      Address a = AddrOf((i * 977) % base);
+      ws.SetBalance(a, U256(i + 7));
+      ws.SetStorage(a, U256(1), U256(i + 9));
+    }
+    ws.ClearJournal();
+    auto t0 = std::chrono::steady_clock::now();
+    ws.StateRoot();
+    double commit_ms = MsSince(t0);
+    bool roots_match = ws.StateRoot() == ws.RebuildStateRoot();
+    std::printf("%10llu %16.3f %6s\n",
+                static_cast<unsigned long long>(touched), commit_ms,
+                roots_match ? "ok" : "DIFF");
+    results.Push(
+        obs::Json::Object()
+            .Set("scenario", obs::Json::Str("write_set"))
+            .Set("accounts", obs::Json::Num(static_cast<double>(base)))
+            .Set("touched_accounts",
+                 obs::Json::Num(static_cast<double>(touched)))
+            .Set("incremental_ms", obs::Json::Num(commit_ms))
+            .Set("roots_match", obs::Json::Bool(roots_match)));
+    if (!roots_match) return 1;
+  }
+
+  // Persistence: append one block's nodes to an in-memory node store after
+  // touching a small write set (the per-block persist cost).
+  {
+    storage::NodeStore store;
+    if (!store.Open().ok()) return 1;
+    ws.StateRoot();
+    if (!ws.PersistCommitted(store, 1).ok()) return 1;
+    size_t base_nodes = store.live_nodes();
+    for (uint64_t i = 0; i < 64; ++i) {
+      ws.SetBalance(AddrOf(i * 31 % base), U256(i));
+    }
+    ws.ClearJournal();
+    ws.StateRoot();
+    auto t0 = std::chrono::steady_clock::now();
+    if (!ws.PersistCommitted(store, 2).ok()) return 1;
+    double persist_ms = MsSince(t0);
+    size_t delta_nodes = store.live_nodes() - base_nodes;
+    std::printf("\npersist delta: %zu nodes in %.3f ms (%zu total)\n",
+                delta_nodes, persist_ms, store.live_nodes());
+    results.Push(obs::Json::Object()
+                     .Set("scenario", obs::Json::Str("persist_block"))
+                     .Set("accounts",
+                          obs::Json::Num(static_cast<double>(base)))
+                     .Set("touched_accounts", obs::Json::Num(64))
+                     .Set("incremental_ms", obs::Json::Num(persist_ms))
+                     .Set("delta_nodes",
+                          obs::Json::Num(static_cast<double>(delta_nodes)))
+                     .Set("roots_match", obs::Json::Bool(true)));
+  }
+
+  if (!json_path.empty()) {
+    Status st =
+        obs::WriteBenchJson(json_path, "state_store", std::move(results));
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -59,6 +59,18 @@ struct ChainConfig {
   // transactions serially from a clone of the pre-block state and abort on
   // any state-root or receipt divergence.
   bool assert_parallel_equivalence = false;
+  // Persistent authenticated state (storage/node_store.h): after every
+  // mined block, append the block's new trie nodes to the node log and
+  // retain its state root. Off by default (in-memory chains, tests).
+  bool persist_state = false;
+  // Node-log path; empty = in-memory node store (useful for testing the
+  // persistence path without touching disk).
+  std::string state_db_path;
+  // How many recent block states stay provable; older roots are released
+  // and their unreachable nodes pruned. This is the dispute/challenge
+  // window from the paper: off-chain results can be contested as long as
+  // the state they commit to is still retained. 0 = keep everything.
+  uint64_t state_history_blocks = 64;
 };
 
 class Blockchain {
@@ -127,6 +139,8 @@ class Blockchain {
   size_t PendingCount() const { return pool_.size(); }
   const state::WorldState& state() const { return state_; }
   const ChainConfig& config() const { return config_; }
+  // The persistent node store, or nullptr when persist_state is off.
+  const storage::NodeStore* node_store() const { return node_store_.get(); }
 
   // Read-only execution against current state (eth_call): no state change,
   // no transaction.
@@ -175,6 +189,13 @@ class Blockchain {
   evm::TraceHook* step_tracer_ = nullptr;
   // Dedicated workers when config_.exec_workers > 0 (else the shared pool).
   std::unique_ptr<ThreadPool> exec_pool_;
+  // Set when config_.persist_state: block states are appended here and
+  // pruned past the history window.
+  std::unique_ptr<storage::NodeStore> node_store_;
+  // Serial-replay root from the parallel equivalence check, compared
+  // against the block's header root once MineBlock has computed it — so
+  // the live state's root is computed exactly once per block.
+  std::optional<Hash32> pending_replay_root_;
 };
 
 }  // namespace onoff::chain

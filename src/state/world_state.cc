@@ -10,6 +10,11 @@ namespace onoff::state {
 WorldState WorldState::Clone() const {
   WorldState copy;
   copy.accounts_ = accounts_;
+  // The store copy shares every committed trie node with this state
+  // (copy-on-write), so cloning costs O(accounts) map copies, not a trie
+  // rebuild — and the clone's first StateRoot() only re-hashes whatever was
+  // dirty at clone time.
+  copy.store_ = store_;
   return copy;
 }
 
@@ -22,6 +27,7 @@ Account& WorldState::GetOrCreate(const Address& addr) {
   auto it = accounts_.find(addr);
   if (it != accounts_.end()) return it->second;
   journal_.push_back(AccountCreated{addr});
+  store_.MarkAccountDirty(addr);
   return accounts_[addr];
 }
 
@@ -36,6 +42,9 @@ void WorldState::DeleteAccount(const Address& addr) {
   if (it == accounts_.end()) return;
   journal_.push_back(AccountDeleted{addr, std::move(it->second)});
   accounts_.erase(it);
+  // Wholesale removal: the committed storage trie can no longer be patched
+  // slot-by-slot (a recreated account starts empty).
+  store_.MarkAccountReset(addr);
 }
 
 U256 WorldState::GetBalance(const Address& addr) const {
@@ -47,6 +56,7 @@ void WorldState::AddBalance(const Address& addr, const U256& amount) {
   Account& acc = GetOrCreate(addr);
   journal_.push_back(BalanceChange{addr, acc.balance});
   acc.balance += amount;
+  store_.MarkAccountDirty(addr);
 }
 
 Status WorldState::SubBalance(const Address& addr, const U256& amount) {
@@ -56,6 +66,7 @@ Status WorldState::SubBalance(const Address& addr, const U256& amount) {
   }
   journal_.push_back(BalanceChange{addr, acc.balance});
   acc.balance -= amount;
+  store_.MarkAccountDirty(addr);
   return Status::OK();
 }
 
@@ -63,6 +74,7 @@ void WorldState::SetBalance(const Address& addr, const U256& amount) {
   Account& acc = GetOrCreate(addr);
   journal_.push_back(BalanceChange{addr, acc.balance});
   acc.balance = amount;
+  store_.MarkAccountDirty(addr);
 }
 
 uint64_t WorldState::GetNonce(const Address& addr) const {
@@ -74,6 +86,7 @@ void WorldState::SetNonce(const Address& addr, uint64_t nonce) {
   Account& acc = GetOrCreate(addr);
   journal_.push_back(NonceChange{addr, acc.nonce});
   acc.nonce = nonce;
+  store_.MarkAccountDirty(addr);
 }
 
 const Bytes& WorldState::GetCode(const Address& addr) const {
@@ -89,6 +102,7 @@ void WorldState::SetCode(const Address& addr, Bytes code) {
   Account& acc = GetOrCreate(addr);
   journal_.push_back(CodeChange{addr, std::move(acc.code)});
   acc.code = std::move(code);
+  store_.MarkAccountDirty(addr);
 }
 
 U256 WorldState::GetStorage(const Address& addr, const U256& key) const {
@@ -110,21 +124,28 @@ void WorldState::SetStorage(const Address& addr, const U256& key,
   } else {
     acc.storage[key] = value;
   }
+  store_.MarkSlotDirty(addr, key);
 }
 
 void WorldState::RevertToSnapshot(Snapshot snap) {
   while (journal_.size() > snap) {
     JournalEntry entry = std::move(journal_.back());
     journal_.pop_back();
+    // Reverting is itself a mutation as far as the commitment engine is
+    // concerned: the flat maps move back, so the store must re-fold the
+    // touched account/slot on the next commit.
     std::visit(
         [this](auto&& e) {
           using T = std::decay_t<decltype(e)>;
           if constexpr (std::is_same_v<T, BalanceChange>) {
             accounts_[e.addr].balance = e.prev;
+            store_.MarkAccountDirty(e.addr);
           } else if constexpr (std::is_same_v<T, NonceChange>) {
             accounts_[e.addr].nonce = e.prev;
+            store_.MarkAccountDirty(e.addr);
           } else if constexpr (std::is_same_v<T, CodeChange>) {
             accounts_[e.addr].code = std::move(e.prev);
+            store_.MarkAccountDirty(e.addr);
           } else if constexpr (std::is_same_v<T, StorageChange>) {
             Account& acc = accounts_[e.addr];
             if (e.prev.IsZero()) {
@@ -132,10 +153,15 @@ void WorldState::RevertToSnapshot(Snapshot snap) {
             } else {
               acc.storage[e.key] = e.prev;
             }
+            store_.MarkSlotDirty(e.addr, e.key);
           } else if constexpr (std::is_same_v<T, AccountCreated>) {
             accounts_.erase(e.addr);
+            store_.MarkAccountDirty(e.addr);
           } else if constexpr (std::is_same_v<T, AccountDeleted>) {
             accounts_[e.addr] = std::move(e.prev);
+            // The restored account may carry arbitrary storage; rebuild its
+            // storage trie from the flat map rather than patching.
+            store_.MarkAccountReset(e.addr);
           }
         },
         std::move(entry));
@@ -181,23 +207,52 @@ trie::SecureTrie BuildStateTrie(
 
 }  // namespace
 
+storage::StateStore::AccountLookup WorldState::StoreLookup() const {
+  return [this](const Address& addr) -> std::optional<storage::AccountData> {
+    const Account* acc = Find(addr);
+    if (acc == nullptr) return std::nullopt;
+    storage::AccountData data;
+    data.nonce = acc->nonce;
+    data.balance = acc->balance;
+    data.code_hash = Keccak256(acc->code);
+    data.storage = &acc->storage;
+    return data;
+  };
+}
+
 Hash32 WorldState::StateRoot() const {
+  return store_.CommitRoot(StoreLookup());
+}
+
+Hash32 WorldState::RebuildStateRoot() const {
   return BuildStateTrie(accounts_).RootHash();
 }
 
+storage::StateSnapshot WorldState::TakeStateSnapshot() const {
+  store_.CommitRoot(StoreLookup());
+  return store_.Snapshot();
+}
+
+Status WorldState::PersistCommitted(storage::NodeStore& store,
+                                    uint64_t height) const {
+  store_.CommitRoot(StoreLookup());
+  return store_.Persist(store, height);
+}
+
 WorldState::Proof WorldState::ProveAccount(const Address& addr) const {
+  store_.CommitRoot(StoreLookup());
   Proof proof;
-  proof.account_proof = BuildStateTrie(accounts_).Prove(addr.view());
+  proof.account_proof = store_.ProveAccount(addr);
   return proof;
 }
 
 WorldState::Proof WorldState::ProveStorage(const Address& addr,
                                            const U256& key) const {
-  Proof proof = ProveAccount(addr);
-  auto it = accounts_.find(addr);
-  if (it != accounts_.end()) {
-    Bytes key_bytes = key.ToBytes();
-    proof.storage_proof = BuildStorageTrie(it->second).Prove(key_bytes);
+  store_.CommitRoot(StoreLookup());
+  Proof proof;
+  proof.account_proof = store_.ProveAccount(addr);
+  if (Exists(addr)) {
+    proof.storage_proof = store_.ProveStorage(addr, key);
   }
   return proof;
 }

@@ -12,6 +12,8 @@
 
 #include "crypto/keccak.h"
 #include "state/state_view.h"
+#include "storage/node_store.h"
+#include "storage/state_store.h"
 #include "support/address.h"
 #include "support/bytes.h"
 #include "support/status.h"
@@ -90,7 +92,25 @@ class WorldState final : public StateView {
   // ---- Commitment ----
   // keccak state root over the secure Merkle Patricia trie of RLP-encoded
   // accounts ([nonce, balance, storageRoot, codeHash]), exactly as Ethereum.
+  // Computed incrementally by the authenticated state store (storage/):
+  // only accounts and slots touched since the last call are re-hashed, so
+  // per-block cost scales with the write set, not with total state size.
   Hash32 StateRoot() const;
+
+  // From-scratch rebuild of the same root (the seed implementation) — the
+  // differential oracle the incremental engine is checked against. O(total
+  // accounts); use only in tests and benches.
+  Hash32 RebuildStateRoot() const;
+
+  // A copy-on-write snapshot of the committed state (commits pending
+  // changes first): proofs taken from it stay valid against its root even
+  // as this state keeps mutating.
+  storage::StateSnapshot TakeStateSnapshot() const;
+
+  // Persists all trie nodes new since the last persist into `store` and
+  // retains the current root at `height` (commits first). Pruning old
+  // heights is the caller's policy (see ChainConfig::state_history_blocks).
+  Status PersistCommitted(storage::NodeStore& store, uint64_t height) const;
 
   // ---- Light-client proofs ----
   // The decoded on-trie account record.
@@ -158,9 +178,15 @@ class WorldState final : public StateView {
 
   const Account* Find(const Address& addr) const;
   Account& GetOrCreate(const Address& addr);
+  storage::StateStore::AccountLookup StoreLookup() const;
 
   std::unordered_map<Address, Account> accounts_;
   mutable std::vector<JournalEntry> journal_;
+  // The commitment engine. Reads never consult it; every mutation (and
+  // every journal revert) marks the touched account/slot dirty, and
+  // StateRoot() folds the dirty set in. Mutable: committing is a cache
+  // fill, not a logical state change.
+  mutable storage::StateStore store_;
 };
 
 }  // namespace onoff::state

@@ -1,0 +1,401 @@
+#include "storage/node_store.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "rlp/rlp.h"
+#include "trie/trie.h"
+
+namespace onoff::storage {
+
+namespace {
+
+constexpr char kMagic[] = "ONOFFNS1";
+constexpr size_t kMagicLen = 8;
+
+void PutU32(Bytes* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+void PutU64(Bytes* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+class LogReader {
+ public:
+  LogReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  bool ReadByte(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= uint32_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= uint64_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadHash(Hash32* h) {
+    if (pos_ + 32 > size_) return false;
+    std::copy(data_ + pos_, data_ + pos_ + 32, h->begin());
+    pos_ += 32;
+    return true;
+  }
+  bool ReadBytes(size_t n, Bytes* out) {
+    if (pos_ + n > size_) return false;
+    out->assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+NodeStore::~NodeStore() {
+  if (out_ != nullptr) out_->flush();
+}
+
+Status NodeStore::Open() {
+  if (opened_) return Status::OK();
+  opened_ = true;
+  if (path_.empty()) return Status::OK();
+
+  // Replay an existing log, if any.
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in.good()) {
+      Bytes data((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+      if (data.size() < kMagicLen ||
+          !std::equal(data.begin(), data.begin() + kMagicLen, kMagic)) {
+        if (!data.empty()) {
+          return Status::InvalidArgument("node store log has bad magic: " +
+                                         path_);
+        }
+      } else {
+        LogReader reader(data.data() + kMagicLen, data.size() - kMagicLen);
+        while (!reader.AtEnd()) {
+          uint8_t op = 0;
+          if (!reader.ReadByte(&op)) {
+            return Status::InvalidArgument("truncated node store log");
+          }
+          if (op == 'N') {
+            uint32_t enc_len = 0;
+            uint32_t ref_count = 0;
+            Hash32 hash;
+            Bytes enc;
+            if (!reader.ReadU32(&enc_len) || !reader.ReadU32(&ref_count) ||
+                !reader.ReadHash(&hash) || !reader.ReadBytes(enc_len, &enc)) {
+              return Status::InvalidArgument("truncated node record");
+            }
+            std::vector<Hash32> refs(ref_count);
+            for (uint32_t i = 0; i < ref_count; ++i) {
+              if (!reader.ReadHash(&refs[i])) {
+                return Status::InvalidArgument("truncated node refs");
+              }
+            }
+            ONOFF_RETURN_NOT_OK(PutImpl(hash, enc, refs, /*journal=*/false));
+          } else if (op == 'R') {
+            uint64_t height = 0;
+            Hash32 root;
+            if (!reader.ReadU64(&height) || !reader.ReadHash(&root)) {
+              return Status::InvalidArgument("truncated retain record");
+            }
+            ONOFF_RETURN_NOT_OK(RetainImpl(root, height, /*journal=*/false));
+          } else if (op == 'P') {
+            uint64_t cutoff = 0;
+            if (!reader.ReadU64(&cutoff)) {
+              return Status::InvalidArgument("truncated prune record");
+            }
+            PruneImpl(cutoff, /*journal=*/false);
+          } else {
+            return Status::InvalidArgument("unknown node store op");
+          }
+        }
+        file_bytes_ = data.size();
+      }
+    }
+  }
+
+  out_ = std::make_unique<std::ofstream>(
+      path_, std::ios::binary | std::ios::app);
+  if (!out_->good()) {
+    return Status::Internal("cannot open node store log: " + path_);
+  }
+  if (file_bytes_ == 0) {
+    out_->write(kMagic, kMagicLen);
+    file_bytes_ = kMagicLen;
+  }
+  return Status::OK();
+}
+
+bool NodeStore::Contains(const Hash32& hash) const {
+  return nodes_.find(hash) != nodes_.end();
+}
+
+Result<Bytes> NodeStore::Get(const Hash32& hash) const {
+  auto it = nodes_.find(hash);
+  if (it == nodes_.end()) return Status::NotFound("node not in store");
+  return it->second.enc;
+}
+
+Status NodeStore::Append(const Bytes& payload) {
+  if (out_ == nullptr) return Status::OK();  // in-memory store
+  out_->write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  if (!out_->good()) {
+    return Status::Internal("node store log write failed: " + path_);
+  }
+  file_bytes_ += payload.size();
+  return Status::OK();
+}
+
+Status NodeStore::AppendNode(const Hash32& hash, const Record& rec) {
+  Bytes payload;
+  payload.push_back('N');
+  PutU32(&payload, static_cast<uint32_t>(rec.enc.size()));
+  PutU32(&payload, static_cast<uint32_t>(rec.refs.size()));
+  payload.insert(payload.end(), hash.begin(), hash.end());
+  payload.insert(payload.end(), rec.enc.begin(), rec.enc.end());
+  for (const Hash32& ref : rec.refs) {
+    payload.insert(payload.end(), ref.begin(), ref.end());
+  }
+  return Append(payload);
+}
+
+Status NodeStore::AppendRetain(const Hash32& root, uint64_t height) {
+  Bytes payload;
+  payload.push_back('R');
+  PutU64(&payload, height);
+  payload.insert(payload.end(), root.begin(), root.end());
+  return Append(payload);
+}
+
+Status NodeStore::AppendPrune(uint64_t cutoff_height) {
+  Bytes payload;
+  payload.push_back('P');
+  PutU64(&payload, cutoff_height);
+  return Append(payload);
+}
+
+Status NodeStore::PutImpl(const Hash32& hash, BytesView encoding,
+                          const std::vector<Hash32>& refs, bool journal) {
+  if (Contains(hash)) return Status::OK();  // content-addressed: no-op
+  Record rec;
+  rec.enc.assign(encoding.begin(), encoding.end());
+  rec.refs = refs;
+  // References counted before this record arrived (replay order freedom).
+  auto pending = pending_refs_.find(hash);
+  if (pending != pending_refs_.end()) {
+    rec.refcount = pending->second;
+    pending_refs_.erase(pending);
+  }
+  for (const Hash32& ref : refs) {
+    auto it = nodes_.find(ref);
+    if (it != nodes_.end()) {
+      ++it->second.refcount;
+    } else {
+      ++pending_refs_[ref];
+    }
+  }
+  if (journal) ONOFF_RETURN_NOT_OK(AppendNode(hash, rec));
+  nodes_.emplace(hash, std::move(rec));
+  static obs::Counter* persisted =
+      obs::GetCounterOrNull("storage.nodes_persisted");
+  if (persisted != nullptr) persisted->Inc();
+  return Status::OK();
+}
+
+Status NodeStore::Put(const Hash32& hash, BytesView encoding,
+                      const std::vector<Hash32>& refs) {
+  return PutImpl(hash, encoding, refs, /*journal=*/true);
+}
+
+Status NodeStore::RetainImpl(const Hash32& root, uint64_t height,
+                             bool journal) {
+  auto it = nodes_.find(root);
+  if (it != nodes_.end()) {
+    ++it->second.refcount;
+  } else {
+    ++pending_refs_[root];
+  }
+  retained_.emplace(height, root);
+  if (journal) return AppendRetain(root, height);
+  return Status::OK();
+}
+
+Status NodeStore::RetainRoot(const Hash32& root, uint64_t height) {
+  return RetainImpl(root, height, /*journal=*/true);
+}
+
+void NodeStore::Deref(const Hash32& hash, size_t* freed) {
+  auto it = nodes_.find(hash);
+  if (it == nodes_.end()) {
+    auto pending = pending_refs_.find(hash);
+    if (pending != pending_refs_.end() && --pending->second == 0) {
+      pending_refs_.erase(pending);
+    }
+    return;
+  }
+  if (it->second.refcount > 0) --it->second.refcount;
+  if (it->second.refcount > 0) return;
+  std::vector<Hash32> refs = std::move(it->second.refs);
+  nodes_.erase(it);
+  ++*freed;
+  for (const Hash32& ref : refs) Deref(ref, freed);
+}
+
+size_t NodeStore::PruneImpl(uint64_t cutoff_height, bool journal) {
+  size_t freed = 0;
+  bool released = false;
+  while (!retained_.empty() && retained_.begin()->first < cutoff_height) {
+    Hash32 root = retained_.begin()->second;
+    retained_.erase(retained_.begin());
+    Deref(root, &freed);
+    released = true;
+  }
+  if (released && journal) {
+    Status st = AppendPrune(cutoff_height);
+    (void)st;  // a failed prune mark leaves extra live data, never corruption
+  }
+  pruned_total_ += freed;
+  if (freed > 0) {
+    static obs::Counter* pruned = obs::GetCounterOrNull("storage.nodes_pruned");
+    if (pruned != nullptr) pruned->Inc(freed);
+  }
+  return freed;
+}
+
+size_t NodeStore::PruneBelow(uint64_t cutoff_height) {
+  return PruneImpl(cutoff_height, /*journal=*/true);
+}
+
+Result<std::optional<Bytes>> NodeStore::LookupSecure(const Hash32& root,
+                                                     BytesView key) const {
+  if (root == trie::Trie::EmptyRoot()) return std::optional<Bytes>(std::nullopt);
+  Hash32 hashed = Keccak256(key);
+  std::vector<uint8_t> nibbles =
+      trie::BytesToNibbles(BytesView(hashed.data(), hashed.size()));
+
+  ONOFF_ASSIGN_OR_RETURN(Bytes enc, Get(root));
+  ONOFF_ASSIGN_OR_RETURN(rlp::Item item, rlp::Decode(enc));
+  size_t pos = 0;
+  for (;;) {
+    if (!item.IsList()) {
+      return Status::VerificationFailed("stored node is not a list");
+    }
+    const std::vector<rlp::Item>& fields = item.list();
+    const rlp::Item* next_ref = nullptr;
+    if (fields.size() == 2) {
+      if (!fields[0].IsString()) {
+        return Status::VerificationFailed("malformed short node path");
+      }
+      ONOFF_ASSIGN_OR_RETURN(trie::HexPrefixPath hp,
+                             trie::HexPrefixDecode(fields[0].string()));
+      std::vector<uint8_t> rest(nibbles.begin() + pos, nibbles.end());
+      if (hp.is_leaf) {
+        if (!fields[1].IsString()) {
+          return Status::VerificationFailed("malformed leaf value");
+        }
+        if (hp.nibbles == rest) return std::optional<Bytes>(fields[1].string());
+        return std::optional<Bytes>(std::nullopt);
+      }
+      if (rest.size() < hp.nibbles.size() ||
+          !std::equal(hp.nibbles.begin(), hp.nibbles.end(), rest.begin())) {
+        return std::optional<Bytes>(std::nullopt);
+      }
+      pos += hp.nibbles.size();
+      next_ref = &fields[1];
+    } else if (fields.size() == 17) {
+      if (pos == nibbles.size()) {
+        if (!fields[16].IsString()) {
+          return Status::VerificationFailed("malformed branch value");
+        }
+        if (fields[16].string().empty()) {
+          return std::optional<Bytes>(std::nullopt);
+        }
+        return std::optional<Bytes>(fields[16].string());
+      }
+      next_ref = &fields[nibbles[pos]];
+      ++pos;
+      if (next_ref->IsString() && next_ref->string().empty()) {
+        return std::optional<Bytes>(std::nullopt);
+      }
+    } else {
+      return Status::VerificationFailed("stored node has bad arity");
+    }
+
+    if (next_ref->IsList()) {
+      item = *next_ref;  // embedded node
+    } else if (next_ref->IsString() && next_ref->string().size() == 32) {
+      Hash32 child;
+      std::copy(next_ref->string().begin(), next_ref->string().end(),
+                child.begin());
+      ONOFF_ASSIGN_OR_RETURN(Bytes child_enc, Get(child));
+      ONOFF_ASSIGN_OR_RETURN(item, rlp::Decode(child_enc));
+    } else {
+      return Status::VerificationFailed("malformed child reference");
+    }
+  }
+}
+
+Status NodeStore::Compact() {
+  if (path_.empty()) return Status::OK();
+  std::string tmp = path_ + ".compact";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return Status::Internal("cannot write " + tmp);
+    out.write(kMagic, kMagicLen);
+    uint64_t bytes = kMagicLen;
+    for (const auto& [hash, rec] : nodes_) {
+      Bytes payload;
+      payload.push_back('N');
+      PutU32(&payload, static_cast<uint32_t>(rec.enc.size()));
+      PutU32(&payload, static_cast<uint32_t>(rec.refs.size()));
+      payload.insert(payload.end(), hash.begin(), hash.end());
+      payload.insert(payload.end(), rec.enc.begin(), rec.enc.end());
+      for (const Hash32& ref : rec.refs) {
+        payload.insert(payload.end(), ref.begin(), ref.end());
+      }
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+      bytes += payload.size();
+    }
+    for (const auto& [height, root] : retained_) {
+      Bytes payload;
+      payload.push_back('R');
+      PutU64(&payload, height);
+      payload.insert(payload.end(), root.begin(), root.end());
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+      bytes += payload.size();
+    }
+    if (!out.good()) return Status::Internal("compaction write failed");
+    file_bytes_ = bytes;
+  }
+  if (out_ != nullptr) out_->close();
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::Internal("compaction rename failed");
+  }
+  out_ = std::make_unique<std::ofstream>(
+      path_, std::ios::binary | std::ios::app);
+  if (!out_->good()) {
+    return Status::Internal("cannot reopen node store log: " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace onoff::storage

@@ -1,0 +1,481 @@
+#include "storage/shared_trie.h"
+
+#include <atomic>
+#include <cassert>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "rlp/rlp.h"
+
+namespace onoff::storage {
+
+namespace internal {
+
+// Immutable after construction (mutated only while being built inside one
+// Insert/Delete call, before anyone else can see it). The memoized encoding
+// is write-once behind a once_flag so concurrent hashers of a shared
+// snapshot are safe.
+struct SharedNode {
+  enum class Type : uint8_t { kLeaf, kExtension, kBranch };
+
+  Type type = Type::kLeaf;
+  std::vector<uint8_t> path;  // leaf/extension
+  Bytes value;                // leaf value, or the value slot of a branch
+  NodeRef child;              // extension
+  std::array<NodeRef, 16> children;  // branch
+
+  mutable std::once_flag enc_once;
+  mutable std::atomic<bool> enc_ready{false};
+  mutable Bytes enc;  // memoized RLP encoding
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::SharedNode;
+using Type = SharedNode::Type;
+using Nibbles = std::vector<uint8_t>;
+
+Nibbles Sub(const Nibbles& n, size_t from) {
+  return Nibbles(n.begin() + from, n.end());
+}
+
+size_t CommonPrefix(const Nibbles& a, const Nibbles& b) {
+  size_t i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+  return i;
+}
+
+NodeRef MakeLeaf(Nibbles path, Bytes value) {
+  auto n = std::make_shared<SharedNode>();
+  n->type = Type::kLeaf;
+  n->path = std::move(path);
+  n->value = std::move(value);
+  return n;
+}
+
+NodeRef MakeExtension(Nibbles path, NodeRef child) {
+  auto n = std::make_shared<SharedNode>();
+  n->type = Type::kExtension;
+  n->path = std::move(path);
+  n->child = std::move(child);
+  return n;
+}
+
+std::shared_ptr<SharedNode> MakeBranch() {
+  auto n = std::make_shared<SharedNode>();
+  n->type = Type::kBranch;
+  return n;
+}
+
+// A mutable copy of a branch for path-copying: shares all children refs.
+std::shared_ptr<SharedNode> CopyBranch(const SharedNode& src) {
+  auto n = MakeBranch();
+  n->value = src.value;
+  n->children = src.children;
+  return n;
+}
+
+// ---- Hashing (memoized per node) ----
+
+Bytes EncodeNode(const SharedNode* node);
+
+const Bytes& EncodedMemo(const SharedNode* node) {
+  if (node->enc_ready.load(std::memory_order_acquire)) {
+    static obs::Counter* hits =
+        obs::GetCounterOrNull("storage.trie_node_cache_hits");
+    if (hits != nullptr) hits->Inc();
+    return node->enc;
+  }
+  std::call_once(node->enc_once, [node] {
+    node->enc = EncodeNode(node);
+    node->enc_ready.store(true, std::memory_order_release);
+    static obs::Counter* computed =
+        obs::GetCounterOrNull("storage.trie_nodes_hashed");
+    if (computed != nullptr) computed->Inc();
+  });
+  return node->enc;
+}
+
+// Node reference inside a parent: raw encoding if < 32 bytes, else the
+// keccak wrapped as an RLP string (same rule as trie::Trie).
+Bytes RefNode(const SharedNode* node) {
+  const Bytes& enc = EncodedMemo(node);
+  if (enc.size() < 32) return enc;  // embedded structurally
+  Hash32 h = Keccak256(enc);
+  return rlp::EncodeString(BytesView(h.data(), h.size()));
+}
+
+Bytes EncodeNode(const SharedNode* node) {
+  switch (node->type) {
+    case Type::kLeaf: {
+      std::vector<Bytes> fields;
+      fields.push_back(
+          rlp::EncodeString(trie::HexPrefixEncode(node->path, true)));
+      fields.push_back(rlp::EncodeString(node->value));
+      return rlp::EncodeList(fields);
+    }
+    case Type::kExtension: {
+      std::vector<Bytes> fields;
+      fields.push_back(
+          rlp::EncodeString(trie::HexPrefixEncode(node->path, false)));
+      fields.push_back(RefNode(node->child.get()));
+      return rlp::EncodeList(fields);
+    }
+    case Type::kBranch: {
+      std::vector<Bytes> fields;
+      for (int i = 0; i < 16; ++i) {
+        if (node->children[i] == nullptr) {
+          fields.push_back(rlp::EncodeString(Bytes{}));
+        } else {
+          fields.push_back(RefNode(node->children[i].get()));
+        }
+      }
+      fields.push_back(rlp::EncodeString(node->value));
+      return rlp::EncodeList(fields);
+    }
+  }
+  return {};  // unreachable
+}
+
+// ---- Insert (path-copying) ----
+
+bool SameValue(const Bytes& a, BytesView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+// Returns the original reference unchanged when the write is a no-op, so
+// untouched spines keep their memoized encodings.
+NodeRef Insert(const NodeRef& node, const Nibbles& key, BytesView value) {
+  if (node == nullptr) {
+    return MakeLeaf(key, Bytes(value.begin(), value.end()));
+  }
+  switch (node->type) {
+    case Type::kLeaf: {
+      size_t cp = CommonPrefix(node->path, key);
+      if (cp == node->path.size() && cp == key.size()) {
+        if (SameValue(node->value, value)) return node;
+        return MakeLeaf(key, Bytes(value.begin(), value.end()));
+      }
+      // Split into a branch (optionally under an extension for the shared
+      // prefix).
+      auto branch = MakeBranch();
+      if (cp == node->path.size()) {
+        branch->value = node->value;
+      } else {
+        uint8_t idx = node->path[cp];
+        branch->children[idx] = MakeLeaf(Sub(node->path, cp + 1), node->value);
+      }
+      if (cp == key.size()) {
+        branch->value = Bytes(value.begin(), value.end());
+      } else {
+        uint8_t idx = key[cp];
+        branch->children[idx] =
+            MakeLeaf(Sub(key, cp + 1), Bytes(value.begin(), value.end()));
+      }
+      if (cp > 0) {
+        return MakeExtension(Nibbles(key.begin(), key.begin() + cp),
+                             std::move(branch));
+      }
+      return branch;
+    }
+    case Type::kExtension: {
+      size_t cp = CommonPrefix(node->path, key);
+      if (cp == node->path.size()) {
+        NodeRef updated = Insert(node->child, Sub(key, cp), value);
+        if (updated == node->child) return node;
+        return MakeExtension(node->path, std::move(updated));
+      }
+      // The extension splits; the old child subtree is shared as-is.
+      auto branch = MakeBranch();
+      uint8_t ext_idx = node->path[cp];
+      Nibbles ext_rest = Sub(node->path, cp + 1);
+      if (ext_rest.empty()) {
+        branch->children[ext_idx] = node->child;
+      } else {
+        branch->children[ext_idx] =
+            MakeExtension(std::move(ext_rest), node->child);
+      }
+      if (cp == key.size()) {
+        branch->value = Bytes(value.begin(), value.end());
+      } else {
+        branch->children[key[cp]] =
+            MakeLeaf(Sub(key, cp + 1), Bytes(value.begin(), value.end()));
+      }
+      if (cp > 0) {
+        return MakeExtension(Nibbles(key.begin(), key.begin() + cp),
+                             std::move(branch));
+      }
+      return branch;
+    }
+    case Type::kBranch: {
+      if (key.empty()) {
+        if (SameValue(node->value, value)) return node;
+        auto copy = CopyBranch(*node);
+        copy->value = Bytes(value.begin(), value.end());
+        return copy;
+      }
+      uint8_t idx = key[0];
+      NodeRef updated = Insert(node->children[idx], Sub(key, 1), value);
+      if (updated == node->children[idx]) return node;
+      auto copy = CopyBranch(*node);
+      copy->children[idx] = std::move(updated);
+      return copy;
+    }
+  }
+  return node;  // unreachable
+}
+
+// ---- Delete (path-copying) ----
+
+// Re-collapses an extension over a possibly degenerated child. `path` and
+// `child` describe the candidate extension (not yet constructed).
+NodeRef NormalizeExtension(const Nibbles& path, NodeRef child) {
+  switch (child->type) {
+    case Type::kLeaf: {
+      Nibbles merged = path;
+      merged.insert(merged.end(), child->path.begin(), child->path.end());
+      return MakeLeaf(std::move(merged), child->value);
+    }
+    case Type::kExtension: {
+      Nibbles merged = path;
+      merged.insert(merged.end(), child->path.begin(), child->path.end());
+      return MakeExtension(std::move(merged), child->child);
+    }
+    case Type::kBranch:
+      return MakeExtension(path, std::move(child));
+  }
+  return nullptr;  // unreachable
+}
+
+// Collapses a fresh branch copy left with a single child and no value, or
+// only a value.
+NodeRef NormalizeBranch(std::shared_ptr<SharedNode> node) {
+  int live = -1;
+  int count = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (node->children[i] != nullptr) {
+      live = i;
+      ++count;
+    }
+  }
+  bool has_value = !node->value.empty();
+  if (count == 0 && !has_value) return nullptr;
+  if (count == 0 && has_value) return MakeLeaf(Nibbles{}, node->value);
+  if (count == 1 && !has_value) {
+    NodeRef child = node->children[live];
+    Nibbles merged{static_cast<uint8_t>(live)};
+    return NormalizeExtension(merged, std::move(child));
+  }
+  return node;
+}
+
+NodeRef Remove(const NodeRef& node, const Nibbles& key) {
+  if (node == nullptr) return nullptr;
+  switch (node->type) {
+    case Type::kLeaf:
+      if (node->path == key) return nullptr;
+      return node;  // key not present: unchanged
+    case Type::kExtension: {
+      size_t cp = CommonPrefix(node->path, key);
+      if (cp != node->path.size()) return node;  // key not present
+      NodeRef updated = Remove(node->child, Sub(key, cp));
+      if (updated == node->child) return node;
+      if (updated == nullptr) return nullptr;
+      return NormalizeExtension(node->path, std::move(updated));
+    }
+    case Type::kBranch: {
+      if (key.empty()) {
+        if (node->value.empty()) return node;  // nothing to delete
+        auto copy = CopyBranch(*node);
+        copy->value.clear();
+        return NormalizeBranch(std::move(copy));
+      }
+      uint8_t idx = key[0];
+      NodeRef updated = Remove(node->children[idx], Sub(key, 1));
+      if (updated == node->children[idx]) return node;
+      auto copy = CopyBranch(*node);
+      copy->children[idx] = std::move(updated);
+      return NormalizeBranch(std::move(copy));
+    }
+  }
+  return node;  // unreachable
+}
+
+// ---- Lookup ----
+
+const SharedNode* Find(const SharedNode* node, const Nibbles& key,
+                       size_t pos) {
+  if (node == nullptr) return nullptr;
+  switch (node->type) {
+    case Type::kLeaf: {
+      Nibbles rest(key.begin() + pos, key.end());
+      return node->path == rest ? node : nullptr;
+    }
+    case Type::kExtension: {
+      if (key.size() - pos < node->path.size()) return nullptr;
+      for (size_t i = 0; i < node->path.size(); ++i) {
+        if (key[pos + i] != node->path[i]) return nullptr;
+      }
+      return Find(node->child.get(), key, pos + node->path.size());
+    }
+    case Type::kBranch: {
+      if (pos == key.size()) {
+        return node->value.empty() ? nullptr : node;
+      }
+      return Find(node->children[key[pos]].get(), key, pos + 1);
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+// ---- Persistence walk ----
+
+// Hash references physically contained in this node's record: hashed child
+// refs (embedded descendants' included — an embedded node rides inside this
+// record and can itself only reference further embedded nodes or nothing,
+// since a hash ref alone is 33 encoded bytes) plus leaf-value extras.
+void CollectRecordRefs(const SharedNode* node, const LeafRefs& leaf_refs,
+                       std::vector<Hash32>* out) {
+  switch (node->type) {
+    case Type::kLeaf:
+      if (leaf_refs != nullptr) {
+        for (Hash32& h : leaf_refs(node->value)) out->push_back(h);
+      }
+      return;
+    case Type::kExtension: {
+      const Bytes& enc = EncodedMemo(node->child.get());
+      if (enc.size() >= 32) {
+        out->push_back(Keccak256(enc));
+      } else {
+        CollectRecordRefs(node->child.get(), leaf_refs, out);
+      }
+      return;
+    }
+    case Type::kBranch: {
+      for (const NodeRef& child : node->children) {
+        if (child == nullptr) continue;
+        const Bytes& enc = EncodedMemo(child.get());
+        if (enc.size() >= 32) {
+          out->push_back(Keccak256(enc));
+        } else {
+          CollectRecordRefs(child.get(), leaf_refs, out);
+        }
+      }
+      if (!node->value.empty() && leaf_refs != nullptr) {
+        for (Hash32& h : leaf_refs(node->value)) out->push_back(h);
+      }
+      return;
+    }
+  }
+}
+
+void ForEachHashedChild(const SharedNode* node,
+                        const std::function<void(const NodeRef&)>& fn) {
+  auto visit = [&fn](const NodeRef& child) {
+    if (child != nullptr && EncodedMemo(child.get()).size() >= 32) fn(child);
+  };
+  if (node->type == Type::kExtension) visit(node->child);
+  if (node->type == Type::kBranch) {
+    for (const NodeRef& child : node->children) visit(child);
+  }
+}
+
+void PersistWalk(const NodeRef& node, const PersistKnown& known,
+                 const PersistEmit& emit, const LeafRefs& leaf_refs,
+                 bool is_root) {
+  const Bytes& enc = EncodedMemo(node.get());
+  // Embedded nodes travel inside their parent's record; only the root is
+  // stored standalone regardless of size (it is referenced by hash).
+  if (!is_root && enc.size() < 32) return;
+  Hash32 h = Keccak256(enc);
+  if (known(h)) return;  // subtree already stored (and its refs counted)
+  ForEachHashedChild(node.get(), [&](const NodeRef& child) {
+    PersistWalk(child, known, emit, leaf_refs, false);
+  });
+  std::vector<Hash32> refs;
+  CollectRecordRefs(node.get(), leaf_refs, &refs);
+  emit(h, enc, refs);
+}
+
+size_t Count(const SharedNode* node) {
+  if (node == nullptr) return 0;
+  size_t n = 1;
+  if (node->type == Type::kExtension) n += Count(node->child.get());
+  if (node->type == Type::kBranch) {
+    for (const NodeRef& child : node->children) n += Count(child.get());
+  }
+  return n;
+}
+
+}  // namespace
+
+void SharedTrie::Put(BytesView key, BytesView value) {
+  Nibbles nibbles = trie::BytesToNibbles(key);
+  if (value.empty()) {
+    root_ = Remove(root_, nibbles);
+    return;
+  }
+  root_ = Insert(root_, nibbles, value);
+}
+
+void SharedTrie::Delete(BytesView key) {
+  root_ = Remove(root_, trie::BytesToNibbles(key));
+}
+
+Result<Bytes> SharedTrie::Get(BytesView key) const {
+  Nibbles nibbles = trie::BytesToNibbles(key);
+  const SharedNode* n = Find(root_.get(), nibbles, 0);
+  if (n == nullptr) return Status::NotFound("key not in trie");
+  return n->value;
+}
+
+Hash32 SharedTrie::RootHash() const {
+  if (root_ == nullptr) return trie::Trie::EmptyRoot();
+  return Keccak256(EncodedMemo(root_.get()));
+}
+
+std::vector<Bytes> SharedTrie::Prove(BytesView key) const {
+  std::vector<Bytes> proof;
+  Nibbles nibbles = trie::BytesToNibbles(key);
+  const SharedNode* node = root_.get();
+  size_t pos = 0;
+  bool is_root = true;
+  while (node != nullptr) {
+    const Bytes& enc = EncodedMemo(node);
+    if (is_root || enc.size() >= 32) proof.push_back(enc);
+    is_root = false;
+    switch (node->type) {
+      case Type::kLeaf:
+        return proof;
+      case Type::kExtension: {
+        if (nibbles.size() - pos < node->path.size()) return proof;
+        for (size_t i = 0; i < node->path.size(); ++i) {
+          if (nibbles[pos + i] != node->path[i]) return proof;
+        }
+        pos += node->path.size();
+        node = node->child.get();
+        break;
+      }
+      case Type::kBranch: {
+        if (pos == nibbles.size()) return proof;
+        node = node->children[nibbles[pos]].get();
+        ++pos;
+        break;
+      }
+    }
+  }
+  return proof;
+}
+
+void SharedTrie::PersistNodes(const PersistKnown& known,
+                              const PersistEmit& emit,
+                              const LeafRefs& leaf_refs) const {
+  if (root_ == nullptr) return;
+  PersistWalk(root_, known, emit, leaf_refs, /*is_root=*/true);
+}
+
+size_t SharedTrie::CountNodes() const { return Count(root_.get()); }
+
+}  // namespace onoff::storage

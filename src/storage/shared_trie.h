@@ -1,0 +1,133 @@
+// Copy-on-write Merkle Patricia Trie with structurally shared, immutable
+// interior nodes — the commitment layer of the incremental state store.
+//
+// Unlike `trie::Trie` (unique ownership, full re-encode on every RootHash),
+// `SharedTrie` holds `shared_ptr<const Node>` references. Mutation is
+// path-copying: Put/Delete rebuild only the spine from the root to the
+// touched leaf and share every untouched subtree with the previous version.
+// Each immutable node memoizes its RLP encoding (and therefore its keccak
+// reference) the first time it is hashed, so recomputing the root after k
+// changed keys re-hashes O(k · depth) nodes instead of the whole trie.
+//
+// Copying a SharedTrie is O(1) and yields an independent snapshot: the copy
+// and the original share all nodes until one of them writes. This is what
+// makes per-block state snapshots and `WorldState::Clone()` cheap.
+//
+// Root hashes are byte-identical to `trie::Trie` for the same content (same
+// node kinds, hex-prefix paths, embed-if-shorter-than-32-bytes rule), which
+// the differential tests assert.
+
+#ifndef ONOFFCHAIN_STORAGE_SHARED_TRIE_H_
+#define ONOFFCHAIN_STORAGE_SHARED_TRIE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/keccak.h"
+#include "support/bytes.h"
+#include "support/status.h"
+#include "trie/trie.h"
+
+namespace onoff::storage {
+
+namespace internal {
+struct SharedNode;
+}  // namespace internal
+
+using NodeRef = std::shared_ptr<const internal::SharedNode>;
+
+// Called for every hashed (standalone) node during a persistence walk:
+// (node hash, RLP encoding, hashes this record references). References are
+// the node's hashed children plus any extra references reported by
+// `LeafRefs` for leaf values physically contained in this record (embedded
+// descendants included) — the node-store refcounts prune exactly on these.
+using PersistEmit = std::function<void(
+    const Hash32&, const Bytes&, const std::vector<Hash32>&)>;
+// Returns true when the store already holds this node; the walk then skips
+// the whole subtree (a node's references were counted when it was first
+// stored).
+using PersistKnown = std::function<bool(const Hash32&)>;
+// Extra hash references carried inside a leaf value (the account RLP's
+// storage root); may be null.
+using LeafRefs = std::function<std::vector<Hash32>(BytesView leaf_value)>;
+
+class SharedTrie {
+ public:
+  SharedTrie() = default;
+  // Copies share all nodes (O(1) snapshot).
+  SharedTrie(const SharedTrie&) = default;
+  SharedTrie& operator=(const SharedTrie&) = default;
+  SharedTrie(SharedTrie&&) noexcept = default;
+  SharedTrie& operator=(SharedTrie&&) noexcept = default;
+
+  // Inserts or overwrites; an empty value deletes the key (Ethereum rule).
+  // Writing the value a key already holds is a no-op that preserves every
+  // existing node (and its memoized hash).
+  void Put(BytesView key, BytesView value);
+  void Delete(BytesView key);
+  Result<Bytes> Get(BytesView key) const;
+  bool Contains(BytesView key) const { return Get(key).ok(); }
+
+  // Keccak commitment; only nodes without a memoized encoding are hashed.
+  Hash32 RootHash() const;
+  bool IsEmpty() const { return root_ == nullptr; }
+
+  // Merkle proof with the same shape as trie::Trie::Prove; verify with
+  // trie::Trie::VerifyProof.
+  std::vector<Bytes> Prove(BytesView key) const;
+
+  // Walks the trie emitting every hashed node the store does not know yet
+  // (children before parents). The root is always emitted when unknown,
+  // even if its encoding is shorter than 32 bytes, because account records
+  // reference storage roots by hash unconditionally.
+  void PersistNodes(const PersistKnown& known, const PersistEmit& emit,
+                    const LeafRefs& leaf_refs = nullptr) const;
+
+  // The root reference — identity comparisons let tests assert structural
+  // sharing (same pointer == same subtree, byte-for-byte).
+  const NodeRef& root() const { return root_; }
+
+  // Number of reachable nodes (test/bench introspection; O(n)).
+  size_t CountNodes() const;
+
+ private:
+  NodeRef root_;
+};
+
+// SharedTrie keyed by keccak256(key) — state and storage tries.
+class SecureSharedTrie {
+ public:
+  void Put(BytesView key, BytesView value) {
+    Hash32 h = Keccak256(key);
+    inner_.Put(BytesView(h.data(), h.size()), value);
+  }
+  void Delete(BytesView key) {
+    Hash32 h = Keccak256(key);
+    inner_.Delete(BytesView(h.data(), h.size()));
+  }
+  Result<Bytes> Get(BytesView key) const {
+    Hash32 h = Keccak256(key);
+    return inner_.Get(BytesView(h.data(), h.size()));
+  }
+  Hash32 RootHash() const { return inner_.RootHash(); }
+  bool IsEmpty() const { return inner_.IsEmpty(); }
+  std::vector<Bytes> Prove(BytesView key) const {
+    Hash32 h = Keccak256(key);
+    return inner_.Prove(BytesView(h.data(), h.size()));
+  }
+  void PersistNodes(const PersistKnown& known, const PersistEmit& emit,
+                    const LeafRefs& leaf_refs = nullptr) const {
+    inner_.PersistNodes(known, emit, leaf_refs);
+  }
+  const SharedTrie& raw() const { return inner_; }
+  size_t CountNodes() const { return inner_.CountNodes(); }
+
+ private:
+  SharedTrie inner_;
+};
+
+}  // namespace onoff::storage
+
+#endif  // ONOFFCHAIN_STORAGE_SHARED_TRIE_H_

@@ -1,0 +1,144 @@
+// The incremental authenticated state store: the commitment engine behind
+// WorldState (DESIGN.md §10).
+//
+// Reads never touch this layer — the flat hash maps inside WorldState stay
+// the source of truth. The store only turns the flat state into Merkle
+// commitments, incrementally: mutators mark accounts/slots dirty, and one
+// CommitRoot() per block re-encodes exactly the dirty accounts, replays
+// exactly the dirty slots into the per-account storage tries (whose roots
+// are memoized), and re-hashes only the changed trie paths. Untouched
+// accounts cost nothing, so block-commit time scales with the number of
+// *touched* accounts, not with total state size.
+//
+// Committed tries are copy-on-write (storage/shared_trie.h): copying the
+// store — and therefore WorldState::Clone() — shares every trie node, and
+// Snapshot() captures a historical root whose proofs stay valid while the
+// live state moves on. An optional NodeStore persists each block's new
+// nodes and prunes states older than the dispute window.
+
+#ifndef ONOFFCHAIN_STORAGE_STATE_STORE_H_
+#define ONOFFCHAIN_STORAGE_STATE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/keccak.h"
+#include "storage/node_store.h"
+#include "storage/shared_trie.h"
+#include "support/address.h"
+#include "support/bytes.h"
+#include "support/status.h"
+#include "support/u256.h"
+
+namespace onoff::storage {
+
+// What CommitRoot needs to know about one account; `storage` points at the
+// flat slot map (not copied).
+struct AccountData {
+  uint64_t nonce = 0;
+  U256 balance;
+  Hash32 code_hash{};
+  const std::unordered_map<U256, U256>* storage = nullptr;
+};
+
+// RLP([nonce, balance, storageRoot, codeHash]) — Ethereum's account record.
+Bytes EncodeAccountRlp(const AccountData& account, const Hash32& storage_root);
+
+// An immutable view of one committed state: the root plus the shared tries
+// that produced it. Cheap to take (structural sharing) and independent of
+// later mutation — proofs verify against `root` forever.
+struct StateSnapshot {
+  Hash32 root{};
+  SecureSharedTrie account_trie;
+  std::unordered_map<Address, SecureSharedTrie> storage_tries;
+
+  std::vector<Bytes> ProveAccount(const Address& addr) const {
+    return account_trie.Prove(addr.view());
+  }
+  std::vector<Bytes> ProveStorage(const Address& addr, const U256& key) const {
+    auto it = storage_tries.find(addr);
+    if (it == storage_tries.end()) return {};
+    Bytes key_bytes = key.ToBytes();
+    return it->second.Prove(key_bytes);
+  }
+};
+
+class StateStore {
+ public:
+  // Resolves an address to its current flat-state record, or nullopt when
+  // the account does not exist.
+  using AccountLookup =
+      std::function<std::optional<AccountData>(const Address&)>;
+
+  // Copies share all trie nodes (the dirty bookkeeping is duplicated so
+  // both sides commit correctly afterwards).
+  StateStore() = default;
+  StateStore(const StateStore&) = default;
+  StateStore& operator=(const StateStore&) = default;
+  StateStore(StateStore&&) noexcept = default;
+  StateStore& operator=(StateStore&&) noexcept = default;
+
+  // ---- Dirty tracking (over-marking is safe, under-marking is a bug) ----
+  // The account record (nonce/balance/code, or existence) changed.
+  void MarkAccountDirty(const Address& addr);
+  // One storage slot changed; implies the account record is dirty too (the
+  // storage root is part of it).
+  void MarkSlotDirty(const Address& addr, const U256& key);
+  // The whole account was deleted or wholesale-replaced: its storage trie
+  // must be rebuilt from the flat map instead of patched slot-by-slot.
+  void MarkAccountReset(const Address& addr);
+
+  // ---- Commitment ----
+  // Incrementally folds all dirty accounts/slots into the tries and returns
+  // the state root. With nothing dirty, returns the memoized root.
+  Hash32 CommitRoot(const AccountLookup& lookup);
+  bool HasUncommittedChanges() const { return !dirty_accounts_.empty(); }
+
+  // ---- Proofs & snapshots (valid for the last committed state) ----
+  std::vector<Bytes> ProveAccount(const Address& addr) const {
+    return account_trie_.Prove(addr.view());
+  }
+  std::vector<Bytes> ProveStorage(const Address& addr, const U256& key) const;
+  StateSnapshot Snapshot() const;
+
+  // Memoized storage root of one account (empty-trie root when absent).
+  Hash32 StorageRoot(const Address& addr) const;
+
+  // ---- Persistence ----
+  // Writes every node new since the last persist to `store` and retains
+  // the current root at `height`. Call after CommitRoot.
+  Status Persist(NodeStore& store, uint64_t height);
+
+  // Introspection for tests/benches.
+  size_t TrackedAccounts() const { return per_account_.size(); }
+  size_t CountAccountTrieNodes() const {
+    return account_trie_.CountNodes();
+  }
+
+ private:
+  struct PerAccount {
+    SecureSharedTrie storage_trie;
+    Hash32 storage_root{};  // memoized; valid when root_valid
+    bool root_valid = false;
+    std::unordered_set<U256> dirty_slots;
+    bool reset = false;
+  };
+
+  void CommitAccount(const Address& addr, const AccountLookup& lookup);
+
+  SecureSharedTrie account_trie_;
+  std::unordered_map<Address, PerAccount> per_account_;
+  std::unordered_set<Address> dirty_accounts_;
+  Hash32 committed_root_{};
+  bool root_valid_ = false;
+  // Accounts whose storage tries gained nodes since the last Persist.
+  std::unordered_set<Address> pending_persist_;
+};
+
+}  // namespace onoff::storage
+
+#endif  // ONOFFCHAIN_STORAGE_STATE_STORE_H_

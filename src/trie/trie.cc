@@ -448,7 +448,10 @@ Result<std::optional<Bytes>> Trie::VerifyProof(const Hash32& root,
     // Resolve the child reference: a 32-byte hash points at the next proof
     // element; a nested list is an embedded node.
     if (next_ref->IsList()) {
-      item = *next_ref;
+      // next_ref aliases item's own list — detach it before the assignment
+      // destroys its storage.
+      rlp::Item embedded = *next_ref;
+      item = std::move(embedded);
     } else if (next_ref->IsString() && next_ref->string().size() == 32) {
       std::copy(next_ref->string().begin(), next_ref->string().end(),
                 expected.begin());

@@ -1,0 +1,219 @@
+#include "storage/node_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "chain/blockchain.h"
+#include "state/world_state.h"
+#include "support/address.h"
+#include "support/u256.h"
+#include "trie/trie.h"
+
+namespace onoff::storage {
+namespace {
+
+using state::WorldState;
+
+Address Addr(uint8_t tag) {
+  std::array<uint8_t, Address::kSize> raw{};
+  raw[19] = tag;
+  return Address(raw);
+}
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(NodeStoreTest, InMemoryPutGetAndRefcounts) {
+  NodeStore store;
+  ASSERT_TRUE(store.Open().ok());
+
+  Bytes child_enc = BytesOf(std::string(40, 'c'));
+  Hash32 child = Keccak256(child_enc);
+  Bytes parent_enc = BytesOf(std::string(40, 'p'));
+  Hash32 parent = Keccak256(parent_enc);
+
+  ASSERT_TRUE(store.Put(child, child_enc, {}).ok());
+  ASSERT_TRUE(store.Put(parent, parent_enc, {child}).ok());
+  EXPECT_TRUE(store.Contains(child));
+  EXPECT_TRUE(store.Contains(parent));
+  EXPECT_EQ(store.live_nodes(), 2u);
+
+  Result<Bytes> got = store.Get(child);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, child_enc);
+
+  // Retain the parent as a root, then prune past it: both records die
+  // (the child via the cascading deref).
+  ASSERT_TRUE(store.RetainRoot(parent, 3).ok());
+  EXPECT_EQ(store.retained_roots(), 1u);
+  size_t freed = store.PruneBelow(4);
+  EXPECT_EQ(freed, 2u);
+  EXPECT_FALSE(store.Contains(parent));
+  EXPECT_FALSE(store.Contains(child));
+  EXPECT_EQ(store.live_nodes(), 0u);
+}
+
+TEST(NodeStoreTest, SharedSubtreeSurvivesPartialPrune) {
+  NodeStore store;
+  ASSERT_TRUE(store.Open().ok());
+
+  Bytes shared_enc = BytesOf(std::string(40, 's'));
+  Hash32 shared = Keccak256(shared_enc);
+  Bytes r1_enc = BytesOf(std::string(40, '1'));
+  Hash32 r1 = Keccak256(r1_enc);
+  Bytes r2_enc = BytesOf(std::string(40, '2'));
+  Hash32 r2 = Keccak256(r2_enc);
+
+  // Two block roots both reference the shared subtree.
+  ASSERT_TRUE(store.Put(shared, shared_enc, {}).ok());
+  ASSERT_TRUE(store.Put(r1, r1_enc, {shared}).ok());
+  ASSERT_TRUE(store.Put(r2, r2_enc, {shared}).ok());
+  ASSERT_TRUE(store.RetainRoot(r1, 1).ok());
+  ASSERT_TRUE(store.RetainRoot(r2, 2).ok());
+
+  // Pruning block 1 kills r1 but the shared node lives on under r2.
+  store.PruneBelow(2);
+  EXPECT_FALSE(store.Contains(r1));
+  EXPECT_TRUE(store.Contains(shared));
+  EXPECT_TRUE(store.Contains(r2));
+
+  store.PruneBelow(3);
+  EXPECT_FALSE(store.Contains(shared));
+  EXPECT_EQ(store.live_nodes(), 0u);
+}
+
+TEST(NodeStoreTest, PersistedStateSupportsHistoricalLookups) {
+  NodeStore store;
+  ASSERT_TRUE(store.Open().ok());
+
+  WorldState ws;
+  ws.SetBalance(Addr(1), U256(111));
+  ws.SetStorage(Addr(1), U256(1), U256(7));
+  Hash32 root_a = ws.StateRoot();
+  ASSERT_TRUE(ws.PersistCommitted(store, 1).ok());
+
+  ws.SetBalance(Addr(1), U256(222));
+  ws.SetBalance(Addr(2), U256(333));
+  Hash32 root_b = ws.StateRoot();
+  ASSERT_TRUE(ws.PersistCommitted(store, 2).ok());
+  ASSERT_NE(root_a, root_b);
+
+  // Both historical states answer reads from stored nodes alone.
+  Result<std::optional<Bytes>> old_acct =
+      store.LookupSecure(root_a, Addr(1).view());
+  ASSERT_TRUE(old_acct.ok()) << old_acct.status().message();
+  ASSERT_TRUE(old_acct->has_value());
+  Result<std::optional<Bytes>> new_acct =
+      store.LookupSecure(root_b, Addr(1).view());
+  ASSERT_TRUE(new_acct.ok());
+  ASSERT_TRUE(new_acct->has_value());
+  EXPECT_NE(**old_acct, **new_acct);
+
+  // Addr(2) exists only under root_b.
+  Result<std::optional<Bytes>> absent =
+      store.LookupSecure(root_a, Addr(2).view());
+  ASSERT_TRUE(absent.ok());
+  EXPECT_FALSE(absent->has_value());
+
+  // Prune the old block: root_a's exclusive nodes die, root_b's survive.
+  store.PruneBelow(2);
+  EXPECT_FALSE(store.LookupSecure(root_a, Addr(1).view()).ok());
+  Result<std::optional<Bytes>> still =
+      store.LookupSecure(root_b, Addr(2).view());
+  ASSERT_TRUE(still.ok());
+  EXPECT_TRUE(still->has_value());
+}
+
+TEST(NodeStoreTest, ReopenReplaysLog) {
+  std::string path = TempPath("node_store_reopen.log");
+  Hash32 root;
+  size_t live = 0;
+  {
+    NodeStore store(path);
+    ASSERT_TRUE(store.Open().ok());
+    WorldState ws;
+    for (int i = 0; i < 30; ++i) {
+      ws.SetBalance(Addr(static_cast<uint8_t>(i)), U256(1000 + i));
+      ws.SetStorage(Addr(static_cast<uint8_t>(i)), U256(1), U256(i));
+    }
+    root = ws.StateRoot();
+    ASSERT_TRUE(ws.PersistCommitted(store, 1).ok());
+    live = store.live_nodes();
+    EXPECT_GT(live, 0u);
+    EXPECT_GT(store.file_bytes(), 0u);
+  }
+  // A fresh process: replaying the log restores the index and refcounts.
+  NodeStore reopened(path);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.live_nodes(), live);
+  EXPECT_EQ(reopened.retained_roots(), 1u);
+  Result<std::optional<Bytes>> acct =
+      reopened.LookupSecure(root, Addr(5).view());
+  ASSERT_TRUE(acct.ok());
+  EXPECT_TRUE(acct->has_value());
+  std::remove(path.c_str());
+}
+
+TEST(NodeStoreTest, CompactDropsDeadBytesAndStaysReadable) {
+  std::string path = TempPath("node_store_compact.log");
+  NodeStore store(path);
+  ASSERT_TRUE(store.Open().ok());
+
+  WorldState ws;
+  ws.SetBalance(Addr(1), U256(1));
+  Hash32 roots[6];
+  for (int h = 1; h <= 5; ++h) {
+    ws.SetBalance(Addr(1), U256(static_cast<uint64_t>(h * 100)));
+    ws.SetStorage(Addr(1), U256(static_cast<uint64_t>(h)), U256(1));
+    roots[h] = ws.StateRoot();
+    ASSERT_TRUE(ws.PersistCommitted(store, static_cast<uint64_t>(h)).ok());
+  }
+  store.PruneBelow(5);  // keep only the newest state
+  uint64_t before = store.file_bytes();
+  size_t live = store.live_nodes();
+  ASSERT_TRUE(store.Compact().ok());
+  EXPECT_LT(store.file_bytes(), before);
+  EXPECT_EQ(store.live_nodes(), live);
+
+  // The compacted log still replays to the same live set.
+  NodeStore reopened(path);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.live_nodes(), live);
+  Result<std::optional<Bytes>> acct =
+      reopened.LookupSecure(roots[5], Addr(1).view());
+  ASSERT_TRUE(acct.ok());
+  EXPECT_TRUE(acct->has_value());
+  std::remove(path.c_str());
+}
+
+TEST(NodeStoreTest, BlockchainPersistsAndPrunesPerBlock) {
+  chain::ChainConfig config;
+  config.persist_state = true;  // empty path: in-memory node store
+  config.state_history_blocks = 3;
+  chain::Blockchain bc(config);
+  ASSERT_NE(bc.node_store(), nullptr);
+
+  std::vector<Hash32> roots;
+  for (int i = 0; i < 8; ++i) {
+    bc.FundAccount(Addr(static_cast<uint8_t>(i + 1)), U256(1000));
+    roots.push_back(bc.MineBlock().header.state_root);
+  }
+  // Only the last `state_history_blocks` roots stay retained.
+  EXPECT_LE(bc.node_store()->retained_roots(), 3u);
+  EXPECT_GT(bc.node_store()->pruned_total(), 0u);
+
+  // The newest block's state is readable from the store; a pruned one is
+  // not (its exclusive nodes are gone).
+  Result<std::optional<Bytes>> newest =
+      bc.node_store()->LookupSecure(roots.back(), Addr(8).view());
+  ASSERT_TRUE(newest.ok());
+  EXPECT_TRUE(newest->has_value());
+}
+
+}  // namespace
+}  // namespace onoff::storage

@@ -1,0 +1,238 @@
+#include "storage/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "state/world_state.h"
+#include "support/address.h"
+#include "support/u256.h"
+#include "trie/trie.h"
+
+namespace onoff::state {
+namespace {
+
+Address Addr(uint8_t tag) {
+  std::array<uint8_t, Address::kSize> raw{};
+  raw[19] = tag;
+  raw[0] = 0xAA;
+  return Address(raw);
+}
+
+TEST(StateStoreTest, EmptyStateRootMatchesRebuild) {
+  WorldState ws;
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+  EXPECT_EQ(ws.StateRoot(), trie::Trie::EmptyRoot());
+}
+
+TEST(StateStoreTest, IncrementalMatchesRebuildAfterBasicMutations) {
+  WorldState ws;
+  ws.SetBalance(Addr(1), U256(1000));
+  ws.SetNonce(Addr(1), 7);
+  ws.SetCode(Addr(2), BytesOf("\x60\x00\x60\x00"));
+  ws.SetStorage(Addr(2), U256(1), U256(42));
+  ws.SetStorage(Addr(2), U256(2), U256(43));
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+
+  // Incremental follow-up: only one slot changes.
+  ws.SetStorage(Addr(2), U256(1), U256(99));
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+
+  // Zero write deletes the slot from the trie.
+  ws.SetStorage(Addr(2), U256(2), U256(0));
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+}
+
+TEST(StateStoreTest, DeleteAndRecreateAccount) {
+  WorldState ws;
+  ws.SetCode(Addr(5), BytesOf("code"));
+  for (int i = 1; i <= 10; ++i) {
+    ws.SetStorage(Addr(5), U256(static_cast<uint64_t>(i)), U256(100 + i));
+  }
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+
+  // SELFDESTRUCT: the account and its whole storage trie vanish.
+  ws.DeleteAccount(Addr(5));
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+
+  // Recreation starts from empty storage; the store must not resurrect the
+  // old trie.
+  ws.SetBalance(Addr(5), U256(5));
+  ws.SetStorage(Addr(5), U256(1), U256(1));
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+}
+
+TEST(StateStoreTest, RevertMarksDirtyAndRootsAgree) {
+  WorldState ws;
+  ws.SetBalance(Addr(1), U256(100));
+  ws.SetStorage(Addr(1), U256(1), U256(11));
+  Hash32 committed = ws.StateRoot();
+  ws.ClearJournal();
+
+  auto snap = ws.TakeSnapshot();
+  ws.SetBalance(Addr(1), U256(999));
+  ws.SetStorage(Addr(1), U256(1), U256(22));
+  ws.SetStorage(Addr(1), U256(2), U256(33));
+  ws.CreateAccount(Addr(9));
+  ws.SetNonce(Addr(9), 3);
+  // Commit mid-transaction, then revert past that commit — the store must
+  // re-fold everything the revert touched.
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+  ws.RevertToSnapshot(snap);
+  EXPECT_EQ(ws.StateRoot(), committed);
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+}
+
+TEST(StateStoreTest, RevertOfDeleteRestoresStorage) {
+  WorldState ws;
+  ws.SetCode(Addr(3), BytesOf("contract"));
+  ws.SetStorage(Addr(3), U256(7), U256(77));
+  ws.SetStorage(Addr(3), U256(8), U256(88));
+  Hash32 before = ws.StateRoot();
+  ws.ClearJournal();
+
+  auto snap = ws.TakeSnapshot();
+  ws.DeleteAccount(Addr(3));
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+  ws.RevertToSnapshot(snap);
+  EXPECT_EQ(ws.StateRoot(), before);
+  EXPECT_EQ(ws.GetStorage(Addr(3), U256(7)), U256(77));
+}
+
+TEST(StateStoreTest, CloneSharesCommittedTriesAndDiverges) {
+  WorldState ws;
+  for (int i = 0; i < 50; ++i) {
+    ws.SetBalance(Addr(static_cast<uint8_t>(i)), U256(1000 + i));
+  }
+  Hash32 root = ws.StateRoot();
+
+  WorldState clone = ws.Clone();
+  // The clone commits instantly: nothing is dirty, the root is memoized.
+  EXPECT_EQ(clone.StateRoot(), root);
+
+  // Divergence is tracked independently on each side.
+  ws.SetBalance(Addr(1), U256(1));
+  clone.SetBalance(Addr(2), U256(2));
+  EXPECT_EQ(ws.StateRoot(), ws.RebuildStateRoot());
+  EXPECT_EQ(clone.StateRoot(), clone.RebuildStateRoot());
+  EXPECT_NE(ws.StateRoot(), clone.StateRoot());
+}
+
+TEST(StateStoreTest, SnapshotRootSurvivesLaterMutation) {
+  WorldState ws;
+  ws.SetBalance(Addr(1), U256(500));
+  ws.SetStorage(Addr(1), U256(1), U256(10));
+  storage::StateSnapshot snap = ws.TakeStateSnapshot();
+  Hash32 historical = snap.root;
+  EXPECT_EQ(historical, ws.StateRoot());
+
+  // The live state moves on; the snapshot's tries are frozen.
+  for (int i = 0; i < 20; ++i) {
+    ws.SetStorage(Addr(1), U256(static_cast<uint64_t>(i)), U256(1000 + i));
+    ws.SetBalance(Addr(static_cast<uint8_t>(i + 2)), U256(i));
+  }
+  EXPECT_NE(ws.StateRoot(), historical);
+  EXPECT_EQ(snap.account_trie.RootHash(), historical);
+
+  // Proofs taken from the snapshot verify against the historical root.
+  std::vector<Bytes> proof = snap.ProveAccount(Addr(1));
+  Result<std::optional<WorldState::AccountInfo>> info =
+      WorldState::VerifyAccountProof(historical, Addr(1), proof);
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  ASSERT_TRUE(info->has_value());
+  EXPECT_EQ((*info)->balance, U256(500));
+
+  std::vector<Bytes> sproof = snap.ProveStorage(Addr(1), U256(1));
+  Result<U256> v =
+      WorldState::VerifyStorageProof((*info)->storage_root, U256(1), sproof);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, U256(10));
+}
+
+TEST(StateStoreTest, LiveProofsMatchVerifiers) {
+  WorldState ws;
+  ws.SetNonce(Addr(4), 9);
+  ws.SetBalance(Addr(4), U256(1234));
+  ws.SetCode(Addr(4), BytesOf("runtime"));
+  ws.SetStorage(Addr(4), U256(5), U256(55));
+  Hash32 root = ws.StateRoot();
+
+  WorldState::Proof proof = ws.ProveStorage(Addr(4), U256(5));
+  Result<std::optional<WorldState::AccountInfo>> info =
+      WorldState::VerifyAccountProof(root, Addr(4), proof.account_proof);
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(info->has_value());
+  EXPECT_EQ((*info)->nonce, 9u);
+  EXPECT_EQ((*info)->balance, U256(1234));
+  Result<U256> v = WorldState::VerifyStorageProof((*info)->storage_root,
+                                                  U256(5), proof.storage_proof);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, U256(55));
+
+  // Absent account: the proof shows non-existence.
+  WorldState::Proof absent = ws.ProveAccount(Addr(200));
+  Result<std::optional<WorldState::AccountInfo>> none =
+      WorldState::VerifyAccountProof(root, Addr(200), absent.account_proof);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(StateStoreTest, RandomizedDifferentialWithReverts) {
+  // Drive WorldState through a random op mix — creates, balance/nonce/code
+  // writes, storage writes and zero-writes, deletes, snapshot/revert — and
+  // assert the incremental root equals the from-scratch rebuild at every
+  // commit point.
+  std::mt19937_64 rng(0xD1FF);
+  WorldState ws;
+  for (int round = 0; round < 60; ++round) {
+    auto snap = ws.TakeSnapshot();
+    int ops = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < ops; ++i) {
+      Address a = Addr(static_cast<uint8_t>(rng() % 16));
+      switch (rng() % 6) {
+        case 0:
+          ws.SetBalance(a, U256(rng() % 10000));
+          break;
+        case 1:
+          ws.SetNonce(a, rng() % 100);
+          break;
+        case 2:
+          ws.SetCode(a, BytesOf("code" + std::to_string(rng() % 4)));
+          break;
+        case 3:
+          ws.SetStorage(a, U256(rng() % 8), U256(rng() % 5));  // 0 deletes
+          break;
+        case 4:
+          ws.DeleteAccount(a);
+          break;
+        case 5:
+          ws.AddBalance(a, U256(rng() % 50));
+          break;
+      }
+    }
+    if (rng() % 3 == 0) {
+      // Sometimes commit before reverting, so the revert has to undo
+      // already-committed trie content.
+      if (rng() % 2 == 0) ws.StateRoot();
+      ws.RevertToSnapshot(snap);
+    } else {
+      ws.ClearJournal();
+    }
+    ASSERT_EQ(ws.StateRoot(), ws.RebuildStateRoot())
+        << "diverged at round " << round;
+  }
+}
+
+TEST(StateStoreTest, CommitIsMemoizedWhenClean) {
+  WorldState ws;
+  ws.SetBalance(Addr(1), U256(1));
+  Hash32 r1 = ws.StateRoot();
+  // No mutation in between: the memoized root comes back.
+  EXPECT_EQ(ws.StateRoot(), r1);
+  ws.SetBalance(Addr(1), U256(2));
+  EXPECT_NE(ws.StateRoot(), r1);
+}
+
+}  // namespace
+}  // namespace onoff::state

@@ -178,6 +178,26 @@ TEST(TrieProofTest, ProvesPresentKeys) {
   }
 }
 
+TEST(TrieProofTest, ProvesKeysThroughEmbeddedNodes) {
+  // Regression: when a proof path descends into a node embedded in its
+  // parent's record (encoding < 32 bytes), the verifier used to read the
+  // embedded item after reassigning the list that owned it — returning
+  // freed memory instead of the value.
+  Trie t;
+  for (int i = 0; i < 50; ++i) {
+    t.Put(BytesOf("account-" + std::to_string(i)),
+          BytesOf("balance-" + std::to_string(i * 7)));
+  }
+  Hash32 root = t.RootHash();
+  for (int i = 0; i < 50; ++i) {
+    Bytes key = BytesOf("account-" + std::to_string(i));
+    auto verified = Trie::VerifyProof(root, key, t.Prove(key));
+    ASSERT_TRUE(verified.ok()) << i << ": " << verified.status().ToString();
+    ASSERT_TRUE(verified->has_value()) << i;
+    EXPECT_EQ(**verified, BytesOf("balance-" + std::to_string(i * 7))) << i;
+  }
+}
+
 TEST(TrieProofTest, ProvesAbsentKeys) {
   Trie t;
   t.Put(BytesOf("doe"), BytesOf("reindeer"));
