@@ -63,6 +63,7 @@ Blockchain::Blockchain(ChainConfig config)
   genesis.header.receipt_root = trie::Trie::EmptyRoot();
   if (node_store_ != nullptr) {
     Status st = state_.PersistCommitted(*node_store_, 0);
+    if (st.ok()) st = node_store_->Flush();
     if (!st.ok()) {
       ONOFF_LOG(log::Level::kWarn, "chain", "genesis state persist failed: %s",
                 st.message().c_str());
@@ -379,6 +380,15 @@ const Block& Blockchain::MineBlock() {
     } else if (config_.state_history_blocks > 0 &&
                number >= config_.state_history_blocks) {
       node_store_->PruneBelow(number - config_.state_history_blocks + 1);
+    }
+    // Make the block durable now: a crash later (including the divergence
+    // aborts above) must not tear this block out of the log.
+    Status flushed = node_store_->Flush();
+    if (!flushed.ok()) {
+      ONOFF_LOG(log::Level::kWarn, "chain",
+                "state log flush failed at block %llu: %s",
+                static_cast<unsigned long long>(number),
+                flushed.message().c_str());
     }
   }
 

@@ -95,6 +95,12 @@ class WorldState final : public StateView {
   // Computed incrementally by the authenticated state store (storage/):
   // only accounts and slots touched since the last call are re-hashed, so
   // per-block cost scales with the write set, not with total state size.
+  //
+  // NOT concurrently callable on a shared instance: although const, this
+  // (like ProveAccount/ProveStorage/TakeStateSnapshot/PersistCommitted)
+  // fills the store's commit cache, so concurrent calls data-race. Parallel
+  // workers must operate on their own Clone()/overlay, as the parallel
+  // executor does.
   Hash32 StateRoot() const;
 
   // From-scratch rebuild of the same root (the seed implementation) — the
@@ -185,7 +191,9 @@ class WorldState final : public StateView {
   // The commitment engine. Reads never consult it; every mutation (and
   // every journal revert) marks the touched account/slot dirty, and
   // StateRoot() folds the dirty set in. Mutable: committing is a cache
-  // fill, not a logical state change.
+  // fill, not a logical state change — which also means the const
+  // commitment/proof methods above are NOT thread-safe on a shared
+  // instance (see StateRoot()).
   mutable storage::StateStore store_;
 };
 

@@ -1,8 +1,15 @@
 #include "storage/node_store.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "obs/metrics.h"
+#include "support/log.h"
 #include "rlp/rlp.h"
 #include "trie/trie.h"
 
@@ -55,6 +62,7 @@ class LogReader {
     return true;
   }
   bool AtEnd() const { return pos_ == size_; }
+  size_t pos() const { return pos_; }
 
  private:
   const uint8_t* data_;
@@ -65,32 +73,62 @@ class LogReader {
 }  // namespace
 
 NodeStore::~NodeStore() {
-  if (out_ != nullptr) out_->flush();
+  if (out_ != nullptr) {
+    std::fflush(out_);
+    std::fclose(out_);
+  }
 }
 
 Status NodeStore::Open() {
   if (opened_) return Status::OK();
+  if (path_.empty()) {
+    opened_ = true;
+    return Status::OK();
+  }
+  Status st = OpenImpl();
+  if (!st.ok()) {
+    // Drop any partially replayed state so this store never serves (or a
+    // retried Open() never double-counts) a half-rebuilt index.
+    nodes_.clear();
+    pending_refs_.clear();
+    retained_.clear();
+    file_bytes_ = 0;
+    if (out_ != nullptr) {
+      std::fclose(out_);
+      out_ = nullptr;
+    }
+    return st;
+  }
   opened_ = true;
-  if (path_.empty()) return Status::OK();
+  return Status::OK();
+}
 
-  // Replay an existing log, if any.
+Status NodeStore::OpenImpl() {
+  // Replay an existing log, if any. A crash can tear the tail (appends are
+  // only flushed per block), so recover the longest valid prefix instead of
+  // refusing to open.
+  bool torn = false;
   {
     std::ifstream in(path_, std::ios::binary);
     if (in.good()) {
       Bytes data((std::istreambuf_iterator<char>(in)),
                  std::istreambuf_iterator<char>());
-      if (data.size() < kMagicLen ||
-          !std::equal(data.begin(), data.begin() + kMagicLen, kMagic)) {
-        if (!data.empty()) {
-          return Status::InvalidArgument("node store log has bad magic: " +
-                                         path_);
-        }
+      if (data.size() < kMagicLen) {
+        // Crash while writing the very first bytes: start over.
+        torn = !data.empty();
+      } else if (!std::equal(data.begin(), data.begin() + kMagicLen, kMagic)) {
+        // A full-size header that is not ours is foreign data, not a torn
+        // write — refuse rather than clobber it.
+        return Status::InvalidArgument("node store log has bad magic: " +
+                                       path_);
       } else {
         LogReader reader(data.data() + kMagicLen, data.size() - kMagicLen);
-        while (!reader.AtEnd()) {
+        size_t replayed = 0;  // offset past the last fully applied record
+        while (!reader.AtEnd() && !torn) {
           uint8_t op = 0;
           if (!reader.ReadByte(&op)) {
-            return Status::InvalidArgument("truncated node store log");
+            torn = true;
+            break;
           }
           if (op == 'N') {
             uint32_t enc_len = 0;
@@ -99,46 +137,82 @@ Status NodeStore::Open() {
             Bytes enc;
             if (!reader.ReadU32(&enc_len) || !reader.ReadU32(&ref_count) ||
                 !reader.ReadHash(&hash) || !reader.ReadBytes(enc_len, &enc)) {
-              return Status::InvalidArgument("truncated node record");
+              torn = true;
+              break;
             }
             std::vector<Hash32> refs(ref_count);
+            bool refs_ok = true;
             for (uint32_t i = 0; i < ref_count; ++i) {
               if (!reader.ReadHash(&refs[i])) {
-                return Status::InvalidArgument("truncated node refs");
+                refs_ok = false;
+                break;
               }
+            }
+            if (!refs_ok) {
+              torn = true;
+              break;
             }
             ONOFF_RETURN_NOT_OK(PutImpl(hash, enc, refs, /*journal=*/false));
           } else if (op == 'R') {
             uint64_t height = 0;
             Hash32 root;
             if (!reader.ReadU64(&height) || !reader.ReadHash(&root)) {
-              return Status::InvalidArgument("truncated retain record");
+              torn = true;
+              break;
             }
             ONOFF_RETURN_NOT_OK(RetainImpl(root, height, /*journal=*/false));
           } else if (op == 'P') {
             uint64_t cutoff = 0;
             if (!reader.ReadU64(&cutoff)) {
-              return Status::InvalidArgument("truncated prune record");
+              torn = true;
+              break;
             }
             PruneImpl(cutoff, /*journal=*/false);
           } else {
-            return Status::InvalidArgument("unknown node store op");
+            // Garbage op byte: everything from here on is torn-write debris.
+            torn = true;
+            break;
           }
+          replayed = reader.pos();
         }
-        file_bytes_ = data.size();
+        file_bytes_ = kMagicLen + replayed;
       }
     }
   }
+  if (torn) {
+    ONOFF_LOG(log::Level::kWarn, "storage",
+              "node store log %s has a torn tail; recovered %llu bytes",
+              path_.c_str(), static_cast<unsigned long long>(file_bytes_));
+    std::error_code ec;
+    std::filesystem::resize_file(path_, file_bytes_, ec);
+    if (ec) {
+      return Status::Internal("cannot truncate torn node store log: " + path_);
+    }
+  }
 
-  out_ = std::make_unique<std::ofstream>(
-      path_, std::ios::binary | std::ios::app);
-  if (!out_->good()) {
+  out_ = std::fopen(path_.c_str(), "ab");
+  if (out_ == nullptr) {
     return Status::Internal("cannot open node store log: " + path_);
   }
   if (file_bytes_ == 0) {
-    out_->write(kMagic, kMagicLen);
+    if (std::fwrite(kMagic, 1, kMagicLen, out_) != kMagicLen) {
+      return Status::Internal("cannot write node store header: " + path_);
+    }
     file_bytes_ = kMagicLen;
   }
+  return Status::OK();
+}
+
+Status NodeStore::Flush() {
+  if (out_ == nullptr) return Status::OK();
+  if (std::fflush(out_) != 0) {
+    return Status::Internal("node store log flush failed: " + path_);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(fileno(out_)) != 0) {
+    return Status::Internal("node store log fsync failed: " + path_);
+  }
+#endif
   return Status::OK();
 }
 
@@ -154,9 +228,7 @@ Result<Bytes> NodeStore::Get(const Hash32& hash) const {
 
 Status NodeStore::Append(const Bytes& payload) {
   if (out_ == nullptr) return Status::OK();  // in-memory store
-  out_->write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-  if (!out_->good()) {
+  if (std::fwrite(payload.data(), 1, payload.size(), out_) != payload.size()) {
     return Status::Internal("node store log write failed: " + path_);
   }
   file_bytes_ += payload.size();
@@ -197,6 +269,9 @@ Status NodeStore::PutImpl(const Hash32& hash, BytesView encoding,
   Record rec;
   rec.enc.assign(encoding.begin(), encoding.end());
   rec.refs = refs;
+  // Journal first: a failed append must leave the in-memory store (and in
+  // particular the refcounts below) untouched so a retry starts clean.
+  if (journal) ONOFF_RETURN_NOT_OK(AppendNode(hash, rec));
   // References counted before this record arrived (replay order freedom).
   auto pending = pending_refs_.find(hash);
   if (pending != pending_refs_.end()) {
@@ -211,7 +286,6 @@ Status NodeStore::PutImpl(const Hash32& hash, BytesView encoding,
       ++pending_refs_[ref];
     }
   }
-  if (journal) ONOFF_RETURN_NOT_OK(AppendNode(hash, rec));
   nodes_.emplace(hash, std::move(rec));
   static obs::Counter* persisted =
       obs::GetCounterOrNull("storage.nodes_persisted");
@@ -226,6 +300,8 @@ Status NodeStore::Put(const Hash32& hash, BytesView encoding,
 
 Status NodeStore::RetainImpl(const Hash32& root, uint64_t height,
                              bool journal) {
+  // Journal first so a failed append leaves the store unchanged.
+  if (journal) ONOFF_RETURN_NOT_OK(AppendRetain(root, height));
   auto it = nodes_.find(root);
   if (it != nodes_.end()) {
     ++it->second.refcount;
@@ -233,7 +309,6 @@ Status NodeStore::RetainImpl(const Hash32& root, uint64_t height,
     ++pending_refs_[root];
   }
   retained_.emplace(height, root);
-  if (journal) return AppendRetain(root, height);
   return Status::OK();
 }
 
@@ -339,7 +414,10 @@ Result<std::optional<Bytes>> NodeStore::LookupSecure(const Hash32& root,
     }
 
     if (next_ref->IsList()) {
-      item = *next_ref;  // embedded node
+      // Embedded node. next_ref aliases item's own list — detach it before
+      // the assignment destroys its storage (same fix as Trie::VerifyProof).
+      rlp::Item embedded = *next_ref;
+      item = std::move(embedded);
     } else if (next_ref->IsString() && next_ref->string().size() == 32) {
       Hash32 child;
       std::copy(next_ref->string().begin(), next_ref->string().end(),
@@ -386,16 +464,18 @@ Status NodeStore::Compact() {
     if (!out.good()) return Status::Internal("compaction write failed");
     file_bytes_ = bytes;
   }
-  if (out_ != nullptr) out_->close();
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     return Status::Internal("compaction rename failed");
   }
-  out_ = std::make_unique<std::ofstream>(
-      path_, std::ios::binary | std::ios::app);
-  if (!out_->good()) {
+  out_ = std::fopen(path_.c_str(), "ab");
+  if (out_ == nullptr) {
     return Status::Internal("cannot reopen node store log: " + path_);
   }
-  return Status::OK();
+  return Flush();
 }
 
 }  // namespace onoff::storage

@@ -15,15 +15,20 @@
 // Compact() rewrites it with the live set. With an empty path the store is
 // purely in-memory (tests, benches).
 //
+// Durability: appends are buffered; callers make a block durable with
+// Flush() (fflush + fsync) after persisting it. A crash between flushes can
+// tear the log's tail — Open() recovers by replaying the longest valid
+// prefix and truncating the torn bytes, so the store never becomes
+// unopenable from a crash.
+//
 // Not thread-safe: one writer (the block-commit path) at a time.
 
 #ifndef ONOFFCHAIN_STORAGE_NODE_STORE_H_
 #define ONOFFCHAIN_STORAGE_NODE_STORE_H_
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <map>
-#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -54,7 +59,13 @@ class NodeStore {
   ~NodeStore();
 
   // Replays an existing log (creates the file on first write otherwise).
+  // A torn tail (crash mid-append) is truncated and the valid prefix kept.
   Status Open();
+
+  // Pushes buffered appends to disk (fflush + fsync). Call once per block
+  // after Put/RetainRoot/PruneBelow so a crash cannot lose committed
+  // blocks. No-op for in-memory stores.
+  Status Flush();
 
   // True when `hash` is live in the store. Dead (pruned) records read as
   // absent so a persistence walk re-emits nodes that come back.
@@ -98,6 +109,9 @@ class NodeStore {
     uint64_t refcount = 0;
   };
 
+  // Open() body: replay + append-handle creation. On failure the caller
+  // clears the partial state so the store stays unopened and consistent.
+  Status OpenImpl();
   Status AppendNode(const Hash32& hash, const Record& rec);
   Status AppendRetain(const Hash32& root, uint64_t height);
   Status AppendPrune(uint64_t cutoff_height);
@@ -112,7 +126,7 @@ class NodeStore {
 
   std::string path_;
   bool opened_ = false;
-  std::unique_ptr<std::ofstream> out_;  // append handle (file-backed only)
+  std::FILE* out_ = nullptr;  // append handle (file-backed only)
   std::unordered_map<Hash32, Record, Hash32Hasher> nodes_;
   // References observed before their target record arrived (log replay and
   // compacted logs are order-independent this way).

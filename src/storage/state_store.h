@@ -15,6 +15,9 @@
 // Snapshot() captures a historical root whose proofs stay valid while the
 // live state moves on. An optional NodeStore persists each block's new
 // nodes and prunes states older than the dispute window.
+//
+// Not thread-safe: CommitRoot (and everything that triggers it) mutates
+// the dirty sets and memoized roots — one committer per store at a time.
 
 #ifndef ONOFFCHAIN_STORAGE_STATE_STORE_H_
 #define ONOFFCHAIN_STORAGE_STATE_STORE_H_

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "chain/blockchain.h"
+#include "rlp/rlp.h"
 #include "state/world_state.h"
 #include "support/address.h"
 #include "support/u256.h"
@@ -129,6 +131,63 @@ TEST(NodeStoreTest, PersistedStateSupportsHistoricalLookups) {
   EXPECT_TRUE(still->has_value());
 }
 
+TEST(NodeStoreTest, LookupSecureThroughEmbeddedNodes) {
+  // Regression (mirrors TrieProofTest.ProvesKeysThroughEmbeddedNodes):
+  // descending into a node embedded in its parent's record (encoding < 32
+  // bytes) used to reassign the walker's item through an alias into its own
+  // list — returning freed memory instead of the value.
+  NodeStore store;
+  ASSERT_TRUE(store.Open().ok());
+
+  // For each key, hand-build the stored trie: a hashed extension covering
+  // the first 63 hashed nibbles whose child is an EMBEDDED branch holding
+  // an EMBEDDED leaf at the key's final nibble. Iterate until every final
+  // nibble 0..15 has been exercised — the aliasing UB only fires for low
+  // branch indices, where the element-wise vector copy overwrites the
+  // embedded child before reading past it.
+  uint32_t seen_nibbles = 0;
+  for (int i = 0; i < 400 && seen_nibbles != 0xffff; ++i) {
+    Bytes key = BytesOf("game-channel-" + std::to_string(i));
+    Hash32 hashed = Keccak256(key);
+    std::vector<uint8_t> nibbles =
+        trie::BytesToNibbles(BytesView(hashed.data(), hashed.size()));
+    ASSERT_EQ(nibbles.size(), 64u);
+    seen_nibbles |= 1u << nibbles.back();
+
+    Bytes value = BytesOf("bet-" + std::to_string(i));
+    rlp::Item leaf = rlp::Item::List(
+        {rlp::Item::String(trie::HexPrefixEncode({}, /*is_leaf=*/true)),
+         rlp::Item::String(value)});
+    ASSERT_LT(rlp::Encode(leaf).size(), 32u);
+
+    std::vector<rlp::Item> kids(17, rlp::Item::String(Bytes{}));
+    kids[nibbles.back()] = leaf;
+    rlp::Item branch = rlp::Item::List(std::move(kids));
+    ASSERT_LT(rlp::Encode(branch).size(), 32u);
+
+    std::vector<uint8_t> ext_path(nibbles.begin(), nibbles.end() - 1);
+    rlp::Item ext = rlp::Item::List(
+        {rlp::Item::String(trie::HexPrefixEncode(ext_path, /*is_leaf=*/false)),
+         branch});
+    Bytes root_enc = rlp::Encode(ext);
+    ASSERT_GE(root_enc.size(), 32u);
+    Hash32 root = Keccak256(root_enc);
+    ASSERT_TRUE(store.Put(root, root_enc, {}).ok());
+
+    Result<std::optional<Bytes>> got = store.LookupSecure(root, key);
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().message();
+    ASSERT_TRUE(got->has_value()) << i;
+    EXPECT_EQ(**got, value) << i;
+
+    // A key that diverges inside the extension path is absent.
+    Bytes other = BytesOf("other-channel-" + std::to_string(i));
+    Result<std::optional<Bytes>> absent = store.LookupSecure(root, other);
+    ASSERT_TRUE(absent.ok()) << absent.status().message();
+    EXPECT_FALSE(absent->has_value());
+  }
+  EXPECT_EQ(seen_nibbles, 0xffffu);
+}
+
 TEST(NodeStoreTest, ReopenReplaysLog) {
   std::string path = TempPath("node_store_reopen.log");
   Hash32 root;
@@ -155,6 +214,82 @@ TEST(NodeStoreTest, ReopenReplaysLog) {
   Result<std::optional<Bytes>> acct =
       reopened.LookupSecure(root, Addr(5).view());
   ASSERT_TRUE(acct.ok());
+  EXPECT_TRUE(acct->has_value());
+  std::remove(path.c_str());
+}
+
+TEST(NodeStoreTest, TornLogTailIsTruncatedAndRecovered) {
+  std::string path = TempPath("node_store_torn.log");
+  Hash32 root_a;
+  uint64_t durable_bytes = 0;
+  size_t live_a = 0;
+  {
+    NodeStore store(path);
+    ASSERT_TRUE(store.Open().ok());
+    WorldState ws;
+    ws.SetBalance(Addr(1), U256(111));
+    ws.SetStorage(Addr(1), U256(1), U256(7));
+    root_a = ws.StateRoot();
+    ASSERT_TRUE(ws.PersistCommitted(store, 1).ok());
+    ASSERT_TRUE(store.Flush().ok());
+    durable_bytes = store.file_bytes();
+    live_a = store.live_nodes();
+
+    // A second block lands after the last flush...
+    ws.SetBalance(Addr(2), U256(222));
+    (void)ws.StateRoot();
+    ASSERT_TRUE(ws.PersistCommitted(store, 2).ok());
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  // ...and the crash tears it mid-record.
+  std::filesystem::resize_file(path, durable_bytes + 3);
+
+  // Open() recovers the block-1 prefix instead of refusing the log.
+  NodeStore recovered(path);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.live_nodes(), live_a);
+  EXPECT_EQ(recovered.retained_roots(), 1u);
+  EXPECT_EQ(recovered.file_bytes(), durable_bytes);
+  Result<std::optional<Bytes>> acct =
+      recovered.LookupSecure(root_a, Addr(1).view());
+  ASSERT_TRUE(acct.ok()) << acct.status().message();
+  EXPECT_TRUE(acct->has_value());
+
+  // The recovered store appends at a record boundary: new writes replay.
+  WorldState ws2;
+  ws2.SetBalance(Addr(9), U256(999));
+  Hash32 root_c = ws2.StateRoot();
+  ASSERT_TRUE(ws2.PersistCommitted(recovered, 3).ok());
+  ASSERT_TRUE(recovered.Flush().ok());
+  size_t live_after = recovered.live_nodes();
+
+  NodeStore reopened(path);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.live_nodes(), live_after);
+  Result<std::optional<Bytes>> later =
+      reopened.LookupSecure(root_c, Addr(9).view());
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE(later->has_value());
+  std::remove(path.c_str());
+}
+
+TEST(NodeStoreTest, PerBlockFlushMakesMinedBlocksDurable) {
+  std::string path = TempPath("node_store_flush.log");
+  chain::ChainConfig config;
+  config.persist_state = true;
+  config.state_db_path = path;
+  chain::Blockchain bc(config);
+  ASSERT_NE(bc.node_store(), nullptr);
+
+  bc.FundAccount(Addr(1), U256(1000));
+  Hash32 root = bc.MineBlock().header.state_root;
+
+  // Without closing the chain (simulating a crash: no destructor flush),
+  // the mined block is already fully on disk and replayable.
+  NodeStore replayed(path);
+  ASSERT_TRUE(replayed.Open().ok());
+  Result<std::optional<Bytes>> acct = replayed.LookupSecure(root, Addr(1).view());
+  ASSERT_TRUE(acct.ok()) << acct.status().message();
   EXPECT_TRUE(acct->has_value());
   std::remove(path.c_str());
 }
