@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "evm/analysis_cache.h"
+
 namespace onoff::analysis {
 
 using evm::GetOpcodeInfo;
@@ -15,13 +17,8 @@ size_t ControlFlowGraph::EdgeCount() const {
 }
 
 std::vector<bool> ComputeJumpdests(BytesView code) {
-  std::vector<bool> valid(code.size(), false);
-  for (size_t pc = 0; pc < code.size();) {
-    uint8_t op = code[pc];
-    if (op == static_cast<uint8_t>(Opcode::JUMPDEST)) valid[pc] = true;
-    pc += 1 + (evm::IsPush(op) ? evm::PushSize(op) : 0);
-  }
-  return valid;
+  // Single source of truth with the interpreter's jumpdest validation.
+  return evm::AnalyzeJumpdests(code);
 }
 
 Instruction DecodeInstruction(BytesView code, uint32_t pc) {

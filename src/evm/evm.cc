@@ -1,79 +1,13 @@
 #include "evm/evm.h"
 
-#include <algorithm>
-#include <array>
 #include <cassert>
 
-#include "evm/gas.h"
-#include "evm/opcodes.h"
+#include "evm/interp.h"
 #include "evm/precompiles.h"
-#include "evm/trace_hook.h"
 #include "obs/metrics.h"
 #include "rlp/rlp.h"
 
 namespace onoff::evm {
-
-namespace {
-
-// Per-opcode execution counters ("evm.opcode.<MNEMONIC>"), built once on
-// first use; nullptr when metrics are disabled so the interpreter loop pays
-// a single never-taken branch per instruction.
-const std::array<obs::Counter*, 256>* OpcodeCounters() {
-  static const std::array<obs::Counter*, 256>* const table =
-      []() -> const std::array<obs::Counter*, 256>* {
-    obs::Registry* registry = obs::Registry::Global();
-    if (registry == nullptr) return nullptr;
-    auto* t = new std::array<obs::Counter*, 256>();
-    for (int op = 0; op < 256; ++op) {
-      const OpcodeInfo& info = GetOpcodeInfo(static_cast<uint8_t>(op));
-      (*t)[op] = registry->GetCounter("evm.opcode." + std::string(info.name));
-    }
-    return t;
-  }();
-  return table;
-}
-
-// Marks the positions of valid JUMPDESTs (not inside PUSH immediates).
-std::vector<bool> AnalyzeJumpdests(const Bytes& code) {
-  std::vector<bool> valid(code.size(), false);
-  for (size_t i = 0; i < code.size(); ++i) {
-    uint8_t op = code[i];
-    if (op == static_cast<uint8_t>(Opcode::JUMPDEST)) {
-      valid[i] = true;
-    } else if (IsPush(op)) {
-      i += PushSize(op);
-    }
-  }
-  return valid;
-}
-
-// Pairs OnFrameEnter (constructor) with OnFrameExit (destructor) around a
-// frame body, so every exit path — including exceptional halts — reports the
-// frame's final result exactly once. `result` must outlive the scope and
-// hold the frame's outcome by the time the scope closes. When `hook` is
-// null the scope costs two never-taken branches.
-class FrameScope {
- public:
-  FrameScope(TraceHook* hook, const FrameContext& frame,
-             const ExecResult* result)
-      : hook_(hook), frame_(frame), result_(result) {
-    if (hook_ != nullptr) hook_->OnFrameEnter(frame_);
-  }
-  ~FrameScope() {
-    if (hook_ != nullptr) {
-      hook_->OnFrameExit(frame_, *result_, frame_.gas - result_->gas_left);
-    }
-  }
-  FrameScope(const FrameScope&) = delete;
-  FrameScope& operator=(const FrameScope&) = delete;
-
- private:
-  TraceHook* hook_;
-  const FrameContext& frame_;
-  const ExecResult* result_;
-};
-
-}  // namespace
 
 const char* OutcomeToString(Outcome outcome) {
   switch (outcome) {
@@ -103,931 +37,43 @@ const char* OutcomeToString(Outcome outcome) {
   return "Unknown";
 }
 
-// One interpreter activation (a call frame).
-class Interpreter {
- public:
-  Interpreter(Evm* evm, Address code_addr, Address self, Address caller,
-              U256 value, Bytes data, uint64_t gas, bool is_static, int depth,
-              const Bytes* override_code = nullptr)
-      : evm_(evm),
-        world_(evm->world_),
-        self_(self),
-        caller_(caller),
-        value_(value),
-        data_(std::move(data)),
-        gas_(gas),
-        is_static_(is_static),
-        depth_(depth),
-        hook_(evm->trace_hook_) {
-    code_ = override_code != nullptr ? *override_code
-                                     : world_->GetCode(code_addr);
-    jumpdests_ = AnalyzeJumpdests(code_);
-  }
+namespace {
 
-  ExecResult Run();
+// Process-wide default dispatch mode; per-Evm override via
+// set_dispatch_mode, per-chain via ChainConfig::evm_dispatch.
+DispatchMode g_default_dispatch = DispatchMode::kThreaded;
 
- private:
-  // ---- Halting helpers ----
-  ExecResult Halt(Outcome outcome) {
-    ExecResult res;
-    res.outcome = outcome;
-    // Exceptional halts consume all remaining gas; REVERT/STOP keep it.
-    if (outcome == Outcome::kSuccess || outcome == Outcome::kRevert) {
-      res.gas_left = gas_;
-    }
-    if (outcome == Outcome::kSuccess) {
-      res.refund = refund_;
-      res.logs = std::move(logs_);
-    }
-    res.output = std::move(output_);
-    return res;
-  }
+}  // namespace
 
-  // ---- Gas ----
-  bool UseGas(uint64_t amount) {
-    if (gas_ < amount) return false;
-    gas_ -= amount;
-    return true;
-  }
+DispatchMode DefaultDispatchMode() { return g_default_dispatch; }
 
-  // ---- Stack ----
-  bool Push(const U256& v) {
-    if (stack_.size() >= gas::kMaxStack) return false;
-    stack_.push_back(v);
-    return true;
-  }
-  bool Pop(U256* out) {
-    if (stack_.empty()) return false;
-    *out = stack_.back();
-    stack_.pop_back();
-    return true;
-  }
+void SetDefaultDispatchMode(DispatchMode mode) { g_default_dispatch = mode; }
 
-  // ---- Memory ----
-  // Charges expansion gas and resizes memory to cover [offset, offset+size).
-  // Returns false on out-of-gas / absurd ranges. Size 0 never charges.
-  bool Expand(const U256& offset, const U256& size, uint64_t* off_out,
-              uint64_t* size_out) {
-    if (size.IsZero()) {
-      *off_out = 0;
-      *size_out = 0;
-      return true;
-    }
-    // Anything beyond 4 GiB would cost more gas than any block has.
-    if (!offset.FitsUint64() || !size.FitsUint64() ||
-        offset.low64() > (uint64_t{1} << 32) ||
-        size.low64() > (uint64_t{1} << 32)) {
-      return false;
-    }
-    uint64_t end = offset.low64() + size.low64();
-    uint64_t new_words = gas::ToWords(end);
-    uint64_t cur_words = memory_.size() / 32;
-    if (new_words > cur_words) {
-      uint64_t cost = gas::MemoryCost(new_words) - gas::MemoryCost(cur_words);
-      if (!UseGas(cost)) return false;
-      memory_.resize(new_words * 32, 0);
-    }
-    *off_out = offset.low64();
-    *size_out = size.low64();
-    return true;
-  }
-
-  U256 LoadWord(uint64_t offset) {
-    return U256::FromBigEndianTruncating(BytesView(memory_.data() + offset, 32));
-  }
-  void StoreWord(uint64_t offset, const U256& v) {
-    auto be = v.ToBigEndian();
-    std::copy(be.begin(), be.end(), memory_.begin() + offset);
-  }
-
-  // Copies `size` bytes from src[src_off..] into memory at mem_off,
-  // zero-padding reads past the end of src.
-  void CopyToMemory(BytesView src, const U256& src_off, uint64_t mem_off,
-                    uint64_t size) {
-    for (uint64_t i = 0; i < size; ++i) {
-      U256 pos = src_off + U256(i);
-      uint8_t b = 0;
-      if (pos.FitsUint64() && pos.low64() < src.size()) b = src[pos.low64()];
-      memory_[mem_off + i] = b;
-    }
-  }
-
-  // ---- Sub-calls (bodies below) ----
-  bool DoCall(Opcode op);
-  bool DoCreate(Opcode op);
-
-  Evm* evm_;
-  state::StateView* world_;
-  Address self_;
-  Address caller_;
-  U256 value_;
-  Bytes data_;
-  uint64_t gas_;
-  bool is_static_;
-  int depth_;
-  TraceHook* hook_;
-
-  Bytes code_;
-  std::vector<bool> jumpdests_;
-  std::vector<U256> stack_;
-  Bytes memory_;
-  Bytes return_data_;
-  Bytes output_;
-  std::vector<LogEntry> logs_;
-  uint64_t refund_ = 0;
-  size_t pc_ = 0;
-  Outcome pending_halt_ = Outcome::kSuccess;
-  bool halted_ = false;
-
-  friend class ::onoff::evm::Evm;
-};
-
-ExecResult Interpreter::Run() {
-  const std::array<obs::Counter*, 256>* op_counters = OpcodeCounters();
-  while (pc_ < code_.size()) {
-    uint8_t op_byte = code_[pc_];
-    if (op_counters != nullptr) (*op_counters)[op_byte]->Inc();
-    const OpcodeInfo& info = GetOpcodeInfo(op_byte);
-    if (hook_ != nullptr) {
-      // Observed before execution (and before validity checks, so invalid
-      // instructions still appear in the structLog, like geth).
-      StepContext step;
-      step.pc = pc_;
-      step.opcode = op_byte;
-      step.op_name = info.name.data();
-      step.gas = gas_;
-      step.depth = depth_;
-      step.stack = &stack_;
-      step.memory_size = memory_.size();
-      hook_->OnStep(step);
-    }
-    if (!info.defined || op_byte == static_cast<uint8_t>(Opcode::INVALID)) {
-      return Halt(Outcome::kInvalidInstruction);
-    }
-    if (stack_.size() < info.stack_in) return Halt(Outcome::kStackUnderflow);
-    if (stack_.size() - info.stack_in + info.stack_out > gas::kMaxStack) {
-      return Halt(Outcome::kStackOverflow);
-    }
-    Opcode op = static_cast<Opcode>(op_byte);
-    size_t next_pc = pc_ + 1 + info.immediate_size;
-
-    // PUSH / DUP / SWAP / LOG families first.
-    if (IsPush(op_byte)) {
-      if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-      int n = PushSize(op_byte);
-      U256 v;
-      for (int i = 0; i < n; ++i) {
-        uint8_t b = pc_ + 1 + i < code_.size() ? code_[pc_ + 1 + i] : 0;
-        v = (v << 8) | U256(b);
-      }
-      Push(v);
-      pc_ = next_pc;
-      continue;
-    }
-    if (op_byte >= 0x80 && op_byte <= 0x8f) {  // DUPn
-      if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-      int n = op_byte - 0x7f;
-      Push(stack_[stack_.size() - n]);
-      pc_ = next_pc;
-      continue;
-    }
-    if (op_byte >= 0x90 && op_byte <= 0x9f) {  // SWAPn
-      if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-      int n = op_byte - 0x8f;
-      std::swap(stack_[stack_.size() - 1], stack_[stack_.size() - 1 - n]);
-      pc_ = next_pc;
-      continue;
-    }
-    if (op_byte >= 0xa0 && op_byte <= 0xa4) {  // LOGn
-      if (is_static_) return Halt(Outcome::kStaticViolation);
-      int topics = op_byte - 0xa0;
-      U256 off, size;
-      Pop(&off);
-      Pop(&size);
-      std::vector<U256> topic_vals(topics);
-      for (int i = 0; i < topics; ++i) Pop(&topic_vals[i]);
-      uint64_t o = 0, s = 0;
-      if (!Expand(off, size, &o, &s)) return Halt(Outcome::kOutOfGas);
-      uint64_t cost = gas::kLog + gas::kLogTopic * topics + gas::kLogData * s;
-      if (!UseGas(cost)) return Halt(Outcome::kOutOfGas);
-      LogEntry entry;
-      entry.address = self_;
-      entry.topics = std::move(topic_vals);
-      entry.data.assign(memory_.begin() + o, memory_.begin() + o + s);
-      logs_.push_back(std::move(entry));
-      pc_ = next_pc;
-      continue;
-    }
-
-    switch (op) {
-      case Opcode::STOP:
-        return Halt(Outcome::kSuccess);
-
-      // ---- Arithmetic ----
-      case Opcode::ADD: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a + b);
-        break;
-      }
-      case Opcode::MUL: {
-        if (!UseGas(gas::kLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a * b);
-        break;
-      }
-      case Opcode::SUB: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a - b);
-        break;
-      }
-      case Opcode::DIV: {
-        if (!UseGas(gas::kLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a / b);
-        break;
-      }
-      case Opcode::SDIV: {
-        if (!UseGas(gas::kLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a.SDiv(b));
-        break;
-      }
-      case Opcode::MOD: {
-        if (!UseGas(gas::kLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a % b);
-        break;
-      }
-      case Opcode::SMOD: {
-        if (!UseGas(gas::kLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a.SMod(b));
-        break;
-      }
-      case Opcode::ADDMOD: {
-        if (!UseGas(gas::kMid)) return Halt(Outcome::kOutOfGas);
-        U256 a, b, m;
-        Pop(&a);
-        Pop(&b);
-        Pop(&m);
-        Push(U256::AddMod(a, b, m));
-        break;
-      }
-      case Opcode::MULMOD: {
-        if (!UseGas(gas::kMid)) return Halt(Outcome::kOutOfGas);
-        U256 a, b, m;
-        Pop(&a);
-        Pop(&b);
-        Pop(&m);
-        Push(U256::MulMod(a, b, m));
-        break;
-      }
-      case Opcode::EXP: {
-        U256 base, exp;
-        Pop(&base);
-        Pop(&exp);
-        uint64_t exp_bytes = (exp.BitLength() + 7) / 8;
-        if (!UseGas(gas::kExp + gas::kExpByte * exp_bytes)) {
-          return Halt(Outcome::kOutOfGas);
-        }
-        Push(base.Exp(exp));
-        break;
-      }
-      case Opcode::SIGNEXTEND: {
-        if (!UseGas(gas::kLow)) return Halt(Outcome::kOutOfGas);
-        U256 index, v;
-        Pop(&index);
-        Pop(&v);
-        if (index.FitsUint64() && index.low64() < 31) {
-          Push(v.SignExtend(static_cast<unsigned>(index.low64())));
-        } else {
-          Push(v);
-        }
-        break;
-      }
-
-      // ---- Comparison / bitwise ----
-      case Opcode::LT: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(U256(a < b ? 1 : 0));
-        break;
-      }
-      case Opcode::GT: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(U256(a > b ? 1 : 0));
-        break;
-      }
-      case Opcode::SLT: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(U256(a.SLess(b) ? 1 : 0));
-        break;
-      }
-      case Opcode::SGT: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(U256(b.SLess(a) ? 1 : 0));
-        break;
-      }
-      case Opcode::EQ: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(U256(a == b ? 1 : 0));
-        break;
-      }
-      case Opcode::ISZERO: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a;
-        Pop(&a);
-        Push(U256(a.IsZero() ? 1 : 0));
-        break;
-      }
-      case Opcode::AND: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a & b);
-        break;
-      }
-      case Opcode::OR: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a | b);
-        break;
-      }
-      case Opcode::XOR: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a, b;
-        Pop(&a);
-        Pop(&b);
-        Push(a ^ b);
-        break;
-      }
-      case Opcode::NOT: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 a;
-        Pop(&a);
-        Push(~a);
-        break;
-      }
-      case Opcode::BYTE: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 index, v;
-        Pop(&index);
-        Pop(&v);
-        if (index.FitsUint64() && index.low64() < 32) {
-          auto be = v.ToBigEndian();
-          Push(U256(be[index.low64()]));
-        } else {
-          Push(U256());
-        }
-        break;
-      }
-      case Opcode::SHL: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 shift, v;
-        Pop(&shift);
-        Pop(&v);
-        Push(shift >= U256(256) ? U256()
-                                : v << static_cast<unsigned>(shift.low64()));
-        break;
-      }
-      case Opcode::SHR: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 shift, v;
-        Pop(&shift);
-        Pop(&v);
-        Push(shift >= U256(256) ? U256()
-                                : v >> static_cast<unsigned>(shift.low64()));
-        break;
-      }
-      case Opcode::SAR: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 shift, v;
-        Pop(&shift);
-        Pop(&v);
-        unsigned n = shift >= U256(256) ? 256u
-                                        : static_cast<unsigned>(shift.low64());
-        Push(v.Sar(n));
-        break;
-      }
-
-      case Opcode::SHA3: {
-        U256 off, size;
-        Pop(&off);
-        Pop(&size);
-        uint64_t o = 0, s = 0;
-        if (!Expand(off, size, &o, &s)) return Halt(Outcome::kOutOfGas);
-        if (!UseGas(gas::kSha3 + gas::kSha3Word * gas::ToWords(s))) {
-          return Halt(Outcome::kOutOfGas);
-        }
-        Hash32 h = Keccak256(BytesView(memory_.data() + o, s));
-        Push(U256::FromBigEndianTruncating(BytesView(h.data(), h.size())));
-        break;
-      }
-
-      // ---- Environment ----
-      case Opcode::ADDRESS:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(self_.ToWord());
-        break;
-      case Opcode::BALANCE: {
-        if (!UseGas(gas::kBalance)) return Halt(Outcome::kOutOfGas);
-        U256 a;
-        Pop(&a);
-        Push(world_->GetBalance(Address::FromWord(a)));
-        break;
-      }
-      case Opcode::ORIGIN:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(evm_->tx_.origin.ToWord());
-        break;
-      case Opcode::CALLER:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(caller_.ToWord());
-        break;
-      case Opcode::CALLVALUE:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(value_);
-        break;
-      case Opcode::CALLDATALOAD: {
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        U256 off;
-        Pop(&off);
-        U256 v;
-        for (int i = 0; i < 32; ++i) {
-          U256 pos = off + U256(static_cast<uint64_t>(i));
-          uint8_t b = 0;
-          if (pos.FitsUint64() && pos.low64() < data_.size()) {
-            b = data_[pos.low64()];
-          }
-          v = (v << 8) | U256(b);
-        }
-        Push(v);
-        break;
-      }
-      case Opcode::CALLDATASIZE:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(data_.size()));
-        break;
-      case Opcode::CALLDATACOPY:
-      case Opcode::CODECOPY:
-      case Opcode::RETURNDATACOPY: {
-        U256 mem_off, src_off, size;
-        Pop(&mem_off);
-        Pop(&src_off);
-        Pop(&size);
-        uint64_t o = 0, s = 0;
-        if (!Expand(mem_off, size, &o, &s)) return Halt(Outcome::kOutOfGas);
-        if (!UseGas(gas::kVeryLow + gas::kCopy * gas::ToWords(s))) {
-          return Halt(Outcome::kOutOfGas);
-        }
-        const Bytes& src = op == Opcode::CALLDATACOPY   ? data_
-                           : op == Opcode::CODECOPY     ? code_
-                                                        : return_data_;
-        if (op == Opcode::RETURNDATACOPY) {
-          // Reading past RETURNDATA is an exceptional halt (EIP-211).
-          U256 end = src_off + size;
-          if (!end.FitsUint64() || end.low64() > src.size()) {
-            return Halt(Outcome::kOutOfGas);
-          }
-        }
-        CopyToMemory(src, src_off, o, s);
-        break;
-      }
-      case Opcode::CODESIZE:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(code_.size()));
-        break;
-      case Opcode::GASPRICE:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(evm_->tx_.gas_price);
-        break;
-      case Opcode::EXTCODESIZE: {
-        if (!UseGas(gas::kExtCode)) return Halt(Outcome::kOutOfGas);
-        U256 a;
-        Pop(&a);
-        Push(U256(world_->GetCode(Address::FromWord(a)).size()));
-        break;
-      }
-      case Opcode::EXTCODECOPY: {
-        U256 addr_word, mem_off, src_off, size;
-        Pop(&addr_word);
-        Pop(&mem_off);
-        Pop(&src_off);
-        Pop(&size);
-        uint64_t o = 0, s = 0;
-        if (!Expand(mem_off, size, &o, &s)) return Halt(Outcome::kOutOfGas);
-        if (!UseGas(gas::kExtCode + gas::kCopy * gas::ToWords(s))) {
-          return Halt(Outcome::kOutOfGas);
-        }
-        CopyToMemory(world_->GetCode(Address::FromWord(addr_word)), src_off, o,
-                     s);
-        break;
-      }
-      case Opcode::RETURNDATASIZE:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(return_data_.size()));
-        break;
-
-      // ---- Block ----
-      case Opcode::BLOCKHASH: {
-        if (!UseGas(gas::kBlockhash)) return Halt(Outcome::kOutOfGas);
-        U256 num;
-        Pop(&num);
-        Hash32 h{};
-        const BlockContext& blk = evm_->block_;
-        if (blk.block_hash && num.FitsUint64() && num.low64() < blk.number &&
-            num.low64() + 256 >= blk.number) {
-          h = blk.block_hash(num.low64());
-        }
-        Push(U256::FromBigEndianTruncating(BytesView(h.data(), h.size())));
-        break;
-      }
-      case Opcode::COINBASE:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(evm_->block_.coinbase.ToWord());
-        break;
-      case Opcode::TIMESTAMP:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(evm_->block_.timestamp));
-        break;
-      case Opcode::NUMBER:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(evm_->block_.number));
-        break;
-      case Opcode::DIFFICULTY:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(evm_->block_.difficulty);
-        break;
-      case Opcode::GASLIMIT:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(evm_->block_.gas_limit));
-        break;
-
-      // ---- Stack / memory / storage / control ----
-      case Opcode::POP: {
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        U256 dummy;
-        Pop(&dummy);
-        break;
-      }
-      case Opcode::MLOAD: {
-        U256 off;
-        Pop(&off);
-        uint64_t o = 0, s = 0;
-        if (!Expand(off, U256(32), &o, &s)) return Halt(Outcome::kOutOfGas);
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        Push(LoadWord(o));
-        break;
-      }
-      case Opcode::MSTORE: {
-        U256 off, v;
-        Pop(&off);
-        Pop(&v);
-        uint64_t o = 0, s = 0;
-        if (!Expand(off, U256(32), &o, &s)) return Halt(Outcome::kOutOfGas);
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        StoreWord(o, v);
-        break;
-      }
-      case Opcode::MSTORE8: {
-        U256 off, v;
-        Pop(&off);
-        Pop(&v);
-        uint64_t o = 0, s = 0;
-        if (!Expand(off, U256(1), &o, &s)) return Halt(Outcome::kOutOfGas);
-        if (!UseGas(gas::kVeryLow)) return Halt(Outcome::kOutOfGas);
-        memory_[o] = static_cast<uint8_t>(v.low64() & 0xff);
-        break;
-      }
-      case Opcode::SLOAD: {
-        if (!UseGas(gas::kSload)) return Halt(Outcome::kOutOfGas);
-        U256 key;
-        Pop(&key);
-        Push(world_->GetStorage(self_, key));
-        break;
-      }
-      case Opcode::SSTORE: {
-        if (is_static_) return Halt(Outcome::kStaticViolation);
-        U256 key, value;
-        Pop(&key);
-        Pop(&value);
-        U256 current = world_->GetStorage(self_, key);
-        uint64_t cost = gas::kSstoreReset;
-        if (current.IsZero() && !value.IsZero()) cost = gas::kSstoreSet;
-        if (!current.IsZero() && value.IsZero()) refund_ += gas::kSstoreRefund;
-        if (!UseGas(cost)) return Halt(Outcome::kOutOfGas);
-        world_->SetStorage(self_, key, value);
-        break;
-      }
-      case Opcode::JUMP: {
-        if (!UseGas(gas::kMid)) return Halt(Outcome::kOutOfGas);
-        U256 dest;
-        Pop(&dest);
-        if (!dest.FitsUint64() || dest.low64() >= code_.size() ||
-            !jumpdests_[dest.low64()]) {
-          return Halt(Outcome::kBadJumpDestination);
-        }
-        pc_ = dest.low64();
-        continue;
-      }
-      case Opcode::JUMPI: {
-        if (!UseGas(gas::kHigh)) return Halt(Outcome::kOutOfGas);
-        U256 dest, cond;
-        Pop(&dest);
-        Pop(&cond);
-        if (!cond.IsZero()) {
-          if (!dest.FitsUint64() || dest.low64() >= code_.size() ||
-              !jumpdests_[dest.low64()]) {
-            return Halt(Outcome::kBadJumpDestination);
-          }
-          pc_ = dest.low64();
-          continue;
-        }
-        break;
-      }
-      case Opcode::PC:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(pc_));
-        break;
-      case Opcode::MSIZE:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(memory_.size()));
-        break;
-      case Opcode::GAS:
-        if (!UseGas(gas::kBase)) return Halt(Outcome::kOutOfGas);
-        Push(U256(gas_));
-        break;
-      case Opcode::JUMPDEST:
-        if (!UseGas(gas::kJumpdest)) return Halt(Outcome::kOutOfGas);
-        break;
-
-      // ---- System ----
-      case Opcode::CREATE:
-      case Opcode::CREATE2:
-        if (!DoCreate(op)) return Halt(pending_halt_);
-        break;
-      case Opcode::CALL:
-      case Opcode::CALLCODE:
-      case Opcode::DELEGATECALL:
-      case Opcode::STATICCALL:
-        if (!DoCall(op)) return Halt(pending_halt_);
-        break;
-      case Opcode::RETURN: {
-        U256 off, size;
-        Pop(&off);
-        Pop(&size);
-        uint64_t o = 0, s = 0;
-        if (!Expand(off, size, &o, &s)) return Halt(Outcome::kOutOfGas);
-        output_.assign(memory_.begin() + o, memory_.begin() + o + s);
-        return Halt(Outcome::kSuccess);
-      }
-      case Opcode::REVERT: {
-        U256 off, size;
-        Pop(&off);
-        Pop(&size);
-        uint64_t o = 0, s = 0;
-        if (!Expand(off, size, &o, &s)) return Halt(Outcome::kOutOfGas);
-        output_.assign(memory_.begin() + o, memory_.begin() + o + s);
-        return Halt(Outcome::kRevert);
-      }
-      case Opcode::SELFDESTRUCT: {
-        if (is_static_) return Halt(Outcome::kStaticViolation);
-        U256 beneficiary_word;
-        Pop(&beneficiary_word);
-        Address beneficiary = Address::FromWord(beneficiary_word);
-        uint64_t cost = gas::kSelfdestruct;
-        U256 balance = world_->GetBalance(self_);
-        if (!world_->Exists(beneficiary) && !balance.IsZero()) {
-          cost += gas::kCallNewAccount;
-        }
-        if (!UseGas(cost)) return Halt(Outcome::kOutOfGas);
-        refund_ += gas::kSelfdestructRefund;
-        world_->AddBalance(beneficiary, balance);
-        world_->DeleteAccount(self_);
-        return Halt(Outcome::kSuccess);
-      }
-      default:
-        return Halt(Outcome::kInvalidInstruction);
-    }
-    pc_ = next_pc;
-  }
-  return Halt(Outcome::kSuccess);
-}
-
-bool Interpreter::DoCall(Opcode op) {
-  U256 gas_req, to_word, value;
-  Pop(&gas_req);
-  Pop(&to_word);
-  if (op == Opcode::CALL || op == Opcode::CALLCODE) {
-    Pop(&value);
-  }
-  U256 in_off, in_size, out_off, out_size;
-  Pop(&in_off);
-  Pop(&in_size);
-  Pop(&out_off);
-  Pop(&out_size);
-
-  Address to = Address::FromWord(to_word);
-
-  if (op == Opcode::CALL && is_static_ && !value.IsZero()) {
-    pending_halt_ = Outcome::kStaticViolation;
-    return false;
-  }
-
-  uint64_t in_o = 0, in_s = 0, out_o = 0, out_s = 0;
-  if (!Expand(in_off, in_size, &in_o, &in_s) ||
-      !Expand(out_off, out_size, &out_o, &out_s)) {
-    pending_halt_ = Outcome::kOutOfGas;
-    return false;
-  }
-
-  uint64_t base_cost = gas::kCall;
-  if ((op == Opcode::CALL || op == Opcode::CALLCODE) && !value.IsZero()) {
-    base_cost += gas::kCallValue;
-  }
-  if (op == Opcode::CALL && !value.IsZero() && !world_->Exists(to)) {
-    base_cost += gas::kCallNewAccount;
-  }
-  if (!UseGas(base_cost)) {
-    pending_halt_ = Outcome::kOutOfGas;
-    return false;
-  }
-
-  // EIP-150: forward at most all-but-one-64th.
-  uint64_t max_forward = gas_ - gas_ / 64;
-  uint64_t forwarded = gas_req.FitsUint64()
-                           ? std::min(gas_req.low64(), max_forward)
-                           : max_forward;
-  gas_ -= forwarded;
-  uint64_t stipend = 0;
-  if ((op == Opcode::CALL || op == Opcode::CALLCODE) && !value.IsZero()) {
-    stipend = gas::kCallStipend;
-  }
-
-  Bytes input(memory_.begin() + in_o, memory_.begin() + in_o + in_s);
-
-  ExecResult child;
-  switch (op) {
-    case Opcode::CALL: {
-      CallMessage msg;
-      msg.caller = self_;
-      msg.to = to;
-      msg.value = value;
-      msg.data = std::move(input);
-      msg.gas = forwarded + stipend;
-      msg.is_static = is_static_;
-      child = evm_->CallInternal(msg, depth_ + 1);
-      break;
-    }
-    case Opcode::STATICCALL: {
-      CallMessage msg;
-      msg.caller = self_;
-      msg.to = to;
-      msg.value = U256();
-      msg.data = std::move(input);
-      msg.gas = forwarded;
-      msg.is_static = true;
-      child = evm_->CallInternal(msg, depth_ + 1);
-      break;
-    }
-    case Opcode::CALLCODE:
-    case Opcode::DELEGATECALL: {
-      // Run the target's code in OUR storage context.
-      if (depth_ + 1 > gas::kMaxCallDepth) {
-        child.outcome = Outcome::kCallDepthExceeded;
-        child.gas_left = forwarded + stipend;
-        break;
-      }
-      if (op == Opcode::CALLCODE && world_->GetBalance(self_) < value) {
-        child.outcome = Outcome::kInsufficientBalance;
-        child.gas_left = forwarded + stipend;
-        break;
-      }
-      FrameContext frame;
-      if (hook_ != nullptr) {
-        frame.kind = op == Opcode::DELEGATECALL ? "DELEGATECALL" : "CALLCODE";
-        frame.depth = depth_ + 1;
-        frame.self = self_;
-        frame.code_address = to;
-        frame.caller = op == Opcode::DELEGATECALL ? caller_ : self_;
-        frame.value = op == Opcode::DELEGATECALL ? value_ : value;
-        frame.gas = forwarded + stipend;
-        frame.input_size = input.size();
-      }
-      FrameScope frame_scope(hook_, frame, &child);
-      auto snapshot = world_->TakeSnapshot();
-      if (auto pre = RunPrecompile(to, input, forwarded + stipend)) {
-        child.outcome = pre->success ? Outcome::kSuccess : Outcome::kOutOfGas;
-        child.output = std::move(pre->output);
-        child.gas_left = pre->success ? forwarded + stipend - pre->gas_cost : 0;
-      } else {
-        Interpreter sub(evm_, to, self_,
-                        op == Opcode::DELEGATECALL ? caller_ : self_,
-                        op == Opcode::DELEGATECALL ? value_ : value,
-                        std::move(input), forwarded + stipend, is_static_,
-                        depth_ + 1);
-        child = sub.Run();
-      }
-      if (!child.ok()) world_->RevertToSnapshot(snapshot);
-      break;
-    }
-    default:
-      pending_halt_ = Outcome::kInvalidInstruction;
-      return false;
-  }
-
-  // Copy return data into the out region; record it for RETURNDATACOPY.
-  return_data_ = child.output;
-  uint64_t copy = std::min<uint64_t>(out_s, child.output.size());
-  if (copy > 0) {
-    std::copy(child.output.begin(), child.output.begin() + copy,
-              memory_.begin() + out_o);
-  }
-  gas_ += child.gas_left;
-  if (child.ok()) {
-    refund_ += child.refund;
-    for (auto& log : child.logs) logs_.push_back(std::move(log));
-  }
-  Push(U256(child.ok() ? 1 : 0));
-  return true;
-}
-
-bool Interpreter::DoCreate(Opcode op) {
-  if (is_static_) {
-    pending_halt_ = Outcome::kStaticViolation;
-    return false;
-  }
-  U256 value, off, size, salt;
-  Pop(&value);
-  Pop(&off);
-  Pop(&size);
-  if (op == Opcode::CREATE2) Pop(&salt);
-
-  uint64_t o = 0, s = 0;
-  if (!Expand(off, size, &o, &s)) {
-    pending_halt_ = Outcome::kOutOfGas;
-    return false;
-  }
-  uint64_t cost = gas::kCreate;
-  if (op == Opcode::CREATE2) cost += gas::kSha3Word * gas::ToWords(s);
-  if (!UseGas(cost)) {
-    pending_halt_ = Outcome::kOutOfGas;
-    return false;
-  }
-  Bytes init_code(memory_.begin() + o, memory_.begin() + o + s);
-
-  // EIP-150: all but one 64th.
-  uint64_t forwarded = gas_ - gas_ / 64;
-  gas_ -= forwarded;
-
-  ExecResult child = evm_->CreateInternal(
-      self_, value, init_code, forwarded,
-      op == Opcode::CREATE2 ? &salt : nullptr, depth_ + 1);
-
-  return_data_ = child.ok() ? Bytes{} : child.output;
-  gas_ += child.gas_left;
-  if (child.ok()) {
-    refund_ += child.refund;
-    for (auto& log : child.logs) logs_.push_back(std::move(log));
-    Push(child.created.ToWord());
+bool ParseDispatchMode(const std::string& name, DispatchMode* out) {
+  if (name == "switch") {
+    *out = DispatchMode::kSwitch;
+  } else if (name == "threaded-nofuse") {
+    *out = DispatchMode::kThreadedNoFuse;
+  } else if (name == "threaded") {
+    *out = DispatchMode::kThreaded;
   } else {
-    Push(U256());
+    return false;
   }
   return true;
 }
+
+const char* DispatchModeToString(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kSwitch:
+      return "switch";
+    case DispatchMode::kThreadedNoFuse:
+      return "threaded-nofuse";
+    case DispatchMode::kThreaded:
+      return "threaded";
+  }
+  return "unknown";
+}
+
 
 Address Evm::ContractAddress(const Address& creator, uint64_t nonce) {
   std::vector<rlp::Item> fields;

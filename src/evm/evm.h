@@ -64,6 +64,29 @@ enum class Outcome {
 
 const char* OutcomeToString(Outcome outcome);
 
+// Which interpreter loop executes frames (see evm/interp.h):
+//  - kSwitch:         the reference per-instruction switch loop;
+//  - kThreadedNoFuse: cached code analysis + threaded dispatch, one cell
+//                     per instruction;
+//  - kThreaded:       threaded dispatch with superinstruction fusion
+//                     (PUSH+JUMP, PUSH+JUMPI, DUP+MLOAD, PUSH+binop).
+// All three are observably identical (outcome, gas, state, logs, metrics);
+// structLog tracing forces the switch loop for the traced frames since the
+// hook observes every step.
+enum class DispatchMode {
+  kSwitch,
+  kThreadedNoFuse,
+  kThreaded,
+};
+
+// Process-wide default for newly constructed Evm instances (kThreaded).
+DispatchMode DefaultDispatchMode();
+void SetDefaultDispatchMode(DispatchMode mode);
+
+// Parses "switch" / "threaded-nofuse" / "threaded"; false on anything else.
+bool ParseDispatchMode(const std::string& name, DispatchMode* out);
+const char* DispatchModeToString(DispatchMode mode);
+
 struct ExecResult {
   Outcome outcome = Outcome::kSuccess;
   // RETURN payload on success, REVERT reason otherwise.
@@ -92,7 +115,10 @@ struct CallMessage {
 class Evm {
  public:
   Evm(state::StateView* world, BlockContext block, TxContext tx)
-      : world_(world), block_(std::move(block)), tx_(std::move(tx)) {}
+      : world_(world),
+        block_(std::move(block)),
+        tx_(std::move(tx)),
+        dispatch_mode_(DefaultDispatchMode()) {}
 
   // Executes a message call (including plain value transfers and
   // precompiles). State changes are journaled and reverted on failure.
@@ -119,6 +145,11 @@ class Evm {
   void set_trace_hook(TraceHook* hook) { trace_hook_ = hook; }
   TraceHook* trace_hook() const { return trace_hook_; }
 
+  // Selects the interpreter loop for frames run by this Evm (defaults to
+  // the process-wide DefaultDispatchMode()).
+  void set_dispatch_mode(DispatchMode mode) { dispatch_mode_ = mode; }
+  DispatchMode dispatch_mode() const { return dispatch_mode_; }
+
  private:
   friend class Interpreter;
 
@@ -131,6 +162,7 @@ class Evm {
   BlockContext block_;
   TxContext tx_;
   TraceHook* trace_hook_ = nullptr;
+  DispatchMode dispatch_mode_;
 };
 
 }  // namespace onoff::evm

@@ -38,10 +38,11 @@ struct StepContext {
   // Gas remaining in this frame before the instruction executes.
   uint64_t gas = 0;
   int depth = 0;
-  // The frame's full operand stack (bottom first, as the interpreter holds
-  // it); hooks copy the top-k slice they want and must not retain the
-  // pointer past the call.
-  const std::vector<U256>* stack = nullptr;
+  // The frame's full operand stack, bottom first as the interpreter holds
+  // it (`stack[stack_size - 1]` is the top). Hooks copy the top-k slice
+  // they want and must not retain the pointer past the call.
+  const U256* stack = nullptr;
+  size_t stack_size = 0;
   size_t memory_size = 0;
 };
 

@@ -189,8 +189,18 @@ void SpeculativeState::SetCode(const Address& addr, Bytes code) {
   EnsureCode(acc, addr);
   journal_.push_back(JCode{addr, std::move(acc.code), acc.code_written});
   acc.code = std::move(code);
+  acc.code_hash_cache.reset();
   acc.code_written = true;
   writes_.keys.insert(FieldKey(addr, kCode));
+}
+
+Hash32 SpeculativeState::GetCodeHash(const Address& addr) const {
+  OverlayAccount& acc = Materialize(addr);
+  EnsureCode(acc, addr);
+  if (!acc.code_hash_cache.has_value()) {
+    acc.code_hash_cache = Keccak256(acc.code);
+  }
+  return *acc.code_hash_cache;
 }
 
 U256 SpeculativeState::GetStorage(const Address& addr, const U256& key) const {
@@ -239,6 +249,7 @@ void SpeculativeState::RevertToSnapshot(Snapshot snap) {
             acc.nonce_written = e.prev_written;
           } else if constexpr (std::is_same_v<T, JCode>) {
             acc.code = std::move(e.prev);
+            acc.code_hash_cache.reset();
             acc.code_written = e.prev_written;
           } else if constexpr (std::is_same_v<T, JStorage>) {
             acc.storage[e.key] = e.prev;

@@ -16,6 +16,7 @@
 #define ONOFFCHAIN_STATE_SPECULATIVE_STATE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -60,6 +61,10 @@ class SpeculativeState final : public StateView {
   void SetNonce(const Address& addr, uint64_t nonce) override;
   const Bytes& GetCode(const Address& addr) const override;
   void SetCode(const Address& addr, Bytes code) override;
+  // Computed (and memoized) inside THIS overlay rather than forwarded to
+  // the base: the base's lazy per-account memo is not safe to fill from
+  // the many overlays executing concurrently over it.
+  Hash32 GetCodeHash(const Address& addr) const override;
   U256 GetStorage(const Address& addr, const U256& key) const override;
   void SetStorage(const Address& addr, const U256& key,
                   const U256& value) override;
@@ -93,6 +98,8 @@ class SpeculativeState final : public StateView {
     uint64_t nonce = 0;
     U256 balance;
     Bytes code;
+    // Lazy keccak of `code`; reset on every code write or revert.
+    std::optional<Hash32> code_hash_cache;
     std::unordered_map<U256, U256> storage;  // materialized slots
     // Dirty flags: what ApplyTo must write back.
     bool existence_written = false;

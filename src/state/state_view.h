@@ -56,7 +56,10 @@ class StateView {
   // The returned reference stays valid until the account's code changes.
   virtual const Bytes& GetCode(const Address& addr) const = 0;
   virtual void SetCode(const Address& addr, Bytes code) = 0;
-  Hash32 GetCodeHash(const Address& addr) const {
+  // Keccak of the account code. The interpreter keys its code-analysis
+  // cache on this, so implementations should memoize it (WorldState caches
+  // per account, invalidating on code writes).
+  virtual Hash32 GetCodeHash(const Address& addr) const {
     return Keccak256(GetCode(addr));
   }
 

@@ -102,7 +102,20 @@ void WorldState::SetCode(const Address& addr, Bytes code) {
   Account& acc = GetOrCreate(addr);
   journal_.push_back(CodeChange{addr, std::move(acc.code)});
   acc.code = std::move(code);
+  acc.code_hash_cache.reset();
   store_.MarkAccountDirty(addr);
+}
+
+Hash32 WorldState::GetCodeHash(const Address& addr) const {
+  const Account* acc = Find(addr);
+  if (acc == nullptr) {
+    static const Hash32 kEmptyHash = Keccak256(Bytes{});
+    return kEmptyHash;
+  }
+  if (!acc->code_hash_cache.has_value()) {
+    acc->code_hash_cache = Keccak256(acc->code);
+  }
+  return *acc->code_hash_cache;
 }
 
 U256 WorldState::GetStorage(const Address& addr, const U256& key) const {
@@ -144,7 +157,9 @@ void WorldState::RevertToSnapshot(Snapshot snap) {
             accounts_[e.addr].nonce = e.prev;
             store_.MarkAccountDirty(e.addr);
           } else if constexpr (std::is_same_v<T, CodeChange>) {
-            accounts_[e.addr].code = std::move(e.prev);
+            Account& acc = accounts_[e.addr];
+            acc.code = std::move(e.prev);
+            acc.code_hash_cache.reset();
             store_.MarkAccountDirty(e.addr);
           } else if constexpr (std::is_same_v<T, StorageChange>) {
             Account& acc = accounts_[e.addr];

@@ -6,6 +6,7 @@
 #define ONOFFCHAIN_STATE_WORLD_STATE_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <variant>
 #include <vector>
@@ -28,6 +29,10 @@ struct Account {
   U256 balance;
   Bytes code;
   std::unordered_map<U256, U256> storage;
+  // Lazily computed keccak of `code` (GetCodeHash keys the interpreter's
+  // code-analysis cache on it, once per frame). Cleared whenever `code`
+  // changes, including journal reverts; safe to copy alongside the code.
+  mutable std::optional<Hash32> code_hash_cache;
 
   bool IsContract() const { return !code.empty(); }
   // Empty per EIP-161: no code, zero nonce, zero balance.
@@ -74,6 +79,8 @@ class WorldState final : public StateView {
   // ---- Code ----
   const Bytes& GetCode(const Address& addr) const override;
   void SetCode(const Address& addr, Bytes code) override;
+  // Memoized per account (see Account::code_hash_cache).
+  Hash32 GetCodeHash(const Address& addr) const override;
 
   // ---- Storage ----
   U256 GetStorage(const Address& addr, const U256& key) const override;

@@ -231,6 +231,12 @@ U256 U256::operator-(const U256& o) const {
 }
 
 U256 U256::operator*(const U256& o) const {
+  // Fast path: both fit in 64 bits — one hardware 64x64->128 multiply.
+  if (FitsUint64() && o.FitsUint64()) {
+    u128 p = static_cast<u128>(limbs_[0]) * o.limbs_[0];
+    return U256(0, 0, static_cast<uint64_t>(p >> 64),
+                static_cast<uint64_t>(p));
+  }
   Limbs8 full = MulFull(*this, o);
   return U256(full[3], full[2], full[1], full[0]);
 }
@@ -241,6 +247,26 @@ DivModResult DivMod(const U256& num, const U256& den) {
   // Fast path: both fit in 64 bits.
   if (num.FitsUint64() && den.FitsUint64()) {
     return {U256(num.low64() / den.low64()), U256(num.low64() % den.low64())};
+  }
+  // Power-of-two divisor: shift and mask (covers the EVM's ubiquitous
+  // DIV/MOD by 2^n address- and word-packing arithmetic).
+  U256 den_minus_1 = den - U256(1);
+  if ((den & den_minus_1).IsZero()) {
+    unsigned k = static_cast<unsigned>(den.BitLength() - 1);
+    return {num >> k, num & den_minus_1};
+  }
+  // Single-limb divisor: schoolbook 128/64 division, one hardware divide
+  // per limb instead of one compare-subtract per bit.
+  if (den.FitsUint64()) {
+    uint64_t d = den.low64();
+    uint64_t q[4];
+    uint64_t rem = 0;
+    for (int i = 3; i >= 0; --i) {
+      u128 cur = (static_cast<u128>(rem) << 64) | num.limb(i);
+      q[i] = static_cast<uint64_t>(cur / d);
+      rem = static_cast<uint64_t>(cur % d);
+    }
+    return {U256(q[3], q[2], q[1], q[0]), U256(rem)};
   }
   U256 quotient;
   U256 rem = num;
@@ -280,6 +306,11 @@ U256 U256::SMod(const U256& o) const {
 
 U256 U256::AddMod(const U256& a, const U256& b, const U256& m) {
   if (m.IsZero()) return U256();
+  // Fast path: everything fits in 64 bits — the 65-bit sum fits a u128.
+  if (a.FitsUint64() && b.FitsUint64() && m.FitsUint64()) {
+    u128 s = static_cast<u128>(a.limbs_[0]) + b.limbs_[0];
+    return U256(static_cast<uint64_t>(s % m.limbs_[0]));
+  }
   // Compute the 257-bit sum as 8 limbs, then reduce.
   Limbs8 sum{};
   uint64_t carry = 0;
@@ -294,10 +325,39 @@ U256 U256::AddMod(const U256& a, const U256& b, const U256& m) {
 
 U256 U256::MulMod(const U256& a, const U256& b, const U256& m) {
   if (m.IsZero()) return U256();
+  // Fast path: everything fits in 64 bits — the product fits a u128.
+  if (a.FitsUint64() && b.FitsUint64() && m.FitsUint64()) {
+    u128 p = static_cast<u128>(a.limbs_[0]) * b.limbs_[0];
+    return U256(static_cast<uint64_t>(p % m.limbs_[0]));
+  }
+  // The 512-bit product reduced by a divisor that fits one limb never
+  // needs the shift-subtract loop: divide limb-by-limb from the top.
+  if (m.FitsUint64()) {
+    Limbs8 full = MulFull(a, b);
+    uint64_t d = m.limbs_[0];
+    uint64_t rem = 0;
+    for (int i = 7; i >= 0; --i) {
+      u128 cur = (static_cast<u128>(rem) << 64) | full[i];
+      rem = static_cast<uint64_t>(cur % d);
+    }
+    return U256(rem);
+  }
   return Mod512(MulFull(a, b), m);
 }
 
 U256 U256::Exp(const U256& e) const {
+  if (e.IsZero()) return U256(1);  // includes 0^0 == 1 (EVM semantics)
+  if (IsZero()) return U256();
+  if (*this == U256(1)) return U256(1);
+  // Power-of-two base: (2^k)^e = 2^(k*e) mod 2^256, a single shift (zero
+  // once k*e >= 256). k >= 1 here since base == 1 was handled above.
+  if ((*this & (*this - U256(1))).IsZero()) {
+    uint64_t k = static_cast<uint64_t>(BitLength() - 1);
+    if (!e.FitsUint64() || e.low64() >= 256) return U256();
+    uint64_t shift = k * e.low64();
+    if (shift >= 256) return U256();
+    return U256(1) << static_cast<unsigned>(shift);
+  }
   U256 base = *this;
   U256 result(1);
   for (int i = 0; i < e.BitLength(); ++i) {

