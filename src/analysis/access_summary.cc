@@ -1,0 +1,109 @@
+#include "analysis/access_summary.h"
+
+#include <sstream>
+#include <utility>
+
+#include "analysis/analyzer.h"
+#include "analysis/cfg.h"
+#include "obs/metrics.h"
+
+namespace onoff::analysis {
+
+bool SlotSet::Disjoint(const SlotSet& other) const {
+  if (top || other.top) return false;
+  const SlotSet& small = slots.size() <= other.slots.size() ? *this : other;
+  const SlotSet& big = &small == this ? other : *this;
+  for (const U256& s : small.slots) {
+    if (big.slots.count(s) != 0) return false;
+  }
+  return true;
+}
+
+std::string SlotSet::ToString() const {
+  if (top) return "⊤";
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const U256& s : slots) {
+    if (!first) os << ",";
+    first = false;
+    os << s.ToHex();
+  }
+  os << "}";
+  return os.str();
+}
+
+bool AccessSummary::StaticallySchedulable() const {
+  constexpr uint32_t kEscapes = effect::kCall | effect::kDelegateCall |
+                                effect::kStaticCall | effect::kCreate |
+                                effect::kSelfdestruct;
+  return !reads.top && !writes.top && (effects & kEscapes) == 0 &&
+         !external_reads;
+}
+
+std::string AccessSummary::ToString() const {
+  std::ostringstream os;
+  os << "reads=" << reads.ToString() << " writes=" << writes.ToString()
+     << " effects=[" << EffectsToString(effects) << "]";
+  if (external_reads) os << " external-reads";
+  return os.str();
+}
+
+AccessSummaryCache& AccessSummaryCache::Global() {
+  static AccessSummaryCache cache;
+  return cache;
+}
+
+namespace {
+
+std::shared_ptr<const ProgramAccess> BuildProgramAccess(BytesView code) {
+  auto out = std::make_shared<ProgramAccess>();
+  AnalysisReport report = AnalyzeProgram(code, AnalysisOptions{});
+  if (report.HasErrors()) {
+    // Broken or hostile code: pin the summary at ⊤ so every consumer falls
+    // back to the dynamic path.
+    out->program.reads.top = true;
+    out->program.writes.top = true;
+    out->program.effects = ~0u;
+    return out;
+  }
+  out->program = report.program_access;
+  out->selectors.reserve(report.functions.size());
+  for (const FunctionReport& fr : report.functions) {
+    out->selectors.push_back(SelectorAccess{fr.selector, fr.name, fr.access});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const ProgramAccess> AccessSummaryCache::Get(
+    const Hash32& code_hash, BytesView code) {
+  static obs::Counter* hits =
+      obs::GetCounterOrNull("analysis.summary_cache.hits");
+  static obs::Counter* misses =
+      obs::GetCounterOrNull("analysis.summary_cache.misses");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(code_hash);
+    if (it != entries_.end()) {
+      if (hits != nullptr) hits->Inc();
+      return it->second;
+    }
+  }
+  if (misses != nullptr) misses->Inc();
+  // Build outside the lock: analysis can be milliseconds on big contracts
+  // and the cache serves every executor worker.
+  std::shared_ptr<const ProgramAccess> built = BuildProgramAccess(code);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(code_hash, built);
+  if (inserted && entries_.size() > kMaxEntries) entries_.clear();
+  return it->second;
+}
+
+void AccessSummaryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace onoff::analysis

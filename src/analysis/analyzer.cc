@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <deque>
 #include <set>
+#include <utility>
 
+#include "analysis/dataflow.h"
 #include "evm/gas.h"
 #include "obs/metrics.h"
 
@@ -492,25 +494,6 @@ std::string SelectorName(uint32_t selector,
   return buf;
 }
 
-std::string EffectsToString(uint32_t effects) {
-  std::string out;
-  auto add = [&](uint32_t flag, const char* name) {
-    if ((effects & flag) != 0) {
-      if (!out.empty()) out += "|";
-      out += name;
-    }
-  };
-  add(effect::kSstore, "SSTORE");
-  add(effect::kLog, "LOG");
-  add(effect::kCall, "CALL");
-  add(effect::kDelegateCall, "DELEGATECALL");
-  add(effect::kCreate, "CREATE");
-  add(effect::kSelfdestruct, "SELFDESTRUCT");
-  add(effect::kStaticCall, "STATICCALL");
-  add(effect::kSload, "SLOAD");
-  return out.empty() ? "none" : out;
-}
-
 void BumpCounters(const AnalysisReport& report) {
   static obs::Counter* programs = obs::GetCounterOrNull("analysis.programs");
   static obs::Counter* blocks = obs::GetCounterOrNull("analysis.blocks");
@@ -543,7 +526,10 @@ AnalysisReport AnalyzeProgram(BytesView code, const AnalysisOptions& options) {
     return report;  // empty code halts immediately: clean, zero gas
   }
 
-  std::vector<bool> jumpdests = ComputeJumpdests(code);
+  // One decode per process: jumpdests, blocks and PUSH immediates come out
+  // of the interpreter's code-analysis cache, keyed by code hash.
+  DecodedCode decoded(code);
+  const std::vector<bool>& jumpdests = decoded.jumpdests();
   std::map<uint32_t, BasicBlock>& blocks = report.cfg.blocks;
   std::map<uint32_t, AbstractStack> in_states;
   std::map<uint32_t, Diagnostic> merge_errors;  // keyed by join pc
@@ -559,7 +545,7 @@ AnalysisReport AnalyzeProgram(BytesView code, const AnalysisOptions& options) {
     worklist.pop_front();
     auto bit = blocks.find(pc);
     if (bit == blocks.end()) {
-      bit = blocks.emplace(pc, DecodeBlock(code, pc)).first;
+      bit = blocks.emplace(pc, decoded.Block(pc)).first;
     }
     BlockResult r = ExecBlock(code, bit->second, in_states.at(pc), jumpdests,
                               options);
@@ -645,7 +631,12 @@ AnalysisReport AnalyzeProgram(BytesView code, const AnalysisOptions& options) {
     report.functions.push_back(std::move(fr));
   }
 
-  // Policy checks: machine-verify the declared light/heavy split.
+  // The dataflow pass (dataflow.cc) only runs on structurally sound code:
+  // every reachable jump resolved, stack heights consistent.
+  bool structurally_sound = !report.HasErrors();
+
+  // Policy checks: machine-verify the declared light/heavy split. The
+  // privacy half (ANA12–ANA18) now flows through the dataflow summaries.
   for (const FunctionReport& fr : report.functions) {
     bool light = std::find(options.light_selectors.begin(),
                            options.light_selectors.end(),
@@ -666,12 +657,35 @@ AnalysisReport AnalyzeProgram(BytesView code, const AnalysisOptions& options) {
                fr.gas_bound.ToString() + " >= block gas limit " +
                std::to_string(options.block_gas_limit)});
     }
-    if (priv && (fr.effects & effect::kStateLeakMask) != 0) {
+    if (!structurally_sound && priv &&
+        (fr.effects & effect::kStateLeakMask) != 0) {
+      // Fallback when the dataflow pass cannot run: the PR 4 effect-mask
+      // check still rejects the privacy violation.
       report.diagnostics.push_back(
           {DiagCode::kPrivateStateLeak, fr.entry_pc,
            "declared-private function " + fr.name +
                " can reach state effects: " +
                EffectsToString(fr.effects & effect::kStateLeakMask)});
+    }
+  }
+
+  if (structurally_sound) {
+    DataflowResult df = AnalyzeDataflow(code, report, options);
+    report.program_access = std::move(df.program);
+    for (size_t i = 0;
+         i < report.functions.size() && i < df.per_function.size(); ++i) {
+      report.functions[i].access = std::move(df.per_function[i]);
+    }
+    for (Diagnostic& d : df.diagnostics) {
+      report.diagnostics.push_back(std::move(d));
+    }
+  } else {
+    report.program_access.reads.top = true;
+    report.program_access.writes.top = true;
+    report.program_access.effects = report.effects;
+    report.program_access.external_reads = true;
+    for (FunctionReport& fr : report.functions) {
+      fr.access = report.program_access;
     }
   }
 

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/access_summary.h"
 #include "analysis/cfg.h"
 #include "analysis/diagnostic.h"
 #include "support/bytes.h"
@@ -72,6 +73,10 @@ struct FunctionReport {
   GasBound gas_bound;
   uint32_t effects = 0;  // union of effect:: flags over reachable blocks
   bool has_loop = false;
+  // Storage access summary from the dataflow pass (DESIGN §12): slots this
+  // selector may read/write, dispatch prefix included. ⊤ sets when the
+  // first pass found errors or a key did not resolve.
+  AccessSummary access;
 };
 
 struct AnalysisOptions {
@@ -100,6 +105,8 @@ struct AnalysisReport {
   GasBound program_bound;
   uint32_t effects = 0;  // union over all reachable blocks
   size_t code_size = 0;
+  // Whole-program access summary: sound for any entry point and calldata.
+  AccessSummary program_access;
 
   bool HasErrors() const { return HasError(diagnostics); }
   // First error formatted (empty when clean).

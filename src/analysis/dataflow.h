@@ -1,0 +1,46 @@
+#pragma once
+
+// The storage-access / privacy-taint dataflow engine (DESIGN §12).
+//
+// Runs after the stack-safety fixpoint over the same CFG and computes, per
+// dispatchable selector and for the program as a whole:
+//
+//  * an access summary — which storage slots the code may read/write
+//    (value-set propagation on SLOAD/SSTORE keys), which effect:: bits it
+//    can reach, and whether it reads other accounts' state;
+//  * taint flows from private inputs (calldata) to public sinks (SSTORE,
+//    LOG, CALL args/value/target, CREATE, SELFDESTRUCT, RETURN), reported
+//    as ANA13–ANA18 against the declared light/private policy.
+//
+// The engine is a separate fixpoint because its domain (value sets × taint
+// × memory/storage taint environment) is strictly richer than the
+// stack-safety domain, and because it must only run on code the first pass
+// proved well-formed: every reachable jump resolved, stack heights
+// consistent. On code with errors the caller skips the dataflow pass and
+// consumers see a ⊤ summary.
+
+#include <vector>
+
+#include "analysis/access_summary.h"
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "support/bytes.h"
+
+namespace onoff::analysis {
+
+struct DataflowResult {
+  // Sound for any entry and any calldata (join over all reachable blocks).
+  AccessSummary program;
+  // Summaries per recovered selector, aligned with report.functions.
+  std::vector<AccessSummary> per_function;
+  // ANA12–ANA18 policy diagnostics (light/private enforcement now flows
+  // through the summaries rather than the PR 4 opcode ban list).
+  std::vector<Diagnostic> diagnostics;
+};
+
+// `report` must come from AnalyzeProgram's fixpoint over `code` with
+// successors resolved; the engine walks report.cfg and report.functions.
+DataflowResult AnalyzeDataflow(BytesView code, const AnalysisReport& report,
+                               const AnalysisOptions& options);
+
+}  // namespace onoff::analysis

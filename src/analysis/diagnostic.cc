@@ -30,6 +30,18 @@ const char* DiagCodeId(DiagCode code) {
       return "ANA11";
     case DiagCode::kPrivateStateLeak:
       return "ANA12";
+    case DiagCode::kUnresolvedStorageKey:
+      return "ANA13";
+    case DiagCode::kTaintedStore:
+      return "ANA14";
+    case DiagCode::kTaintedLog:
+      return "ANA15";
+    case DiagCode::kTaintedCall:
+      return "ANA16";
+    case DiagCode::kTaintedReturn:
+      return "ANA17";
+    case DiagCode::kTaintedBranchEffect:
+      return "ANA18";
   }
   return "ANA??";
 }
@@ -60,12 +72,26 @@ const char* DiagCodeName(DiagCode code) {
       return "gas-above-block-limit";
     case DiagCode::kPrivateStateLeak:
       return "private-state-leak";
+    case DiagCode::kUnresolvedStorageKey:
+      return "unresolved-storage-key";
+    case DiagCode::kTaintedStore:
+      return "tainted-store";
+    case DiagCode::kTaintedLog:
+      return "tainted-log";
+    case DiagCode::kTaintedCall:
+      return "tainted-call";
+    case DiagCode::kTaintedReturn:
+      return "tainted-return";
+    case DiagCode::kTaintedBranchEffect:
+      return "tainted-branch-effect";
   }
   return "unknown";
 }
 
 bool IsError(DiagCode code) {
-  return code != DiagCode::kUnreachableCode && code != DiagCode::kImplicitStop;
+  return code != DiagCode::kUnreachableCode && code != DiagCode::kImplicitStop &&
+         code != DiagCode::kUnresolvedStorageKey &&
+         code != DiagCode::kTaintedBranchEffect;
 }
 
 std::string FormatDiagnostic(const Diagnostic& diag,

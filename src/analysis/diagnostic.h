@@ -29,6 +29,12 @@ enum class DiagCode {
   kUnboundedGas,         // ANA10: light function with a ⊤ gas bound
   kGasAboveBlockLimit,   // ANA11: light function bound >= block gas limit
   kPrivateStateLeak,     // ANA12: private function reaches a state effect
+  kUnresolvedStorageKey,  // ANA13 (warning): policy fn with a ⊤ slot set
+  kTaintedStore,          // ANA14: private input flows into SSTORE
+  kTaintedLog,            // ANA15: private input flows into LOG data/topics
+  kTaintedCall,           // ANA16: private input in CALL/CREATE args
+  kTaintedReturn,         // ANA17: private input flows into RETURN data
+  kTaintedBranchEffect,   // ANA18 (warning): effect under a private branch
 };
 
 // Stable identifier ("ANA03") and short name ("stack-underflow").
@@ -44,6 +50,14 @@ struct Diagnostic {
   DiagCode code;
   uint32_t pc = 0;  // byte offset into the analyzed code segment
   std::string message;
+  // Selector of the function the finding is attributed to, when the
+  // dataflow pass can pin it down (kNoSelector otherwise). A plain field
+  // rather than std::optional keeps aggregate init of the older
+  // three-field form working everywhere.
+  static constexpr int64_t kNoSelector = -1;
+  int64_t selector = kNoSelector;
+
+  bool HasSelector() const { return selector >= 0; }
 };
 
 // "error ANA03 (stack-underflow) at pc 0x0012: ..." with ", line N" and

@@ -1,0 +1,122 @@
+#pragma once
+
+// Abstract domains for the storage-access / privacy-taint dataflow engine
+// (DESIGN §12). Two lattices:
+//
+//  * ValueSet — a bounded set of concrete 256-bit constants, or ⊤. This is
+//    the value-set/constant-propagation domain used to resolve storage keys
+//    (SLOAD/SSTORE operands) and shift amounts. Join is set union with
+//    widening to ⊤ past kMaxValues, so the lattice has finite height and
+//    the fixpoint terminates. Binary operators are evaluated pointwise
+//    over the cartesian product via the interpreter's own EvalBinop, which
+//    keeps the folding semantics byte-identical to execution.
+//
+//  * Taint — a three-point chain kClean < kSelectorWord < kPrivate.
+//    CALLDATALOAD(0) yields kSelectorWord: the first calldata word holds
+//    the 4 public selector bytes followed by 28 bytes of (possibly
+//    private) argument data. The dispatch idiom `SHR 224` strips the
+//    argument bytes and demotes it to kClean; any other use escalates to
+//    kPrivate. Everything loaded from calldata past the selector is
+//    kPrivate outright.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/u256.h"
+
+namespace onoff::analysis {
+
+// ----------------------------------------------------------------- ValueSet
+
+// ⊤ | {c_1..c_k} with k <= kMaxValues. Small inline vector keeps the hot
+// join path allocation-light; values are kept sorted and deduplicated.
+struct ValueSet {
+  static constexpr size_t kMaxValues = 4;
+
+  bool top = true;
+  std::vector<U256> values;  // sorted, unique; empty+!top = bottom (unused)
+
+  static ValueSet Top() { return ValueSet{}; }
+  static ValueSet Of(const U256& v) { return ValueSet{false, {v}}; }
+
+  bool IsConstant() const { return !top && values.size() == 1; }
+  const U256& Constant() const { return values.front(); }
+
+  // Set union with widening to ⊤ past kMaxValues.
+  void Join(const ValueSet& other);
+  void Insert(const U256& v);
+
+  bool operator==(const ValueSet& o) const {
+    return top == o.top && values == o.values;
+  }
+
+  std::string ToString() const;
+};
+
+// Evaluate a fusable binary opcode over two value sets (cartesian product,
+// widened to ⊤ past ValueSet::kMaxValues). `a` is the first-popped (top of
+// stack) operand, matching the interpreter's binding. Returns ⊤ for
+// non-fusable opcodes.
+ValueSet EvalBinary(uint8_t opcode_byte, const ValueSet& a, const ValueSet& b);
+
+// ISZERO / NOT over a value set.
+ValueSet EvalUnary(uint8_t opcode_byte, const ValueSet& a);
+
+// -------------------------------------------------------------------- Taint
+
+enum class Taint : uint8_t {
+  kClean = 0,
+  // The first calldata word: public selector bytes + private arg prefix.
+  kSelectorWord = 1,
+  kPrivate = 2,
+};
+
+inline Taint JoinTaint(Taint a, Taint b) { return a < b ? b : a; }
+
+// A selector word keeps its special status only through stack shuffling
+// and the `SHR >=224` dispatch idiom; any other data flow mixes the 28
+// argument bytes in, so it degrades to fully private.
+inline Taint Escalate(Taint t) {
+  return t == Taint::kSelectorWord ? Taint::kPrivate : t;
+}
+
+const char* TaintName(Taint t);
+
+// A tracked stack slot: what values it may hold, and whether they derive
+// from private inputs.
+struct TaintedValue {
+  ValueSet values;
+  Taint taint = Taint::kClean;
+
+  bool operator==(const TaintedValue& o) const {
+    return values == o.values && taint == o.taint;
+  }
+};
+
+// Flow-sensitive non-stack taint state. Monotone by construction: facts are
+// only ever added (no strong updates), so joins are unions and the
+// fixpoint is a sound over-approximation on loops.
+struct TaintEnv {
+  // Any byte of EVM memory may derive from private input (single-bit
+  // memory abstraction; CALLDATACOPY and stores of tainted words set it).
+  bool memory = false;
+  // Storage slots holding private-derived values. `storage_any` covers
+  // writes through unresolved (⊤) keys.
+  bool storage_any = false;
+  std::set<U256> storage;
+  // Set on blocks only reachable through a branch on private data
+  // (implicit flows). Never cleared once set on a path.
+  bool control = false;
+
+  void Join(const TaintEnv& other);
+  bool SlotTainted(const ValueSet& key) const;
+
+  bool operator==(const TaintEnv& o) const {
+    return memory == o.memory && storage_any == o.storage_any &&
+           storage == o.storage && control == o.control;
+  }
+};
+
+}  // namespace onoff::analysis

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "analysis/access_summary.h"
 #include "analysis/analyzer.h"
 #include "chain/parallel_executor.h"
 #include "evm/gas.h"
@@ -423,18 +424,102 @@ const Block& Blockchain::MineBlock() {
   return blocks_.back();
 }
 
+TxAccessHint Blockchain::BuildAccessHint(const Transaction& tx) const {
+  TxAccessHint hint;
+  auto sender_result = tx.Sender();
+  if (!sender_result.ok()) {
+    hint.known = true;  // invalid signature: rejected before any state access
+    return hint;
+  }
+  // Creations execute init code against a fresh address; not worth hinting.
+  if (tx.IsContractCreation()) return hint;
+
+  const Address& sender = *sender_result;
+  const Address& to = *tx.to;
+  auto& reads = hint.reads.keys;
+  auto& writes = hint.writes.keys;
+  // Intrinsic bookkeeping every call transaction may touch: sender nonce
+  // and balance (validation, gas charge, refund), callee existence/balance
+  // (value transfer, which creates absent accounts) and code, miner fee.
+  // Validation failures touch a subset of these, so the hint stays sound.
+  reads.insert(state::access_key::Existence(sender));
+  reads.insert(state::access_key::Balance(sender));
+  reads.insert(state::access_key::Nonce(sender));
+  writes.insert(state::access_key::Existence(sender));
+  writes.insert(state::access_key::Balance(sender));
+  writes.insert(state::access_key::Nonce(sender));
+  reads.insert(state::access_key::Existence(to));
+  reads.insert(state::access_key::Code(to));
+  // The callee's balance (and existence, via account creation) is touched
+  // only by an actual value transfer: zero-value calls skip Transfer, and a
+  // contract reading its own balance uses BALANCE, which marks the summary
+  // external-reading and thus unschedulable. Gating these keys on the value
+  // is what lets zero-value calls to disjoint selectors of one shared
+  // contract co-schedule.
+  if (!tx.value.IsZero()) {
+    reads.insert(state::access_key::Balance(to));
+    writes.insert(state::access_key::Existence(to));
+    writes.insert(state::access_key::Balance(to));
+  }
+  writes.insert(state::access_key::Balance(config_.coinbase));
+
+  const Bytes& code = state_.GetCode(to);
+  if (code.empty()) {
+    // Plain transfer or precompile call: intrinsic fields only.
+    hint.known = true;
+    return hint;
+  }
+
+  std::shared_ptr<const analysis::ProgramAccess> access =
+      analysis::AccessSummaryCache::Global().Get(state_.GetCodeHash(to), code);
+  const analysis::AccessSummary* summary = &access->program;
+  if (tx.data.size() >= 4) {
+    uint32_t selector = (static_cast<uint32_t>(tx.data[0]) << 24) |
+                        (static_cast<uint32_t>(tx.data[1]) << 16) |
+                        (static_cast<uint32_t>(tx.data[2]) << 8) |
+                        static_cast<uint32_t>(tx.data[3]);
+    if (const analysis::AccessSummary* sel = access->ForSelector(selector)) {
+      summary = sel;
+    }
+  }
+  if (!summary->StaticallySchedulable()) return hint;  // ⊤: optimistic path
+
+  // SSTORE loads the slot before writing (and reverts re-read it), so every
+  // hinted write slot is a hinted read slot too.
+  for (const U256& slot : summary->reads.slots) {
+    reads.insert(state::access_key::Slot(to, slot));
+  }
+  for (const U256& slot : summary->writes.slots) {
+    reads.insert(state::access_key::Slot(to, slot));
+    writes.insert(state::access_key::Slot(to, slot));
+  }
+  hint.known = true;
+  return hint;
+}
+
 std::vector<Receipt> Blockchain::ExecuteBlockParallel(
     const std::vector<Transaction>& txs, uint64_t block_number) {
   // The equivalence cross-check replays from the pre-block state.
   std::optional<state::WorldState> pre_state;
   if (config_.assert_parallel_equivalence) pre_state = state_.Clone();
 
+  // Static schedule: hints must be built against the pre-block state (code
+  // is looked up before the block's own transactions run), which is exactly
+  // what `state_` is at this point.
+  std::vector<TxAccessHint> hints;
+  if (config_.exec_static_scheduling || config_.check_static_containment) {
+    hints.reserve(txs.size());
+    for (const Transaction& tx : txs) hints.push_back(BuildAccessHint(tx));
+  }
+
   ParallelExecutor executor(exec_pool_.get());
   std::vector<Receipt> receipts = executor.ExecuteBlock(
       state_, txs,
       [this, block_number](state::StateView& view, const Transaction& tx) {
         return ExecuteTransaction(view, tx, block_number, /*quiet=*/true);
-      });
+      },
+      &parallel_stats_, hints.empty() ? nullptr : &hints,
+      config_.check_static_containment);
 
   // Quiet executions skip the per-tx failure telemetry; settle it here for
   // the receipts that actually made the block.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "chain/block.h"
+#include "chain/parallel_executor.h"
 #include "chain/transaction.h"
 #include "chain/tx_pool.h"
 #include "evm/evm.h"
@@ -76,6 +77,15 @@ struct ChainConfig {
   // default. All modes execute identically; this exists for benchmarks and
   // differential testing.
   std::string evm_dispatch;
+  // Parallel mining only: feed the executor static access hints from the
+  // analyzer's per-selector summaries so statically-disjoint transactions
+  // commit without dynamic conflict checks (chain/parallel_executor.h).
+  // Purely a fast path — results are byte-identical either way.
+  bool exec_static_scheduling = true;
+  // Fuzz/CI oracle: assert every transaction's recorded accesses stay
+  // inside its static hint (static ⊇ dynamic); violations are counted in
+  // chain.parallel.hint_violations and disable hints for the block's rest.
+  bool check_static_containment = false;
 };
 
 class Blockchain {
@@ -156,6 +166,9 @@ class Blockchain {
   // "miner work" metric used in the evaluation benches.
   uint64_t TotalGasUsed() const { return total_gas_used_; }
 
+  // Cumulative parallel-execution statistics (zeros under ExecMode::kSerial).
+  const ParallelExecStats& parallel_stats() const { return parallel_stats_; }
+
   // Bounds-check mode: when set, every successfully applied transaction's
   // EVM gas is checked against the static analyzer's bound (trace/bounds.h)
   // and violations are logged + recorded as trace events. Not owned.
@@ -181,6 +194,11 @@ class Blockchain {
   // (checked when config_.assert_parallel_equivalence is set).
   std::vector<Receipt> ExecuteBlockParallel(const std::vector<Transaction>& txs,
                                             uint64_t block_number);
+  // Static access footprint of `tx` in the dynamic recorder's key encoding:
+  // intrinsic sender/callee/coinbase bookkeeping plus the callee's analyzer
+  // summary for the selected function. ⊤ (known == false) for contract
+  // creations and callees whose summary is not statically schedulable.
+  TxAccessHint BuildAccessHint(const Transaction& tx) const;
   evm::BlockContext MakeBlockContext(uint64_t number, uint64_t timestamp) const;
 
   ChainConfig config_;
@@ -190,6 +208,7 @@ class Blockchain {
   std::map<std::string, Receipt> receipts_;  // keyed by raw hash bytes
   uint64_t now_;
   uint64_t total_gas_used_ = 0;
+  ParallelExecStats parallel_stats_;
   trace::GasBoundsChecker* bounds_checker_ = nullptr;
   evm::TraceHook* step_tracer_ = nullptr;
   // Dedicated workers when config_.exec_workers > 0 (else the shared pool).

@@ -580,6 +580,11 @@ CodeAnalysisCache& CodeAnalysisCache::Global() {
 
 std::shared_ptr<const CodeAnalysis> CodeAnalysisCache::Get(
     const Hash32& code_hash, const Bytes& code, bool fuse) {
+  return Get(code_hash, BytesView(code), fuse);
+}
+
+std::shared_ptr<const CodeAnalysis> CodeAnalysisCache::Get(
+    const Hash32& code_hash, BytesView code, bool fuse) {
   static obs::Counter* hits = obs::GetCounterOrNull("evm.analysis_cache.hits");
   static obs::Counter* misses =
       obs::GetCounterOrNull("evm.analysis_cache.misses");
@@ -596,8 +601,10 @@ std::shared_ptr<const CodeAnalysis> CodeAnalysisCache::Get(
   }
   if (misses != nullptr) misses->Inc();
   // Build outside the lock: concurrent misses on distinct codes must not
-  // serialize behind one another's decode.
-  auto built = std::make_shared<const CodeAnalysis>(Analyze(code, fuse));
+  // serialize behind one another's decode. The copy only happens on this
+  // miss path; hits stay allocation-free for BytesView callers.
+  auto built = std::make_shared<const CodeAnalysis>(
+      Analyze(Bytes(code.begin(), code.end()), fuse));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) return it->second;  // another thread built it first

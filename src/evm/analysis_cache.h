@@ -155,6 +155,10 @@ class CodeAnalysisCache {
   // concurrent misses on distinct codes do not serialize.
   std::shared_ptr<const CodeAnalysis> Get(const Hash32& code_hash,
                                           const Bytes& code, bool fuse);
+  // View-based variant for callers that don't own a Bytes (the static
+  // analyzer's DecodedCode); only copies the code on a miss.
+  std::shared_ptr<const CodeAnalysis> Get(const Hash32& code_hash,
+                                          BytesView code, bool fuse);
 
   size_t size() const;
   void Clear();

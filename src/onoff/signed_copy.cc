@@ -16,6 +16,10 @@ Status SignedCopy::AddSignature(const secp256k1::PrivateKey& key) {
   return Status::OK();
 }
 
+analysis::DeploymentReport SignedCopy::Audit() const {
+  return analysis::AnalyzeDeployment(bytecode_, audit_options_);
+}
+
 void SignedCopy::AttachSignature(const Address& signer,
                                  const secp256k1::Signature& signature) {
   for (Entry& e : signatures_) {

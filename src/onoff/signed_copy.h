@@ -49,6 +49,13 @@ class SignedCopy {
   Bytes Serialize() const;
   static Result<SignedCopy> Deserialize(BytesView data);
 
+  // The full pre-signing audit report under this copy's audit options:
+  // per-selector gas bounds, storage access summaries and privacy-taint
+  // diagnostics (ANA12–ANA18). AddSignature refuses on any error in this
+  // report; callers can run it standalone to show a participant what they
+  // are endorsing before they sign.
+  analysis::DeploymentReport Audit() const;
+
   // Pre-signing audit controls. The audit is on by default; the options
   // carry the declared light/private selector sets for this contract.
   void set_audit_enabled(bool enabled) { audit_enabled_ = enabled; }

@@ -12,34 +12,59 @@
 
 namespace onoff::state {
 
-namespace {
+namespace access_key {
 
-// Access-location key encodings: 20 address bytes + one kind byte
-// (+ 32 slot bytes for storage). Collisions across kinds are impossible
-// because the kind byte differs and lengths match per kind.
+namespace {
 constexpr char kExistence = 'e';
 constexpr char kBalance = 'b';
 constexpr char kNonce = 'n';
 constexpr char kCode = 'c';
 constexpr char kStorage = 's';
 
-std::string AddrKey(const Address& addr) {
-  return std::string(reinterpret_cast<const char*>(addr.view().data()),
-                     Address::kSize);
-}
-
 std::string FieldKey(const Address& addr, char kind) {
-  std::string key = AddrKey(addr);
+  std::string key = Account(addr);
   key.push_back(kind);
   return key;
 }
+}  // namespace
 
-std::string SlotKey(const Address& addr, const U256& slot) {
+std::string Account(const Address& addr) {
+  return std::string(reinterpret_cast<const char*>(addr.view().data()),
+                     Address::kSize);
+}
+std::string Existence(const Address& addr) {
+  return FieldKey(addr, kExistence);
+}
+std::string Balance(const Address& addr) { return FieldKey(addr, kBalance); }
+std::string Nonce(const Address& addr) { return FieldKey(addr, kNonce); }
+std::string Code(const Address& addr) { return FieldKey(addr, kCode); }
+std::string Slot(const Address& addr, const U256& slot) {
   std::string key = FieldKey(addr, kStorage);
   Bytes be = slot.ToBytes();
   key.append(reinterpret_cast<const char*>(be.data()), be.size());
   return key;
 }
+
+}  // namespace access_key
+
+namespace {
+
+using access_key::Account;
+
+std::string FieldKey(const Address& addr, char kind) {
+  std::string key = Account(addr);
+  key.push_back(kind);
+  return key;
+}
+
+std::string SlotKey(const Address& addr, const U256& slot) {
+  return access_key::Slot(addr, slot);
+}
+
+constexpr char kExistence = 'e';
+constexpr char kBalance = 'b';
+constexpr char kNonce = 'n';
+constexpr char kCode = 'c';
 
 }  // namespace
 
@@ -52,6 +77,21 @@ bool AccessSet::Intersects(const AccessSet& writes) const {
     }
   }
   return false;
+}
+
+bool AccessSet::Covers(const AccessSet& other) const {
+  for (const std::string& key : other.keys) {
+    if (keys.count(key) > 0) continue;
+    if (!accounts.empty() &&
+        accounts.count(key.substr(0, Address::kSize)) > 0) {
+      continue;
+    }
+    return false;
+  }
+  for (const std::string& acc : other.accounts) {
+    if (accounts.count(acc) == 0) return false;
+  }
+  return true;
 }
 
 void AccessSet::MergeFrom(const AccessSet& other) {
@@ -132,7 +172,7 @@ void SpeculativeState::DeleteAccount(const Address& addr) {
   wiped.existence_written = true;
   wiped.wiped = true;
   acc = std::move(wiped);
-  writes_.accounts.insert(AddrKey(addr));
+  writes_.accounts.insert(access_key::Account(addr));
 }
 
 U256 SpeculativeState::GetBalance(const Address& addr) const {

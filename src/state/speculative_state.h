@@ -29,6 +29,20 @@
 
 namespace onoff::state {
 
+// Access-location key encodings: 20 address bytes + one kind byte
+// (+ 32 slot bytes for storage). Collisions across kinds are impossible
+// because the kind byte differs and lengths match per kind. Exposed so the
+// chain layer can pre-build static access hints (analysis summaries) in
+// exactly the encoding the dynamic recorder uses.
+namespace access_key {
+std::string Account(const Address& addr);  // bare address (wholesale write)
+std::string Existence(const Address& addr);
+std::string Balance(const Address& addr);
+std::string Nonce(const Address& addr);
+std::string Code(const Address& addr);
+std::string Slot(const Address& addr, const U256& slot);
+}  // namespace access_key
+
 // A set of state locations touched by one speculative execution. `keys`
 // holds encoded (address, kind[, slot]) locations; `accounts` holds
 // addresses written wholesale (SELFDESTRUCT), which conflict with any
@@ -39,6 +53,11 @@ struct AccessSet {
 
   // True when `this` (interpreted as a read set) overlaps `writes`.
   bool Intersects(const AccessSet& writes) const;
+  // True when every location in `other` is covered by this set: each key
+  // is present verbatim or its address is covered wholesale, and each
+  // wholesale account is covered wholesale. The containment oracle for
+  // static-over-dynamic soundness checks.
+  bool Covers(const AccessSet& other) const;
   // Accumulates another set (used for the block's committed-writes union).
   void MergeFrom(const AccessSet& other);
   size_t size() const { return keys.size() + accounts.size(); }

@@ -8,11 +8,16 @@
 //   onoffchain_cli sign <seed> <hex>         sign keccak256(data) (v,r,s)
 //   onoffchain_cli betting <aliceSeed> <bobSeed> [revealIters]
 //       generate the paper's on/off-chain betting pair and the signed copy
-//   onoffchain_cli lint <0xhex|file.easm|file|--bundled>
+//   onoffchain_cli lint [--json] <0xhex|file.easm|file|--bundled>
 //       run the static analyzer: CFG + stack/jump verification, worst-case
-//       gas bounds, effect classification. Prints pc (and asm line/label for
-//       .easm inputs) diagnostics; exits nonzero on any error finding.
+//       gas bounds, effect classification, storage-access and privacy-taint
+//       dataflow. Prints pc (and asm line/label for .easm inputs)
+//       diagnostics; exits nonzero on any error finding.
 //       --bundled lints every contract this repo generates.
+//       --json emits the onoffchain-lint-v1 document on stdout instead of
+//       text: per-program function summaries (selector, gas bound, effects,
+//       storage reads/writes, schedulability) and diagnostics (code, name,
+//       severity, pc, line, selector, message). Exit codes are unchanged.
 //   onoffchain_cli simdispute [--sim-seed N] [--sim-latency-ms N]
 //                             [--sim-jitter-ms N] [--sim-loss P] [--trials N]
 //       run the full protocol with a dishonest loser on the deterministic
@@ -54,6 +59,7 @@
 #include "crypto/secp256k1.h"
 #include "easm/assembler.h"
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "onoff/protocol.h"
 #include "onoff/signed_copy.h"
@@ -241,6 +247,100 @@ int PrintDeploymentAnalysis(const std::string& title, BytesView init_code,
   return errors;
 }
 
+// ---- lint --json: the onoffchain-lint-v1 document ----
+
+obs::Json GasBoundJson(const analysis::GasBound& bound) {
+  return bound.bounded ? obs::Json::Uint(bound.gas) : obs::Json::Null();
+}
+
+obs::Json DiagnosticJson(const analysis::Diagnostic& d,
+                         const easm::SourceMap* map) {
+  obs::Json j = obs::Json::Object();
+  j.Set("code", obs::Json::Str(analysis::DiagCodeId(d.code)));
+  j.Set("name", obs::Json::Str(analysis::DiagCodeName(d.code)));
+  j.Set("severity",
+        obs::Json::Str(analysis::IsError(d.code) ? "error" : "warning"));
+  j.Set("pc", obs::Json::Uint(d.pc));
+  int line = map != nullptr ? map->LineAt(d.pc) : -1;
+  j.Set("line", line >= 0 ? obs::Json::Int(line) : obs::Json::Null());
+  j.Set("selector", d.HasSelector()
+                        ? obs::Json::Uint(static_cast<uint64_t>(d.selector))
+                        : obs::Json::Null());
+  j.Set("message", obs::Json::Str(d.message));
+  return j;
+}
+
+obs::Json AccessJson(const analysis::AccessSummary& access) {
+  obs::Json j = obs::Json::Object();
+  j.Set("reads", obs::Json::Str(access.reads.ToString()));
+  j.Set("writes", obs::Json::Str(access.writes.ToString()));
+  j.Set("effects", obs::Json::Str(analysis::EffectsToString(access.effects)));
+  j.Set("external_reads", obs::Json::Bool(access.external_reads));
+  j.Set("schedulable", obs::Json::Bool(access.StaticallySchedulable()));
+  return j;
+}
+
+// Appends one program entry to `programs`; returns its error count.
+int CollectAnalysisJson(obs::Json* programs, const std::string& title,
+                        const analysis::AnalysisReport& report,
+                        const easm::SourceMap* map = nullptr) {
+  obs::Json j = obs::Json::Object();
+  j.Set("title", obs::Json::Str(title));
+  j.Set("code_size", obs::Json::Uint(report.code_size));
+  j.Set("blocks", obs::Json::Uint(report.cfg.blocks.size()));
+  j.Set("edges", obs::Json::Uint(report.cfg.EdgeCount()));
+  j.Set("gas_bound", GasBoundJson(report.program_bound));
+  j.Set("access", AccessJson(report.program_access));
+  obs::Json fns = obs::Json::Array();
+  for (const analysis::FunctionReport& fn : report.functions) {
+    obs::Json f = obs::Json::Object();
+    f.Set("selector", obs::Json::Uint(fn.selector));
+    f.Set("name", obs::Json::Str(fn.name));
+    f.Set("entry_pc", obs::Json::Uint(fn.entry_pc));
+    f.Set("gas_bound", GasBoundJson(fn.gas_bound));
+    f.Set("has_loop", obs::Json::Bool(fn.has_loop));
+    f.Set("access", AccessJson(fn.access));
+    fns.Push(std::move(f));
+  }
+  j.Set("functions", std::move(fns));
+  int errors = 0;
+  obs::Json diags = obs::Json::Array();
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (analysis::IsError(d.code)) ++errors;
+    diags.Push(DiagnosticJson(d, map));
+  }
+  j.Set("diagnostics", std::move(diags));
+  j.Set("errors", obs::Json::Int(errors));
+  programs->Push(std::move(j));
+  return errors;
+}
+
+int CollectDeploymentJson(obs::Json* programs, const std::string& title,
+                          BytesView init_code,
+                          const analysis::AnalysisOptions& options) {
+  analysis::DeploymentReport report =
+      analysis::AnalyzeDeployment(init_code, options);
+  int errors = 0;
+  if (report.recognized_deployer) {
+    errors += CollectAnalysisJson(programs, title + " [deployer prologue]",
+                                  report.init);
+    errors += CollectAnalysisJson(programs, title + " [runtime]",
+                                  *report.runtime);
+  } else {
+    errors += CollectAnalysisJson(programs, title, report.init);
+  }
+  return errors;
+}
+
+int EmitLintJson(obs::Json programs, int errors) {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("schema", obs::Json::Str("onoffchain-lint-v1"));
+  doc.Set("programs", std::move(programs));
+  doc.Set("errors", obs::Json::Int(errors));
+  std::printf("%s\n", doc.Dump().c_str());
+  return errors == 0 ? 0 : 1;
+}
+
 uint32_t SelectorWord(std::string_view signature) {
   abi::Selector sel = abi::SelectorOf(signature);
   return (uint32_t{sel[0]} << 24) | (uint32_t{sel[1]} << 16) |
@@ -265,10 +365,11 @@ analysis::AnalysisOptions PolicyFor(const std::vector<std::string>& names,
   return options;
 }
 
-int CmdLintBundled() {
+int CmdLintBundled(bool json) {
   auto alice = secp256k1::PrivateKey::FromSeed("alice");
   auto bob = secp256k1::PrivateKey::FromSeed("bob");
   int errors = 0;
+  obs::Json programs = obs::Json::Array();
 
   contracts::BettingConfig cfg;
   cfg.alice = alice.EthAddress();
@@ -299,11 +400,17 @@ int CmdLintBundled() {
   analysis::AnalysisOptions betting_off_policy =
       PolicyFor({"getWinner()", "returnDisputeResolution(address)"}, {},
                 {"getWinner()"});
-  errors +=
-      PrintDeploymentAnalysis("betting on-chain", *betting_on,
-                              betting_on_policy);
-  errors += PrintDeploymentAnalysis("betting off-chain", *betting_off,
-                                    betting_off_policy);
+  if (json) {
+    errors += CollectDeploymentJson(&programs, "betting on-chain",
+                                    *betting_on, betting_on_policy);
+    errors += CollectDeploymentJson(&programs, "betting off-chain",
+                                    *betting_off, betting_off_policy);
+  } else {
+    errors += PrintDeploymentAnalysis("betting on-chain", *betting_on,
+                                      betting_on_policy);
+    errors += PrintDeploymentAnalysis("betting off-chain", *betting_off,
+                                      betting_off_policy);
+  }
 
   contracts::SyntheticConfig synth;
   auto whole = contracts::BuildWholeInit(synth);
@@ -312,6 +419,14 @@ int CmdLintBundled() {
   if (!whole.ok() || !hybrid_on.ok() || !hybrid_off.ok()) {
     ONOFF_LOG(log::Level::kError, "cli", "synthetic generation failed");
     return 1;
+  }
+  if (json) {
+    errors += CollectDeploymentJson(&programs, "synthetic whole", *whole, {});
+    errors += CollectDeploymentJson(&programs, "synthetic hybrid on-chain",
+                                    *hybrid_on, {});
+    errors += CollectDeploymentJson(&programs, "synthetic hybrid off-chain",
+                                    *hybrid_off, {});
+    return EmitLintJson(std::move(programs), errors);
   }
   errors += PrintDeploymentAnalysis("synthetic whole", *whole, {});
   errors += PrintDeploymentAnalysis("synthetic hybrid on-chain", *hybrid_on, {});
@@ -322,8 +437,8 @@ int CmdLintBundled() {
   return errors == 0 ? 0 : 1;
 }
 
-int CmdLint(const std::string& arg) {
-  if (arg == "--bundled") return CmdLintBundled();
+int CmdLint(const std::string& arg, bool json) {
+  if (arg == "--bundled") return CmdLintBundled(json);
 
   // .easm files are assembled with a source map so diagnostics carry
   // line/label positions; everything else is hex (inline or in a file).
@@ -342,6 +457,11 @@ int CmdLint(const std::string& arg) {
       return 1;
     }
     analysis::AnalysisReport report = analysis::AnalyzeProgram(*code);
+    if (json) {
+      obs::Json programs = obs::Json::Array();
+      int errors = CollectAnalysisJson(&programs, arg, report, &map);
+      return EmitLintJson(std::move(programs), errors);
+    }
     return PrintAnalysis(arg, report, &map) == 0 ? 0 : 1;
   }
 
@@ -364,6 +484,11 @@ int CmdLint(const std::string& arg) {
   if (!code.ok()) {
     ONOFF_LOG(log::Level::kError, "cli", "%s", code.status().ToString().c_str());
     return 1;
+  }
+  if (json) {
+    obs::Json programs = obs::Json::Array();
+    int errors = CollectDeploymentJson(&programs, arg, *code, {});
+    return EmitLintJson(std::move(programs), errors);
   }
   return PrintDeploymentAnalysis(arg, *code, {}) == 0 ? 0 : 1;
 }
@@ -762,7 +887,10 @@ int Dispatch(int argc, char** argv) {
   if (cmd == "asm" && argc == 3) return CmdAsm(argv[2]);
   if (cmd == "disasm" && argc == 3) return CmdDisasm(argv[2]);
   if (cmd == "sign" && argc == 4) return CmdSign(argv[2], argv[3]);
-  if (cmd == "lint" && argc == 3) return CmdLint(argv[2]);
+  if (cmd == "lint" && argc == 3) return CmdLint(argv[2], /*json=*/false);
+  if (cmd == "lint" && argc == 4 && std::strcmp(argv[2], "--json") == 0) {
+    return CmdLint(argv[3], /*json=*/true);
+  }
   if (cmd == "parexec" && argc >= 2 && argc <= 4) {
     size_t senders = argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 8;
     uint64_t blocks = argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 4;
@@ -806,7 +934,14 @@ int DispatchWithSimFlags(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   log::SetLevel(log::LevelFromArgs(&argc, argv));
+  // `lint --json` selects the lint document format; mask it from the
+  // generic --json/--metrics-json extraction (which would treat the next
+  // argument as the metrics output path). --metrics-json still works.
+  bool lint_json = argc >= 3 && std::strcmp(argv[1], "lint") == 0 &&
+                   std::strcmp(argv[2], "--json") == 0;
+  if (lint_json) argv[2] = const_cast<char*>("--lint-json");
   std::string metrics_path = obs::JsonPathFromArgs(&argc, argv, "");
+  if (lint_json) argv[2] = const_cast<char*>("--json");
   int rc = DispatchWithSimFlags(argc, argv);
   if (!metrics_path.empty()) {
     obs::Registry* registry = obs::Registry::Global();
