@@ -77,7 +77,7 @@ uint64_t AllOnChainGas(uint64_t reveal_iterations) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_ablation_dispute_rate.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_ablation_dispute_rate.json");
   std::printf(
       "=== Ablation A: expected gas vs dispute probability ===\n\n");
   std::printf("%-14s %13s %13s %13s %14s\n", "reveal iters", "optimistic",

@@ -34,7 +34,7 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_ablation_nparty.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_ablation_nparty.json");
   std::printf("=== Ablation B: n-party signed copies ===\n\n");
 
   // A realistic off-chain contract size (the betting example's init code is

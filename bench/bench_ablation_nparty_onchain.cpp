@@ -40,7 +40,7 @@ std::vector<FunctionDef> Functions() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path = obs::JsonPathFromArgs(
+  std::string json_path = obs::JsonPathFromArgsOrExit(
       &argc, argv, "BENCH_ablation_nparty_onchain.json");
   std::printf("=== Ablation B (measured): n-party dispute gas ===\n\n");
   std::printf("%-6s %16s %20s %22s\n", "n", "calldata bytes",

@@ -392,7 +392,7 @@ void BenchStaticScheduling(obs::Json& results, uint64_t blocks) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_access_analysis.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_access_analysis.json");
   uint64_t blocks = 20;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--blocks") == 0) {

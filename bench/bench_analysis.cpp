@@ -61,7 +61,7 @@ std::vector<Subject> BundledContracts() {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_analysis.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_analysis.json");
   constexpr int kRepetitions = 200;
 
   std::printf("=== Static analyzer throughput (pre-signing audit) ===\n\n");

@@ -155,7 +155,7 @@ double TimeVerify(const VerifyFixture& fx, bool parallel, int rounds,
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_crypto.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_crypto.json");
   int iters = 400;
   int blocks = 8;
   int txs_per_block = 16;

@@ -218,7 +218,7 @@ ProtocolResult RunProtocol(const std::string& dispatch, int reps) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_evm_interp.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_evm_interp.json");
   uint64_t dense_calls = 60;
   uint64_t dense_iters = 0x2000;
   int protocol_reps = 3;

@@ -133,7 +133,7 @@ obs::Json ModelJson(const ModelCost& cost) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_fig1_models.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_fig1_models.json");
   std::printf(
       "=== Fig. 1: all-on-chain vs hybrid-on/off-chain execution model ===\n\n");
   std::printf("Workload: deploy + call every function once.\n\n");

@@ -96,7 +96,7 @@ void PrintScenario(const char* title, const ProtocolReport& report) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_fig2_stages.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_fig2_stages.json");
   std::printf("=== Fig. 2: the four-stage on/off-chain mechanism ===\n");
 
   obs::Json scenarios = obs::Json::Array();

@@ -125,7 +125,7 @@ RunResult RunWorkload(const Mode& mode, const Bytes& init, size_t senders,
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_parallel_exec.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_parallel_exec.json");
   uint64_t blocks = 20;
   size_t senders = 16;
   for (int i = 1; i + 1 < argc; ++i) {

@@ -64,7 +64,7 @@ Exposure RunAllOnChain(uint64_t reveal_iterations) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_privacy_bytes.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_privacy_bytes.json");
   std::printf("=== Ablation C: private bytes exposed on-chain ===\n\n");
   std::printf("%-14s %22s %22s %22s\n", "reveal iters",
               "all-on-chain (bytes)", "hybrid optimistic", "hybrid disputed");

@@ -53,7 +53,12 @@ struct TrialOutcome {
   bool resolved = false;  // settlement == kDisputed with the correct payout
   uint64_t dispute_ms = 0;
   uint64_t dropped = 0;  // transport drops, all causes
+  uint64_t violations = 0;  // invariant violations (any nonzero is a bug)
 };
+
+// Invariant violations across every trial in the process; the JSON carries
+// this as a structural gate (it must be 0 on a healthy build).
+uint64_t g_audit_violations = 0;
 
 // One protocol run with a dishonest loser: the winner must push the two
 // dispute transactions through the configured network inside the challenge
@@ -66,7 +71,15 @@ TrialOutcome RunDisputeTrial(uint64_t seed, uint64_t latency_ms,
                              uint64_t partition_heal_ms = 0) {
   auto alice = secp256k1::PrivateKey::FromSeed("alice");
   auto bob = secp256k1::PrivateKey::FromSeed("bob");
-  chain::Blockchain chain;
+  // The adversarial-soak posture: every trial runs fully audited, with the
+  // flight recorder armed and the registry sampled on the virtual clock.
+  // All three are deterministic (and the sampler is a no-op under
+  // ONOFF_METRICS=0, keeping the exported JSON byte-stable per seed).
+  chain::ChainConfig chain_config;
+  chain_config.audit_invariants = "all";
+  chain_config.flight_recorder_events = 1024;
+  chain_config.timeseries_interval_ms = 250;
+  chain::Blockchain chain(chain_config);
   chain.FundAccount(alice.EthAddress(), contracts::Ether(10));
   chain.FundAccount(bob.EthAddress(), contracts::Ether(10));
   MessageBus bus;
@@ -98,6 +111,9 @@ TrialOutcome RunDisputeTrial(uint64_t seed, uint64_t latency_ms,
   auto report = protocol.Run(dishonest, dishonest);
   TrialOutcome out;
   out.dropped = transport.stats().dropped_total();
+  out.violations = chain.auditor() != nullptr ? chain.auditor()->violations()
+                                              : 0;
+  g_audit_violations += out.violations;
   if (!report.ok()) return out;  // counted as unresolved
   out.resolved =
       report->settlement == Settlement::kDisputed && report->correct_payout;
@@ -150,7 +166,7 @@ Cell RunCell(uint64_t base_seed, uint64_t challenge_ms, uint64_t latency_ms,
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_sim_dispute_latency.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_sim_dispute_latency.json");
   // Pin a single sweep point when given explicitly (sentinel defaults).
   uint64_t only_latency = sim::U64FlagFromArgs(&argc, argv, "sim-latency-ms", 0);
   double only_loss = sim::DoubleFlagFromArgs(&argc, argv, "sim-loss", -1.0);
@@ -231,10 +247,14 @@ int main(int argc, char** argv) {
       "outlives the window. The paper's liveness assumption holds only\n"
       "where this table reads 1.00.\n");
 
+  std::printf("audit: %" PRIu64 " invariant violations across all trials\n",
+              g_audit_violations);
+
   if (!json_path.empty()) {
     obs::Json results = obs::Json::Object();
     results.Set("seed", obs::Json::Uint(flags.seed))
         .Set("trials", obs::Json::Uint(flags.trials))
+        .Set("audit_violations", obs::Json::Uint(g_audit_violations))
         .Set("rows", std::move(rows))
         .Set("partition_sweep", std::move(partition_rows));
     Status st = obs::WriteBenchJson(json_path, "sim_dispute_latency",

@@ -61,7 +61,7 @@ state::WorldState BuildState(uint64_t accounts) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_state_store.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_state_store.json");
   std::vector<uint64_t> account_counts = {1'000, 10'000, 100'000};
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--accounts") == 0) {

@@ -167,7 +167,7 @@ int main(int argc, char** argv) {
   // Strip our --json/--metrics-json flag before google-benchmark parses the
   // remaining arguments (it rejects flags it does not recognise).
   std::string json_path =
-      onoff::obs::JsonPathFromArgs(&argc, argv, "BENCH_substrate.json");
+      onoff::obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_substrate.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

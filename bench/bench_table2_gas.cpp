@@ -91,7 +91,7 @@ Measurement MeasureDispute(uint64_t reveal_iterations) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_table2_gas.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_table2_gas.json");
   std::printf("=== Table II: gas cost of the dispute extra functions ===\n\n");
   std::printf("Paper reports (Kovan, Solidity 0.4.24):\n");
   std::printf("  deployVerifiedInstance()   225082 + reveal()\n");

@@ -118,7 +118,7 @@ Measurement RunMode(const Mode& mode, const Bytes& init, uint64_t txs) {
 
 int main(int argc, char** argv) {
   std::string json_path =
-      obs::JsonPathFromArgs(&argc, argv, "BENCH_trace_overhead.json");
+      obs::JsonPathFromArgsOrExit(&argc, argv, "BENCH_trace_overhead.json");
   uint64_t txs = 300;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--txs") == 0) {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 
 #include "analysis/access_summary.h"
 #include "analysis/analyzer.h"
@@ -54,6 +55,43 @@ Blockchain::Blockchain(ChainConfig config)
       node_store_.reset();
     }
   }
+  // Invariant auditing: an explicit config wins; otherwise $ONOFF_AUDIT
+  // supplies the spec and makes violations fatal (the CI posture).
+  std::string audit_spec = config_.audit_invariants;
+  bool audit_fatal = config_.audit_fatal;
+  if (audit_spec.empty()) {
+    const char* env = std::getenv("ONOFF_AUDIT");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      audit_spec = env;
+      audit_fatal = true;
+    }
+  }
+  if (!audit_spec.empty()) {
+    obs::AuditorConfig sink_config;
+    sink_config.fail_fast = audit_fatal;
+    auditor_ = std::make_unique<ChainAuditor>(audit_spec, sink_config);
+  }
+  // An audited chain without a recorder would detect violations but capture
+  // no evidence, so auditing implies a default-sized recorder unless one is
+  // already installed process-wide.
+  size_t recorder_slots = config_.flight_recorder_events;
+  if (recorder_slots == 0 && auditor_ != nullptr &&
+      obs::FlightRecorder::Global() == nullptr) {
+    recorder_slots = 1024;
+  }
+  if (recorder_slots > 0) {
+    obs::FlightRecorderConfig recorder_config;
+    recorder_config.capacity = recorder_slots;
+    flight_recorder_ = std::make_unique<obs::FlightRecorder>(recorder_config);
+    previous_recorder_ =
+        obs::FlightRecorder::InstallGlobal(flight_recorder_.get());
+  }
+  if (config_.timeseries_interval_ms > 0) {
+    obs::TimeseriesConfig sampler_config;
+    sampler_config.interval_ms = config_.timeseries_interval_ms;
+    timeseries_ = std::make_unique<obs::TimeseriesSampler>(
+        obs::Registry::Global(), sampler_config);
+  }
   Block genesis;
   genesis.header.number = 0;
   genesis.header.timestamp = now_;
@@ -73,9 +111,16 @@ Blockchain::Blockchain(ChainConfig config)
   blocks_.push_back(std::move(genesis));
 }
 
+Blockchain::~Blockchain() {
+  if (flight_recorder_ != nullptr) {
+    obs::FlightRecorder::InstallGlobal(previous_recorder_);
+  }
+}
+
 void Blockchain::FundAccount(const Address& addr, const U256& amount) {
   state_.AddBalance(addr, amount);
   state_.ClearJournal();
+  if (auditor_ != nullptr) auditor_->OnMint(addr, amount);
 }
 
 Result<Hash32> Blockchain::SubmitTransaction(const Transaction& tx) {
@@ -321,6 +366,9 @@ const Block& Blockchain::MineBlock() {
   std::vector<Transaction> txs =
       pool_.Take(config_.max_txs_per_block, config_.block_gas_limit);
   trace::Tracer* tracer = trace::Tracer::Global();
+  // Pre-execution capture: invariants snapshot the pre-block facts (balance
+  // sums, per-sender nonces) the post-commit checks compare against.
+  if (auditor_ != nullptr) auditor_->OnBlockStart(txs, state_);
 
   // The optimistic path needs at least two transactions to overlap and is
   // mutually exclusive with per-step instrumentation (a step tracer or
@@ -371,9 +419,32 @@ const Block& Blockchain::MineBlock() {
       ONOFF_LOG(log::Level::kError, "chain",
                 "parallel state root diverged from serial in block %llu",
                 static_cast<unsigned long long>(number));
+      obs::ViolationReport report;
+      report.invariant = "receipt_root";
+      report.message = "parallel state root diverged from serial replay";
+      report.block_height = number;
+      report.trace_id = trace::CurrentContext().trace_id;
+      report.values = {
+          {"serial_root",
+           ToHex0x(BytesView(pending_replay_root_->data(), 32))},
+          {"parallel_root",
+           ToHex0x(BytesView(block.header.state_root.data(), 32))}};
+      // Capture evidence before dying: through the auditor sink when one is
+      // configured (it logs, counts and dumps), else straight to the
+      // recorder.
+      if (auditor_ != nullptr) {
+        auditor_->sink().Report(std::move(report));
+      } else if (obs::FlightRecorder* rec = obs::FlightRecorder::Global()) {
+        obs::Json violation = report.ToJson();
+        rec->DumpOnIncident("equivalence-abort", &violation);
+      }
       std::abort();
     }
     pending_replay_root_.reset();
+  }
+
+  if (auditor_ != nullptr) {
+    auditor_->OnBlockCommit(block, block_receipts, state_);
   }
 
   if (node_store_ != nullptr) {
@@ -399,6 +470,14 @@ const Block& Blockchain::MineBlock() {
 
   blocks_.push_back(std::move(block));
   now_ += config_.block_interval_seconds;
+
+  if (obs::FlightRecorder::Global() != nullptr) {
+    obs::FlightRecord(
+        obs::FlightKind::kBlockCommit, trace::CurrentContext().trace_id,
+        number, cumulative_gas,
+        ToHex0x(BytesView(blocks_.back().header.state_root.data(), 8)));
+  }
+  if (timeseries_ != nullptr) timeseries_->Tick();
 
   static obs::Counter* blocks_mined = obs::GetCounterOrNull(
       "chain.blocks_mined");
@@ -539,6 +618,19 @@ std::vector<Receipt> Blockchain::ExecuteBlockParallel(
                   "parallel execution diverged from serial at tx %zu of "
                   "block %llu",
                   i, static_cast<unsigned long long>(block_number));
+        obs::ViolationReport report;
+        report.invariant = "receipt_root";
+        report.message = "parallel receipt diverged from serial replay";
+        report.block_height = block_number;
+        report.tx_hash = ToHex0x(BytesView(receipts[i].tx_hash.data(), 32));
+        report.trace_id = trace::CurrentContext().trace_id;
+        report.values = {{"tx_index", std::to_string(i)}};
+        if (auditor_ != nullptr) {
+          auditor_->sink().Report(std::move(report));
+        } else if (obs::FlightRecorder* rec = obs::FlightRecorder::Global()) {
+          obs::Json violation = report.ToJson();
+          rec->DumpOnIncident("equivalence-abort", &violation);
+        }
         std::abort();
       }
     }

@@ -13,10 +13,13 @@
 #include <vector>
 
 #include "chain/block.h"
+#include "chain/chain_audit.h"
 #include "chain/parallel_executor.h"
 #include "chain/transaction.h"
 #include "chain/tx_pool.h"
 #include "evm/evm.h"
+#include "obs/flight_recorder.h"
+#include "obs/timeseries.h"
 #include "state/world_state.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
@@ -86,11 +89,33 @@ struct ChainConfig {
   // inside its static hint (static ⊇ dynamic); violations are counted in
   // chain.parallel.hint_violations and disable hints for the block's rest.
   bool check_static_containment = false;
+  // Runtime invariant auditing (chain/chain_audit.h): "" = off, "all" or a
+  // comma-separated subset of {conservation, nonce, settlement,
+  // receipt_root, timer}. When empty, the ONOFF_AUDIT environment variable
+  // supplies the spec (and makes violations fail-fast) — how CI runs the
+  // whole suite audited without touching every test.
+  std::string audit_invariants;
+  // Abort on the first violation (the CI posture). Explicit configs default
+  // to reporting only; the ONOFF_AUDIT env path turns this on.
+  bool audit_fatal = false;
+  // > 0: own a flight recorder of this many ring slots and install it as
+  // the process global for this chain's lifetime (obs/flight_recorder.h).
+  // The auditor dumps its triage bundle through it on any violation.
+  size_t flight_recorder_events = 0;
+  // > 0: sample the global metrics registry into ring-buffered time series
+  // at block commits, at most once per this many obs::Clock ms
+  // (obs/timeseries.h). The series export is read via timeseries().
+  uint64_t timeseries_interval_ms = 0;
 };
 
 class Blockchain {
  public:
   explicit Blockchain(ChainConfig config = ChainConfig());
+  // Restores the previously installed global flight recorder when this
+  // chain owns one.
+  ~Blockchain();
+  Blockchain(const Blockchain&) = delete;
+  Blockchain& operator=(const Blockchain&) = delete;
 
   // ---- Genesis / test setup ----
   // Credits an account (genesis allocation / faucet).
@@ -156,6 +181,17 @@ class Blockchain {
   const ChainConfig& config() const { return config_; }
   // The persistent node store, or nullptr when persist_state is off.
   const storage::NodeStore* node_store() const { return node_store_.get(); }
+  // The invariant auditor, or nullptr when auditing is off. The protocol
+  // driver reports settlement boundaries here; tests read violations.
+  ChainAuditor* auditor() { return auditor_.get(); }
+  const ChainAuditor* auditor() const { return auditor_.get(); }
+  // The block-driven metrics sampler, or nullptr when off.
+  const obs::TimeseriesSampler* timeseries() const {
+    return timeseries_.get();
+  }
+  // Test-only fault injection: direct, transaction-free state mutation —
+  // exactly what the auditor exists to catch.
+  state::WorldState& mutable_state_for_test() { return state_; }
 
   // Read-only execution against current state (eth_call): no state change,
   // no transaction.
@@ -220,6 +256,14 @@ class Blockchain {
   // against the block's header root once MineBlock has computed it — so
   // the live state's root is computed exactly once per block.
   std::optional<Hash32> pending_replay_root_;
+  // Set when auditing is configured (audit_invariants or $ONOFF_AUDIT).
+  std::unique_ptr<ChainAuditor> auditor_;
+  // Owned recorder installed as the process global for this chain's
+  // lifetime (flight_recorder_events > 0, or auditing on with no recorder
+  // installed yet — a violation should always capture evidence).
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
+  obs::FlightRecorder* previous_recorder_ = nullptr;
+  std::unique_ptr<obs::TimeseriesSampler> timeseries_;
 };
 
 }  // namespace onoff::chain

@@ -1,0 +1,383 @@
+#include "chain/chain_audit.h"
+
+#include <sstream>
+#include <utility>
+
+#include "rlp/rlp.h"
+#include "support/log.h"
+#include "trace/trace.h"
+#include "trie/trie.h"
+
+namespace onoff::chain {
+
+namespace {
+
+std::string HashHex(const Hash32& h) {
+  return ToHex0x(BytesView(h.data(), h.size()));
+}
+
+// Trie root over RLP(index) -> payload — the header tx/receipt root shape
+// (mirrors MineBlock's computation so the check is an independent replay).
+Hash32 IndexedRoot(const std::vector<Bytes>& payloads) {
+  trie::Trie t;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    Bytes key = rlp::Encode(rlp::Item::Scalar(static_cast<uint64_t>(i)));
+    t.Put(key, payloads[i]);
+  }
+  return t.RootHash();
+}
+
+uint64_t AmbientTraceId() { return trace::CurrentContext().trace_id; }
+
+uint64_t TraceIdForTx(const Hash32& tx_hash) {
+  if (trace::Tracer* tracer = trace::Tracer::Global()) {
+    trace::TraceContext ctx = tracer->ContextForTx(tx_hash);
+    if (ctx.valid()) return ctx.trace_id;
+  }
+  return AmbientTraceId();
+}
+
+// ---- conservation --------------------------------------------------------
+// Sum of balances == initial sum + recorded mints: transactions move value
+// (sender → recipient, sender → coinbase fee) but never create it.
+class ConservationInvariant : public BlockInvariant {
+ public:
+  const char* name() const override { return "conservation"; }
+
+  void OnBlockStart(const std::vector<Transaction>& /*txs*/,
+                    const state::WorldState& state) override {
+    if (initialized_) return;
+    // Lazy baseline: whatever the chain holds when auditing starts (genesis
+    // allocations made before the auditor attached).
+    expected_ = TotalBalance(state);
+    initialized_ = true;
+  }
+
+  void OnMint(const Address& /*addr*/, const U256& amount) override {
+    if (initialized_) expected_ = expected_ + amount;
+    // Pre-baseline mints are folded into the lazy initial sum.
+  }
+
+  void OnBlockCommit(const Block& block,
+                     const std::vector<Receipt>& /*receipts*/,
+                     const state::WorldState& state,
+                     obs::Auditor& sink) override {
+    U256 actual = TotalBalance(state);
+    if (actual == expected_) return;
+    obs::ViolationReport report;
+    report.invariant = name();
+    report.message = "sum of account balances diverged from minted supply";
+    report.trace_id = AmbientTraceId();
+    report.block_height = block.header.number;
+    report.values = {{"expected_total", expected_.ToHex()},
+                     {"actual_total", actual.ToHex()}};
+    sink.Report(std::move(report));
+    // Re-anchor so one corrupted block does not re-report forever.
+    expected_ = actual;
+  }
+
+ private:
+  static U256 TotalBalance(const state::WorldState& state) {
+    U256 total;
+    for (const Address& addr : state.Addresses()) {
+      total = total + state.GetBalance(addr);
+    }
+    return total;
+  }
+
+  bool initialized_ = false;
+  U256 expected_;
+};
+
+// ---- nonce ---------------------------------------------------------------
+// Per-sender monotonicity: a block moves a sender's nonce forward by at most
+// its transaction count and at least its successful-transaction count, and
+// an account with no transactions in the block keeps its nonce. (Reverted
+// calls consume a nonce but report success=false, so the bounds are a range,
+// not an equality.)
+class NonceInvariant : public BlockInvariant {
+ public:
+  const char* name() const override { return "nonce"; }
+
+  void OnBlockCommit(const Block& block, const std::vector<Receipt>& receipts,
+                     const state::WorldState& state,
+                     obs::Auditor& sink) override {
+    struct SenderTxs {
+      uint64_t count = 0;
+      uint64_t successful = 0;
+      Hash32 first_tx{};
+    };
+    std::map<Address, SenderTxs> by_sender;
+    for (size_t i = 0; i < block.transactions.size(); ++i) {
+      auto sender = block.transactions[i].Sender();
+      if (!sender.ok()) continue;  // unsigned txs never reach a block
+      SenderTxs& entry = by_sender[*sender];
+      if (entry.count == 0) entry.first_tx = block.transactions[i].Hash();
+      ++entry.count;
+      if (i < receipts.size() && receipts[i].success) ++entry.successful;
+    }
+    for (const Address& addr : state.Addresses()) {
+      uint64_t nonce = state.GetNonce(addr);
+      auto tracked = last_nonce_.find(addr);
+      if (tracked == last_nonce_.end()) {
+        // First sight (new sender, contract created this block at nonce 1):
+        // the baseline starts here.
+        last_nonce_[addr] = nonce;
+        continue;
+      }
+      uint64_t previous = tracked->second;
+      auto txs = by_sender.find(addr);
+      uint64_t count = txs != by_sender.end() ? txs->second.count : 0;
+      uint64_t successful =
+          txs != by_sender.end() ? txs->second.successful : 0;
+      // A contract's nonce advances when it CREATEs internally (the betting
+      // contract deploying the verified instance), driven by someone else's
+      // transaction — only decreases are checkable for code-bearing
+      // accounts. EOAs move their nonce exclusively via their own
+      // transactions, so the full bounds apply.
+      bool is_contract = !state.GetCode(addr).empty();
+      std::string problem;
+      if (nonce < previous) {
+        problem = "account nonce decreased";
+      } else if (!is_contract && nonce - previous > count) {
+        problem = count == 0
+                      ? "account nonce changed with no transaction from it"
+                      : "account nonce skipped past its transaction count";
+      } else if (!is_contract && nonce - previous < successful) {
+        problem = "successful transactions did not all consume a nonce";
+      }
+      if (!problem.empty()) {
+        obs::ViolationReport report;
+        report.invariant = name();
+        report.message = problem;
+        report.block_height = block.header.number;
+        if (count > 0) {
+          report.tx_hash = HashHex(txs->second.first_tx);
+          report.trace_id = TraceIdForTx(txs->second.first_tx);
+        } else {
+          report.trace_id = AmbientTraceId();
+        }
+        report.values = {{"account", addr.ToHex()},
+                         {"nonce_before", std::to_string(previous)},
+                         {"nonce_after", std::to_string(nonce)},
+                         {"txs_in_block", std::to_string(count)},
+                         {"successful_txs", std::to_string(successful)}};
+        sink.Report(std::move(report));
+      }
+      tracked->second = nonce;
+    }
+  }
+
+ private:
+  std::map<Address, uint64_t> last_nonce_;
+};
+
+// ---- settlement ----------------------------------------------------------
+// A game id settles at most once, and a settlement that moved the pot paid
+// the rightful winner.
+class SettlementInvariant : public BlockInvariant {
+ public:
+  const char* name() const override { return "settlement"; }
+
+  void OnSettlement(const SettlementAudit& settlement,
+                    obs::Auditor& sink) override {
+    if (!settlement.resolved) return;  // aborts/refunds/locked pots
+    if (!settled_games_.insert(settlement.game).second) {
+      obs::ViolationReport report;
+      report.invariant = name();
+      report.message = "game settled twice";
+      report.trace_id = settlement.trace_id;
+      report.values = {{"game", settlement.game.ToHex()},
+                       {"settlement", settlement.settlement}};
+      sink.Report(std::move(report));
+      return;
+    }
+    if (!settlement.correct_payout) {
+      obs::ViolationReport report;
+      report.invariant = name();
+      report.message = "settlement completed but the pot missed the winner";
+      report.trace_id = settlement.trace_id;
+      report.values = {{"game", settlement.game.ToHex()},
+                       {"settlement", settlement.settlement}};
+      sink.Report(std::move(report));
+    }
+  }
+
+ private:
+  std::set<Address> settled_games_;
+};
+
+// ---- receipt_root --------------------------------------------------------
+// The committed header's tx/receipt roots must match an independent replay
+// over the block body — the speculation/commit consistency check.
+class ReceiptRootInvariant : public BlockInvariant {
+ public:
+  const char* name() const override { return "receipt_root"; }
+
+  void OnBlockCommit(const Block& block, const std::vector<Receipt>& receipts,
+                     const state::WorldState& /*state*/,
+                     obs::Auditor& sink) override {
+    std::vector<Bytes> tx_payloads;
+    tx_payloads.reserve(block.transactions.size());
+    for (const Transaction& tx : block.transactions) {
+      tx_payloads.push_back(tx.Encode());
+    }
+    std::vector<Bytes> receipt_payloads;
+    receipt_payloads.reserve(receipts.size());
+    for (const Receipt& receipt : receipts) {
+      receipt_payloads.push_back(receipt.Encode());
+    }
+    Check(block, "tx_root", block.header.tx_root, IndexedRoot(tx_payloads),
+          sink);
+    Check(block, "receipt_root", block.header.receipt_root,
+          IndexedRoot(receipt_payloads), sink);
+  }
+
+ private:
+  void Check(const Block& block, const char* which, const Hash32& header_root,
+             const Hash32& body_root, obs::Auditor& sink) {
+    if (header_root == body_root) return;
+    obs::ViolationReport report;
+    report.invariant = name();
+    report.message = std::string(which) +
+                     " in the committed header does not match the block body";
+    report.trace_id = AmbientTraceId();
+    report.block_height = block.header.number;
+    report.values = {{"field", which},
+                     {"header_root", HashHex(header_root)},
+                     {"recomputed_root", HashHex(body_root)}};
+    sink.Report(std::move(report));
+  }
+};
+
+// ---- timer ---------------------------------------------------------------
+// Block timestamps never go backwards, and sim-bound disputes respect the
+// challenge window on the virtual clock: a resolution after the window (or
+// a timeout declared before it closed) means the dispute timer is broken.
+class TimerInvariant : public BlockInvariant {
+ public:
+  const char* name() const override { return "timer"; }
+
+  void OnBlockCommit(const Block& block,
+                     const std::vector<Receipt>& /*receipts*/,
+                     const state::WorldState& /*state*/,
+                     obs::Auditor& sink) override {
+    if (block.header.timestamp < last_timestamp_) {
+      obs::ViolationReport report;
+      report.invariant = name();
+      report.message = "block timestamp went backwards";
+      report.trace_id = AmbientTraceId();
+      report.block_height = block.header.number;
+      report.values = {
+          {"previous_timestamp", std::to_string(last_timestamp_)},
+          {"block_timestamp", std::to_string(block.header.timestamp)}};
+      sink.Report(std::move(report));
+    }
+    last_timestamp_ = block.header.timestamp;
+  }
+
+  void OnSettlement(const SettlementAudit& settlement,
+                    obs::Auditor& sink) override {
+    if (settlement.t3_ms == 0) return;  // unbound run: no virtual deadlines
+    uint64_t window_end =
+        settlement.t3_ms + settlement.challenge_period_ms;
+    std::string problem;
+    if (settlement.settlement == "disputed" && settlement.resolved &&
+        settlement.settled_ms > window_end) {
+      problem = "dispute resolved after the challenge window closed";
+    } else if (settlement.settlement == "dispute-timed-out" &&
+               settlement.settled_ms < window_end) {
+      problem = "dispute declared timed out before the window closed";
+    } else if (settlement.settlement == "optimistic" &&
+               settlement.settled_ms > settlement.t3_ms) {
+      problem = "optimistic settlement landed after the T3 deadline";
+    }
+    if (problem.empty()) return;
+    obs::ViolationReport report;
+    report.invariant = name();
+    report.message = problem;
+    report.trace_id = settlement.trace_id;
+    report.values = {
+        {"game", settlement.game.ToHex()},
+        {"settled_ms", std::to_string(settlement.settled_ms)},
+        {"t3_ms", std::to_string(settlement.t3_ms)},
+        {"challenge_period_ms",
+         std::to_string(settlement.challenge_period_ms)}};
+    sink.Report(std::move(report));
+  }
+
+ private:
+  uint64_t last_timestamp_ = 0;
+};
+
+bool SpecEnables(const std::string& spec, const char* name) {
+  if (spec == "all") return true;
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<BlockInvariant>> MakeBuiltinInvariants(
+    const std::string& spec) {
+  std::vector<std::unique_ptr<BlockInvariant>> invariants;
+  if (SpecEnables(spec, "conservation")) {
+    invariants.push_back(std::make_unique<ConservationInvariant>());
+  }
+  if (SpecEnables(spec, "nonce")) {
+    invariants.push_back(std::make_unique<NonceInvariant>());
+  }
+  if (SpecEnables(spec, "settlement")) {
+    invariants.push_back(std::make_unique<SettlementInvariant>());
+  }
+  if (SpecEnables(spec, "receipt_root")) {
+    invariants.push_back(std::make_unique<ReceiptRootInvariant>());
+  }
+  if (SpecEnables(spec, "timer")) {
+    invariants.push_back(std::make_unique<TimerInvariant>());
+  }
+  return invariants;
+}
+
+ChainAuditor::ChainAuditor(const std::string& spec,
+                           obs::AuditorConfig sink_config)
+    : sink_(std::move(sink_config)),
+      invariants_(MakeBuiltinInvariants(spec)) {
+  if (invariants_.empty()) {
+    ONOFF_LOG(log::Level::kWarn, "audit",
+              "audit spec '%s' enables no invariants", spec.c_str());
+  }
+}
+
+void ChainAuditor::OnBlockStart(const std::vector<Transaction>& txs,
+                                const state::WorldState& state) {
+  for (auto& invariant : invariants_) invariant->OnBlockStart(txs, state);
+}
+
+void ChainAuditor::OnBlockCommit(const Block& block,
+                                 const std::vector<Receipt>& receipts,
+                                 const state::WorldState& state) {
+  for (auto& invariant : invariants_) {
+    invariant->OnBlockCommit(block, receipts, state, sink_);
+  }
+}
+
+void ChainAuditor::OnMint(const Address& addr, const U256& amount) {
+  for (auto& invariant : invariants_) invariant->OnMint(addr, amount);
+}
+
+void ChainAuditor::OnSettlement(const SettlementAudit& settlement) {
+  for (auto& invariant : invariants_) {
+    invariant->OnSettlement(settlement, sink_);
+  }
+}
+
+void ChainAuditor::AddInvariant(std::unique_ptr<BlockInvariant> invariant) {
+  invariants_.push_back(std::move(invariant));
+}
+
+}  // namespace onoff::chain

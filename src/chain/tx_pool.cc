@@ -4,7 +4,9 @@
 #include <map>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "support/bytes.h"
 #include "trace/trace.h"
 
 namespace onoff::chain {
@@ -71,6 +73,15 @@ Status TxPool::Add(const Transaction& tx) {
   if (trace::Tracer* tracer = trace::Tracer::Global()) {
     tracer->Event(tracer->ContextForTx(tx.Hash()), "pool.admit", "chain",
                   {{"depth", std::to_string(size())}});
+  }
+  if (obs::FlightRecorder::Global() != nullptr) {
+    Hash32 h = tx.Hash();
+    uint64_t trace_id = 0;
+    if (trace::Tracer* tracer = trace::Tracer::Global()) {
+      trace_id = tracer->ContextForTx(h).trace_id;
+    }
+    obs::FlightRecord(obs::FlightKind::kPoolAdmit, trace_id, tx.nonce, size(),
+                      ToHex0x(BytesView(h.data(), 8)));
   }
   return Status::OK();
 }
@@ -157,6 +168,9 @@ std::vector<Transaction> TxPool::Take(size_t max_count, uint64_t gas_budget) {
       static obs::Counter* stale =
           obs::GetCounterOrNull("txpool.stale_dropped");
       if (stale != nullptr) stale->Inc();
+      obs::FlightRecord(obs::FlightKind::kPoolDrop,
+                        trace::CurrentContext().trace_id, entry.tx.nonce, 0,
+                        "stale-nonce");
       continue;
     }
     if (entry.tx.nonce > ss.expected) {

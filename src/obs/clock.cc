@@ -1,0 +1,57 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace onoff::obs {
+
+namespace {
+
+uint64_t WallNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<const Clock::NowFn*>& SourceStore() {
+  static std::atomic<const Clock::NowFn*> source{nullptr};  // null = wall
+  return source;
+}
+
+// Replaced sources are retired here, never freed: a reader that loaded the
+// pointer just before an Install may still be calling through it, and the
+// retained vector keeps the allocations reachable (LeakSanitizer-clean).
+void Retire(std::unique_ptr<Clock::NowFn> fn) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<Clock::NowFn>>* retired =
+      new std::vector<std::unique_ptr<Clock::NowFn>>();
+  std::lock_guard<std::mutex> lock(mu);
+  retired->push_back(std::move(fn));
+}
+
+}  // namespace
+
+uint64_t Clock::NowUs() {
+  const NowFn* fn = SourceStore().load(std::memory_order_acquire);
+  return fn != nullptr ? (*fn)() : WallNowUs();
+}
+
+void Clock::Install(NowFn now_us) {
+  if (!now_us) {
+    SourceStore().store(nullptr, std::memory_order_release);
+    return;
+  }
+  auto fn = std::make_unique<NowFn>(std::move(now_us));
+  SourceStore().store(fn.get(), std::memory_order_release);
+  Retire(std::move(fn));
+}
+
+bool Clock::IsVirtual() {
+  return SourceStore().load(std::memory_order_acquire) != nullptr;
+}
+
+}  // namespace onoff::obs

@@ -1,7 +1,10 @@
 #include "obs/export.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 namespace onoff::obs {
 
@@ -25,9 +28,10 @@ Status WriteBenchJson(const std::string& path, const std::string& bench_name,
   return Status::OK();
 }
 
-std::string JsonPathFromArgs(int* argc, char** argv,
-                             std::string default_path) {
+Result<std::string> JsonPathFromArgs(int* argc, char** argv,
+                                     std::string default_path) {
   std::string path = std::move(default_path);
+  int occurrences = 0;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
@@ -42,6 +46,7 @@ std::string JsonPathFromArgs(int* argc, char** argv,
       value = argv[++i];
     }
     if (value != nullptr) {
+      ++occurrences;
       path = value;
     } else {
       argv[out++] = argv[i];
@@ -49,8 +54,25 @@ std::string JsonPathFromArgs(int* argc, char** argv,
   }
   *argc = out;
   argv[out] = nullptr;
-  if (path == "-") return "";
+  if (occurrences > 1) {
+    return Status::InvalidArgument(
+        "--json/--metrics-json given " + std::to_string(occurrences) +
+        " times; pass the JSON output path exactly once");
+  }
+  if (path == "-") return std::string();
   return path;
+}
+
+std::string JsonPathFromArgsOrExit(int* argc, char** argv,
+                                   std::string default_path) {
+  Result<std::string> path =
+      JsonPathFromArgs(argc, argv, std::move(default_path));
+  if (!path.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s\n", path.status().message().c_str(),
+                 kJsonFlagHelp);
+    std::exit(2);
+  }
+  return *std::move(path);
 }
 
 }  // namespace onoff::obs

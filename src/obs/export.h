@@ -24,12 +24,25 @@ namespace onoff::obs {
 Status WriteBenchJson(const std::string& path, const std::string& bench_name,
                       Json results);
 
-// Parses and removes a "--json <path>" / "--json=<path>" flag (the alias
-// "--metrics-json" is also accepted) from argv, compacting argc. Returns the
-// flag value, `default_path` when the flag is absent, or "" when the flag is
-// present with the value "-" (meaning: do not write a file).
-std::string JsonPathFromArgs(int* argc, char** argv,
-                             std::string default_path);
+// Parses and removes the JSON output-path flag from argv, compacting argc.
+// One flag, two spellings: "--json <path>" / "--json=<path>" and the alias
+// "--metrics-json <path>" / "--metrics-json=<path>" — every bench and CLI
+// subcommand documents them identically. Returns the flag value,
+// `default_path` when the flag is absent, or "" when the value is "-"
+// (meaning: do not write a file). Giving the flag more than once (in either
+// spelling) is an InvalidArgument error, not silent last-wins.
+Result<std::string> JsonPathFromArgs(int* argc, char** argv,
+                                     std::string default_path);
+
+// JsonPathFromArgs for tool main()s: prints the error plus the unified help
+// line to stderr and exits with status 2 on invalid usage.
+std::string JsonPathFromArgsOrExit(int* argc, char** argv,
+                                   std::string default_path);
+
+// The unified help line for tools that document the flag.
+inline constexpr char kJsonFlagHelp[] =
+    "--json <path>|-   JSON output path (alias: --metrics-json; '-' skips "
+    "the file)";
 
 }  // namespace onoff::obs
 

@@ -1,0 +1,248 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "support/log.h"
+
+namespace onoff::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*>& GlobalStore() {
+  static std::atomic<FlightRecorder*> recorder{nullptr};
+  return recorder;
+}
+
+// The ONOFF_LOG mirror: every record that passes the level filter is also a
+// flight event, so the bundle shows the log tail without a second sink.
+void LogMirror(log::Level level, const char* component, const char* message) {
+  FlightRecorder* recorder = GlobalStore().load(std::memory_order_acquire);
+  if (recorder == nullptr) return;
+  char detail[96];
+  std::snprintf(detail, sizeof(detail), "%s: %s", component, message);
+  recorder->Record(FlightKind::kLog, 0, static_cast<uint64_t>(level), 0,
+                   detail);
+}
+
+void SignalDumpHandler(int sig) {
+  // Restore default first: anything failing below must not recurse.
+  std::signal(sig, SIG_DFL);
+  if (FlightRecorder* recorder = GlobalStore().load(std::memory_order_acquire)) {
+    recorder->DumpOnIncident(std::string("fatal-signal-") +
+                                 std::to_string(sig),
+                             nullptr);
+  }
+  std::raise(sig);
+}
+
+}  // namespace
+
+const char* FlightKindName(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kLog:
+      return "log";
+    case FlightKind::kSpanBegin:
+      return "span-begin";
+    case FlightKind::kSpanEnd:
+      return "span-end";
+    case FlightKind::kTraceEvent:
+      return "trace-event";
+    case FlightKind::kPoolAdmit:
+      return "pool-admit";
+    case FlightKind::kPoolDrop:
+      return "pool-drop";
+    case FlightKind::kBusDeliver:
+      return "bus-deliver";
+    case FlightKind::kBusDrop:
+      return "bus-drop";
+    case FlightKind::kBlockCommit:
+      return "block-commit";
+    case FlightKind::kSettlement:
+      return "settlement";
+    case FlightKind::kViolation:
+      return "violation";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {
+  if (config_.stripes == 0) config_.stripes = 1;
+  if (config_.capacity < config_.stripes) config_.capacity = config_.stripes;
+  size_t per_stripe = config_.capacity / config_.stripes;
+  stripes_.reserve(config_.stripes);
+  for (size_t i = 0; i < config_.stripes; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    stripe->ring.resize(per_stripe);
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+FlightRecorder* FlightRecorder::Global() {
+  return GlobalStore().load(std::memory_order_acquire);
+}
+
+FlightRecorder* FlightRecorder::InstallGlobal(FlightRecorder* recorder) {
+  FlightRecorder* previous =
+      GlobalStore().exchange(recorder, std::memory_order_acq_rel);
+  log::SetRecordHook(recorder != nullptr ? &LogMirror : nullptr);
+  return previous;
+}
+
+FlightRecorder::Stripe& FlightRecorder::StripeForThisThread() {
+  size_t index = std::hash<std::thread::id>()(std::this_thread::get_id()) %
+                 stripes_.size();
+  return *stripes_[index];
+}
+
+void FlightRecorder::Record(FlightKind kind, uint64_t trace_id, uint64_t a,
+                            uint64_t b, std::string_view detail) {
+  FlightEvent event;
+  event.ts_us = Clock::NowUs();
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  event.trace_id = trace_id;
+  event.a = a;
+  event.b = b;
+  event.kind = kind;
+  size_t n = std::min(detail.size(), sizeof(event.detail) - 1);
+  std::memcpy(event.detail, detail.data(), n);
+  event.detail[n] = '\0';
+
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.ring[stripe.next] = event;
+  stripe.next = (stripe.next + 1) % stripe.ring.size();
+  ++stripe.recorded;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    size_t live = std::min<uint64_t>(stripe->recorded, stripe->ring.size());
+    // Oldest-first within the stripe: the ring wraps at `next`.
+    size_t start = stripe->recorded > stripe->ring.size() ? stripe->next : 0;
+    for (size_t i = 0; i < live; ++i) {
+      events.push_back(stripe->ring[(start + i) % stripe->ring.size()]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return events;
+}
+
+Json FlightRecorder::TriageBundle(const std::string& reason,
+                                  const Json* violation) const {
+  Json events = Json::Array();
+  for (const FlightEvent& event : Snapshot()) {
+    Json e = Json::Object();
+    e.Set("seq", Json::Uint(event.seq))
+        .Set("ts_us", Json::Uint(event.ts_us))
+        .Set("kind", Json::Str(FlightKindName(event.kind)))
+        .Set("trace_id", Json::Uint(event.trace_id))
+        .Set("a", Json::Uint(event.a))
+        .Set("b", Json::Uint(event.b))
+        .Set("detail", Json::Str(event.detail));
+    events.Push(std::move(e));
+  }
+  Json root = Json::Object();
+  root.Set("schema", Json::Str("onoffchain-flightrec-v1"))
+      .Set("reason", Json::Str(reason))
+      .Set("ts_us", Json::Uint(Clock::NowUs()))
+      .Set("violation", violation != nullptr ? *violation : Json::Null())
+      .Set("dropped", Json::Uint(events_dropped()))
+      .Set("events", std::move(events));
+  Registry* registry = Registry::Global();
+  root.Set("metrics",
+           registry != nullptr ? registry->ToJson() : Json::Null());
+  return root;
+}
+
+Status FlightRecorder::DumpTriageBundle(const std::string& path,
+                                        const std::string& reason,
+                                        const Json* violation) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open flight-recorder dump: " +
+                                   path);
+  }
+  out << TriageBundle(reason, violation).Dump();
+  if (!out.good()) {
+    return Status::Internal("failed writing flight-recorder dump to " + path);
+  }
+  return Status::OK();
+}
+
+std::string FlightRecorder::DumpOnIncident(const std::string& reason,
+                                           const Json* violation) const {
+  static std::atomic<uint64_t> incident{0};
+  const char* dir = std::getenv("ONOFF_FLIGHTREC_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/"
+                         : std::string();
+  char name[96];
+  // The pid keeps parallel ctest/bench processes sharing one directory from
+  // clobbering each other's bundles.
+  std::snprintf(name, sizeof(name), "onoffchain-flightrec-%d-%llu.json",
+                static_cast<int>(getpid()),
+                static_cast<unsigned long long>(
+                    incident.fetch_add(1, std::memory_order_relaxed)));
+  path += name;
+  Status st = DumpTriageBundle(path, reason, violation);
+  if (!st.ok()) {
+    std::fprintf(stderr, "flight recorder: %s\n", st.ToString().c_str());
+    return "";
+  }
+  ONOFF_LOG(log::Level::kWarn, "obs", "flight-recorder bundle dumped to %s (%s)",
+            path.c_str(), reason.c_str());
+  return path;
+}
+
+void FlightRecorder::InstallSignalDump() {
+  std::signal(SIGABRT, &SignalDumpHandler);
+  std::signal(SIGSEGV, &SignalDumpHandler);
+  std::signal(SIGBUS, &SignalDumpHandler);
+}
+
+uint64_t FlightRecorder::events_recorded() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->recorded;
+  }
+  return total;
+}
+
+uint64_t FlightRecorder::events_dropped() const {
+  uint64_t dropped = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (stripe->recorded > stripe->ring.size()) {
+      dropped += stripe->recorded - stripe->ring.size();
+    }
+  }
+  return dropped;
+}
+
+void FlightRecorder::Clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    std::fill(stripe->ring.begin(), stripe->ring.end(), FlightEvent{});
+    stripe->next = 0;
+    stripe->recorded = 0;
+  }
+}
+
+}  // namespace onoff::obs

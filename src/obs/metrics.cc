@@ -47,6 +47,47 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return buckets_;
 }
 
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.buckets = buckets_;
+  return snap;
+}
+
+double Histogram::QuantileFromBuckets(const std::vector<double>& bounds,
+                                      const std::vector<uint64_t>& buckets,
+                                      double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // The rank-th observation (1-based) in cumulative bucket order.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (cumulative < rank) continue;
+    // Interpolate inside bucket i: [lower, upper] holds buckets[i]
+    // observations assumed uniform.
+    double lower = i == 0 ? 0 : bounds[i - 1];
+    // The +Inf bucket has no upper edge; report its lower edge.
+    if (i >= bounds.size()) return lower;
+    double upper = bounds[i];
+    double fraction = static_cast<double>(rank - before) /
+                      static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return 0;
+}
+
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -134,36 +175,56 @@ void Registry::Reset() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
-Json Registry::ToJson() const {
+Registry::InstrumentSnapshot Registry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  Json counters = Json::Object();
+  InstrumentSnapshot snap;
+  snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
-    counters.Set(name, Json::Uint(c->Value()));
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    InstrumentSnapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.bounds = h->Bounds();
+    entry.data = h->TakeSnapshot();
+    snap.histograms.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+Json Registry::ToJson() const {
+  InstrumentSnapshot snap = Snapshot();
+  Json counters = Json::Object();
+  for (const auto& [name, value] : snap.counters) {
+    counters.Set(name, Json::Uint(value));
   }
   Json gauges = Json::Object();
-  for (const auto& [name, g] : gauges_) {
-    gauges.Set(name, Json::Int(g->Value()));
+  for (const auto& [name, value] : snap.gauges) {
+    gauges.Set(name, Json::Int(value));
   }
   Json histograms = Json::Object();
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& entry : snap.histograms) {
     Json buckets = Json::Array();
-    const std::vector<double>& bounds = h->Bounds();
-    std::vector<uint64_t> counts = h->BucketCounts();
-    for (size_t i = 0; i < counts.size(); ++i) {
+    for (size_t i = 0; i < entry.data.buckets.size(); ++i) {
       Json bucket = Json::Object();
-      bucket.Set("le", i < bounds.size()
-                           ? Json::Num(bounds[i])
+      bucket.Set("le", i < entry.bounds.size()
+                           ? Json::Num(entry.bounds[i])
                            : Json::Str("+Inf"));
-      bucket.Set("count", Json::Uint(counts[i]));
+      bucket.Set("count", Json::Uint(entry.data.buckets[i]));
       buckets.Push(std::move(bucket));
     }
-    Json entry = Json::Object();
-    entry.Set("count", Json::Uint(h->Count()))
-        .Set("sum", Json::Num(h->Sum()))
-        .Set("min", Json::Num(h->Min()))
-        .Set("max", Json::Num(h->Max()))
+    Json histogram = Json::Object();
+    histogram.Set("count", Json::Uint(entry.data.count))
+        .Set("sum", Json::Num(entry.data.sum))
+        .Set("min", Json::Num(entry.data.min))
+        .Set("max", Json::Num(entry.data.max))
         .Set("buckets", std::move(buckets));
-    histograms.Set(name, std::move(entry));
+    histograms.Set(entry.name, std::move(histogram));
   }
   Json root = Json::Object();
   root.Set("schema", Json::Str("onoffchain-metrics-v1"))

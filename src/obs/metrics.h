@@ -13,14 +13,15 @@
 #define ONOFFCHAIN_OBS_METRICS_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/clock.h"
 #include "obs/json.h"
 #include "support/status.h"
 
@@ -68,6 +69,25 @@ class Histogram {
   const std::vector<double>& Bounds() const { return bounds_; }
   // bounds_.size() + 1 entries; the last is the +Inf bucket.
   std::vector<uint64_t> BucketCounts() const;
+
+  // All fields read under one lock — the only way to get a consistent view
+  // (separate Count()/BucketCounts() calls can tear against a concurrent
+  // Observe). The JSON exporter and the time-series sampler use this.
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::vector<uint64_t> buckets;
+  };
+  Snapshot TakeSnapshot() const;
+
+  // Linear interpolation within the bucket holding quantile `q` (0..1);
+  // bounded by the bucket edges, 0 when empty. Bucket-resolution accuracy —
+  // good enough for health summaries, not for billing.
+  static double QuantileFromBuckets(const std::vector<double>& bounds,
+                                    const std::vector<uint64_t>& buckets,
+                                    double q);
   void Reset();
 
  private:
@@ -126,6 +146,22 @@ class Registry {
   std::string ToJsonString() const { return ToJson().Dump(); }
   Status WriteJsonFile(const std::string& path) const;
 
+  // A point-in-time copy of every instrument, names sorted (map order).
+  // Counters/gauges are single relaxed loads; each histogram is copied under
+  // its own lock, so no individual instrument is torn. The time-series
+  // sampler stores these.
+  struct InstrumentSnapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    struct HistogramEntry {
+      std::string name;
+      std::vector<double> bounds;
+      Histogram::Snapshot data;
+    };
+    std::vector<HistogramEntry> histograms;
+  };
+  InstrumentSnapshot Snapshot() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
@@ -153,10 +189,12 @@ inline Histogram* GetHistogramOrNull(const std::string& name,
 
 // RAII span: observes its lifetime in microseconds into a histogram (which
 // may be nullptr — the span then only carries ElapsedUs for the caller).
+// Reads obs::Clock, so timers follow the sim's virtual clock during
+// simulations instead of mixing wall durations into virtual-time exports.
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram* hist)
-      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+      : hist_(hist), start_us_(Clock::NowUs()) {}
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
   ~ScopedTimer() {
@@ -164,14 +202,12 @@ class ScopedTimer {
   }
 
   double ElapsedUs() const {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
+    return static_cast<double>(Clock::NowUs() - start_us_);
   }
 
  private:
   Histogram* hist_;
-  std::chrono::steady_clock::time_point start_;
+  uint64_t start_us_;
 };
 
 }  // namespace onoff::obs

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "trace/trace.h"
 
@@ -15,6 +16,8 @@ void MessageBus::CountDrop(size_t payload_bytes) {
       obs::GetCounterOrNull("bus.bytes_dropped");
   if (dropped != nullptr) dropped->Inc();
   if (dropped_bytes != nullptr) dropped_bytes->Inc(payload_bytes);
+  obs::FlightRecord(obs::FlightKind::kBusDrop, trace::CurrentContext().trace_id,
+                    payload_bytes, 0, "send-time drop");
 }
 
 void MessageBus::DeliverNow(Message message) {
@@ -28,6 +31,9 @@ void MessageBus::DeliverNow(Message message) {
   static obs::Counter* delivered =
       obs::GetCounterOrNull("bus.messages_delivered");
   if (delivered != nullptr) delivered->Inc();
+  obs::FlightRecord(obs::FlightKind::kBusDeliver,
+                    trace::CurrentContext().trace_id, message.payload.size(), 0,
+                    message.topic);
   inboxes_[message.to].push_back(std::move(message));
 }
 

@@ -5,6 +5,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
 #include "trace/trace.h"
 
 namespace onoff::core {
@@ -151,6 +153,18 @@ void BettingProtocol::BindSimulation(sim::Scheduler* scheduler,
       tracer->SetClock(nullptr);
     }
   }
+  // The shared observability clock follows the same binding, so ScopedTimer
+  // latencies, flight-recorder timestamps and time-series sample times all
+  // read simulated time — never a mix of wall and virtual.
+  if (sched_ != nullptr) {
+    obs::Clock::Install([sched = sched_] { return sched->NowMs() * 1000; });
+  } else {
+    obs::Clock::Install(nullptr);
+  }
+}
+
+BettingProtocol::~BettingProtocol() {
+  if (sched_ != nullptr) obs::Clock::Install(nullptr);
 }
 
 obs::Counter* BettingProtocol::StageCounter(Stage stage, const char* field) {
@@ -284,6 +298,29 @@ Result<ProtocolReport> BettingProtocol::Run(const Behavior& alice_behavior,
   }
   run_span.AddArg("settlement", SettlementName(report.settlement));
   run_span.AddArg("gas_used", std::to_string(report.TotalGas()));
+  // Settlement boundary: hand the terminal facts to the chain's invariant
+  // auditor (double-settlement / payout / dispute-window checks) and stamp
+  // the flight recorder.
+  if (chain::ChainAuditor* auditor = chain_->auditor()) {
+    chain::SettlementAudit audit;
+    audit.game = report.onchain_contract;
+    audit.settlement = SettlementName(report.settlement);
+    audit.resolved =
+        report.settlement == Settlement::kOptimistic ||
+        (report.settlement == Settlement::kDisputed &&
+         !report.verified_instance.IsZero());
+    audit.correct_payout = report.correct_payout;
+    audit.trace_id = run_span.context().trace_id;
+    if (sched_ != nullptr) {
+      audit.t3_ms = VirtualMs(run_start_ts_ + timing_.t3_offset);
+      audit.settled_ms = sched_->NowMs();
+      audit.challenge_period_ms = timing_.challenge_period_ms;
+    }
+    auditor->OnSettlement(audit);
+  }
+  obs::FlightRecord(obs::FlightKind::kSettlement,
+                    run_span.context().trace_id, report.TotalGas(), 0,
+                    SettlementName(report.settlement));
   // Mirror run totals into the global registry (no-ops when disabled).
   if (obs::Registry* g = obs::Registry::Global()) {
     g->GetCounter("protocol.runs")->Inc();

@@ -128,6 +128,8 @@ class BettingProtocol {
                   secp256k1::PrivateKey alice, secp256k1::PrivateKey bob,
                   contracts::OffchainConfig offchain_template,
                   U256 deposit_amount, ProtocolTiming timing = {});
+  // Restores the wall obs::Clock when this protocol installed a virtual one.
+  ~BettingProtocol();
 
   // Binds the run to simulated time: participant→chain transactions travel
   // through `transport` (endpoints: the participant's address hex → the

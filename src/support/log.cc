@@ -30,6 +30,11 @@ std::atomic<FILE*>& SinkStore() {
   return sink;
 }
 
+std::atomic<RecordHook>& RecordHookStore() {
+  static std::atomic<RecordHook> hook{nullptr};
+  return hook;
+}
+
 bool EqualsIgnoreCase(const std::string& a, const char* b) {
   if (a.size() != std::strlen(b)) return false;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -105,11 +110,18 @@ void Logf(Level level, const char* component, const char* format, ...) {
   va_start(args, format);
   std::vsnprintf(message, sizeof(message), format, args);
   va_end(args);
+  if (RecordHook hook = RecordHookStore().load(std::memory_order_acquire)) {
+    hook(level, component, message);
+  }
   FILE* sink = SinkStore().load(std::memory_order_acquire);
   if (sink == nullptr) sink = stderr;
   std::lock_guard<std::mutex> lock(WriterMutex());
   std::fprintf(sink, "[%s] %s: %s\n", LevelName(level), component, message);
   std::fflush(sink);
+}
+
+void SetRecordHook(RecordHook hook) {
+  RecordHookStore().store(hook, std::memory_order_release);
 }
 
 void SetSinkForTest(FILE* sink) {

@@ -55,6 +55,14 @@ void Logf(Level level, const char* component, const char* format, ...)
 // Redirects output for tests; nullptr restores stderr.
 void SetSinkForTest(FILE* sink);
 
+// An optional secondary consumer of formatted records (the obs flight
+// recorder registers here — support cannot depend on obs). Called after the
+// level filter with the fully formatted message, outside the writer mutex.
+// nullptr detaches. The hook must not call ONOFF_LOG (it would recurse).
+using RecordHook = void (*)(Level level, const char* component,
+                            const char* message);
+void SetRecordHook(RecordHook hook);
+
 }  // namespace onoff::log
 
 // The call-site macro: evaluates arguments only when the level passes.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace onoff::trace {
@@ -100,6 +101,8 @@ TraceContext Tracer::BeginSpan(const TraceContext& parent,
   TraceContext ctx;
   ctx.trace_id = span.trace_id;
   ctx.span_id = span.span_id;
+  obs::FlightRecord(obs::FlightKind::kSpanBegin, ctx.trace_id, ctx.span_id, 0,
+                    span.name);
   open_.emplace(span.span_id, std::move(span));
   return ctx;
 }
@@ -114,6 +117,8 @@ void Tracer::EndSpan(const TraceContext& ctx, Args args) {
   uint64_t now = clock_ ? clock_() : WallClockUs();
   span.dur_us = now >= span.start_us ? now - span.start_us : 0;
   for (auto& arg : args) span.args.push_back(std::move(arg));
+  obs::FlightRecord(obs::FlightKind::kSpanEnd, span.trace_id, span.span_id,
+                    span.dur_us, span.name);
   Complete(std::move(span));
 }
 
@@ -130,6 +135,8 @@ void Tracer::Event(const TraceContext& ctx, const std::string& name,
   span.start_us = clock_ ? clock_() : WallClockUs();
   span.instant = true;
   span.args = std::move(args);
+  obs::FlightRecord(obs::FlightKind::kTraceEvent, span.trace_id, span.span_id,
+                    0, span.name);
   Complete(std::move(span));
 }
 

@@ -1,0 +1,319 @@
+// The auditor's injected-fault corpus: each class of corruption the runtime
+// invariants exist to catch — minted balance, skipped nonce, replayed
+// settlement, tampered receipt root — is injected through the chain's
+// test-only mutation hooks and must be caught by exactly its invariant, with
+// a trace-id-bearing ViolationReport and a triage-bundle dump. The negative
+// half runs every betting settlement path under full auditing and demands
+// zero violations.
+
+#include "chain/chain_audit.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "contracts/betting.h"
+#include "obs/audit.h"
+#include "obs/flight_recorder.h"
+#include "onoff/protocol.h"
+
+namespace onoff::chain {
+namespace {
+
+using contracts::Ether;
+using secp256k1::PrivateKey;
+
+class AuditTest : public ::testing::Test {
+ protected:
+  AuditTest()
+      : alice_(PrivateKey::FromSeed("alice")),
+        bob_(PrivateKey::FromSeed("bob")) {
+    // Incident dumps from the chain-owned auditor land in the test tempdir,
+    // not the working directory.
+    setenv("ONOFF_FLIGHTREC_DIR", ::testing::TempDir().c_str(), 1);
+    chain::ChainConfig config;
+    config.audit_invariants = "all";
+    chain_ = std::make_unique<chain::Blockchain>(config);
+    chain_->FundAccount(alice_.EthAddress(), Ether(10));
+    chain_->FundAccount(bob_.EthAddress(), Ether(10));
+  }
+
+  // One clean value transfer, mined; establishes the lazy audit baselines.
+  void CleanBlock() {
+    auto receipt = chain_->Execute(alice_, bob_.EthAddress(), U256(1000),
+                                   Bytes{}, 100'000);
+    ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+    ASSERT_TRUE(receipt->success);
+  }
+
+  // All retained reports must name `expected` — "caught by exactly its
+  // invariant" means no collateral reports from the other four.
+  void ExpectOnlyInvariant(const std::string& expected) {
+    std::vector<obs::ViolationReport> reports =
+        chain_->auditor()->sink().Reports();
+    ASSERT_FALSE(reports.empty());
+    for (const obs::ViolationReport& report : reports) {
+      EXPECT_EQ(report.invariant, expected) << report.ToString();
+    }
+  }
+
+  PrivateKey alice_;
+  PrivateKey bob_;
+  std::unique_ptr<chain::Blockchain> chain_;
+};
+
+TEST_F(AuditTest, CleanTransfersProduceZeroViolations) {
+  ASSERT_NE(chain_->auditor(), nullptr);
+  EXPECT_EQ(chain_->auditor()->invariant_count(), 5u);
+  for (int i = 0; i < 3; ++i) CleanBlock();
+  EXPECT_EQ(chain_->auditor()->violations(), 0u);
+}
+
+TEST_F(AuditTest, MintedBalanceIsCaughtByConservation) {
+  CleanBlock();
+  EXPECT_EQ(chain_->auditor()->violations(), 0u);
+  // The fault: value appears from nowhere, bypassing FundAccount's OnMint.
+  chain_->mutable_state_for_test().AddBalance(bob_.EthAddress(), Ether(1));
+  CleanBlock();
+  EXPECT_EQ(chain_->auditor()->violations(), 1u);
+  ExpectOnlyInvariant("conservation");
+  const obs::ViolationReport report = chain_->auditor()->sink().Reports()[0];
+  EXPECT_EQ(report.block_height, chain_->Height());
+  EXPECT_EQ(report.values.size(), 2u);
+  EXPECT_EQ(report.values[0].first, "expected_total");
+  EXPECT_EQ(report.values[1].first, "actual_total");
+  EXPECT_NE(report.values[0].second, report.values[1].second);
+}
+
+TEST_F(AuditTest, LegitimateMintIsNotAViolation) {
+  CleanBlock();
+  // Post-baseline faucet credit through the audited path.
+  chain_->FundAccount(bob_.EthAddress(), Ether(5));
+  CleanBlock();
+  EXPECT_EQ(chain_->auditor()->violations(), 0u);
+}
+
+TEST_F(AuditTest, SkippedNonceIsCaughtByNonceInvariant) {
+  CleanBlock();
+  // The fault: an EOA's nonce jumps with no transaction from it. (Balances
+  // are untouched, so conservation stays quiet — the corpus point is that
+  // each fault trips its own invariant.)
+  chain_->mutable_state_for_test().SetNonce(bob_.EthAddress(), 7);
+  CleanBlock();
+  ASSERT_EQ(chain_->auditor()->violations(), 1u);
+  ExpectOnlyInvariant("nonce");
+  const obs::ViolationReport report = chain_->auditor()->sink().Reports()[0];
+  EXPECT_EQ(report.message, "account nonce changed with no transaction from it");
+  ASSERT_FALSE(report.values.empty());
+  EXPECT_EQ(report.values[0].first, "account");
+  EXPECT_EQ(report.values[0].second, bob_.EthAddress().ToHex());
+}
+
+TEST_F(AuditTest, NonceDecreaseIsCaughtForAnyAccount) {
+  CleanBlock();  // alice's nonce is now 1
+  chain_->mutable_state_for_test().SetNonce(alice_.EthAddress(), 0);
+  auto receipt = chain_->Execute(bob_, alice_.EthAddress(), U256(1), Bytes{},
+                                 100'000);
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_GE(chain_->auditor()->violations(), 1u);
+  ExpectOnlyInvariant("nonce");
+  EXPECT_EQ(chain_->auditor()->sink().Reports()[0].message,
+            "account nonce decreased");
+}
+
+TEST_F(AuditTest, ReplayedSettlementIsCaughtBySettlementInvariant) {
+  SettlementAudit settled;
+  settled.game = alice_.EthAddress();  // any address works as a game id
+  settled.settlement = "disputed";
+  settled.resolved = true;
+  settled.correct_payout = true;
+  settled.trace_id = 42;
+  chain_->auditor()->OnSettlement(settled);
+  EXPECT_EQ(chain_->auditor()->violations(), 0u);
+  // The fault: the same game id reaches a terminal payout twice.
+  chain_->auditor()->OnSettlement(settled);
+  ASSERT_EQ(chain_->auditor()->violations(), 1u);
+  ExpectOnlyInvariant("settlement");
+  const obs::ViolationReport report = chain_->auditor()->sink().Reports()[0];
+  EXPECT_EQ(report.message, "game settled twice");
+  EXPECT_EQ(report.trace_id, 42u);
+}
+
+TEST_F(AuditTest, WrongPayoutIsCaughtBySettlementInvariant) {
+  SettlementAudit wrong;
+  wrong.game = bob_.EthAddress();
+  wrong.settlement = "optimistic";
+  wrong.resolved = true;
+  wrong.correct_payout = false;
+  chain_->auditor()->OnSettlement(wrong);
+  ASSERT_EQ(chain_->auditor()->violations(), 1u);
+  EXPECT_EQ(chain_->auditor()->sink().Reports()[0].message,
+            "settlement completed but the pot missed the winner");
+}
+
+TEST_F(AuditTest, UnresolvedSettlementsAreExemptFromReplayChecks) {
+  SettlementAudit aborted;
+  aborted.game = alice_.EthAddress();
+  aborted.settlement = "aborted-unsigned";
+  aborted.resolved = false;
+  chain_->auditor()->OnSettlement(aborted);
+  chain_->auditor()->OnSettlement(aborted);  // retries of an abort are fine
+  EXPECT_EQ(chain_->auditor()->violations(), 0u);
+}
+
+TEST_F(AuditTest, TamperedReceiptRootIsCaughtByReceiptRootInvariant) {
+  auto receipt = chain_->Execute(alice_, bob_.EthAddress(), U256(1000),
+                                 Bytes{}, 100'000);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(chain_->auditor()->violations(), 0u);
+
+  // The fault: replay the committed block through a fresh auditor with its
+  // header receipt root flipped — the speculation/commit consistency check
+  // must refuse the header.
+  Block tampered = chain_->blocks().back();
+  std::vector<Receipt> receipts = {*receipt};
+  obs::AuditorConfig sink_config;
+  sink_config.dump_flight = false;
+  ChainAuditor replay("receipt_root", sink_config);
+  replay.OnBlockCommit(tampered, receipts, chain_->state());
+  EXPECT_EQ(replay.violations(), 0u) << "untampered block must pass";
+
+  tampered.header.receipt_root[0] ^= 0xff;
+  replay.OnBlockCommit(tampered, receipts, chain_->state());
+  ASSERT_EQ(replay.violations(), 1u);
+  const obs::ViolationReport report = replay.sink().Reports()[0];
+  EXPECT_EQ(report.invariant, "receipt_root");
+  ASSERT_FALSE(report.values.empty());
+  EXPECT_EQ(report.values[0].second, "receipt_root");
+}
+
+TEST_F(AuditTest, TimerViolationsOnVirtualClockFacts) {
+  obs::AuditorConfig sink_config;
+  sink_config.dump_flight = false;
+  ChainAuditor timer_audit("timer", sink_config);
+  SettlementAudit late;
+  late.game = alice_.EthAddress();
+  late.settlement = "disputed";
+  late.resolved = true;
+  late.correct_payout = true;
+  late.t3_ms = 300'000;
+  late.challenge_period_ms = 8'000;
+  late.settled_ms = 309'000;  // 1s past the window
+  timer_audit.OnSettlement(late);
+  ASSERT_EQ(timer_audit.violations(), 1u);
+  EXPECT_EQ(timer_audit.sink().Reports()[0].message,
+            "dispute resolved after the challenge window closed");
+
+  late.settled_ms = 307'000;  // inside the window: fine
+  late.game = bob_.EthAddress();
+  timer_audit.OnSettlement(late);
+  EXPECT_EQ(timer_audit.violations(), 1u);
+}
+
+// A violation with a global flight recorder installed dumps a schema-tagged
+// triage bundle into the configured directory.
+TEST_F(AuditTest, ViolationDumpsTriageBundleIntoDumpDir) {
+  std::string dump_dir =
+      ::testing::TempDir() + "/audit_test_dumps_" +
+      std::to_string(static_cast<unsigned>(::getpid()));
+  std::filesystem::create_directories(dump_dir);
+
+  obs::FlightRecorder recorder;
+  obs::FlightRecorder* previous = obs::FlightRecorder::InstallGlobal(&recorder);
+  recorder.Record(obs::FlightKind::kSettlement, 7, 21'000, 0, "disputed");
+
+  obs::AuditorConfig sink_config;
+  sink_config.dump_dir = dump_dir;
+  ChainAuditor audited("settlement", sink_config);
+  SettlementAudit settled;
+  settled.game = alice_.EthAddress();
+  settled.settlement = "disputed";
+  settled.resolved = true;
+  settled.correct_payout = true;
+  settled.trace_id = 7;
+  audited.OnSettlement(settled);
+  audited.OnSettlement(settled);
+  ASSERT_EQ(audited.violations(), 1u);
+  obs::FlightRecorder::InstallGlobal(previous);
+
+  bool found = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dump_dir)) {
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (buf.str().find("onoffchain-flightrec-v1") == std::string::npos) {
+      continue;
+    }
+    EXPECT_NE(buf.str().find("\"game settled twice\""), std::string::npos);
+    EXPECT_NE(buf.str().find("\"invariant-violation\""), std::string::npos);
+    found = true;
+  }
+  EXPECT_TRUE(found) << "no triage bundle written to " << dump_dir;
+  std::filesystem::remove_all(dump_dir);
+}
+
+// The negative corpus: every betting settlement path runs under full
+// auditing with zero violations — the invariants accept the protocol's
+// legitimate behaviours, including the adversarial ones.
+class AuditNegativeTest : public ::testing::Test {
+ protected:
+  // Runs one betting game on a freshly audited chain and returns (settlement,
+  // violations).
+  std::pair<core::Settlement, uint64_t> RunAudited(core::Behavior alice_b,
+                                                   core::Behavior bob_b) {
+    setenv("ONOFF_FLIGHTREC_DIR", ::testing::TempDir().c_str(), 1);
+    auto alice = PrivateKey::FromSeed("alice");
+    auto bob = PrivateKey::FromSeed("bob");
+    chain::ChainConfig config;
+    config.audit_invariants = "all";
+    chain::Blockchain chain(config);
+    chain.FundAccount(alice.EthAddress(), Ether(10));
+    chain.FundAccount(bob.EthAddress(), Ether(10));
+    core::MessageBus bus;
+    contracts::OffchainConfig offchain;
+    offchain.secret_alice = U256(0xa11ce);
+    offchain.secret_bob = U256(0xb0b);
+    offchain.reveal_iterations = 20;
+    core::BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                                   Ether(1));
+    auto report = protocol.Run(alice_b, bob_b);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (!report.ok()) return {core::Settlement::kAbortedUnsigned, UINT64_MAX};
+    return {report->settlement, chain.auditor()->violations()};
+  }
+};
+
+TEST_F(AuditNegativeTest, AllSettlementPathsAuditClean) {
+  core::Behavior honest;
+  core::Behavior dishonest;
+  dishonest.admit_loss = false;
+  core::Behavior unsigned_copy;
+  unsigned_copy.sign_offchain_copy = false;
+  core::Behavior no_deposit;
+  no_deposit.make_deposit = false;
+
+  auto [optimistic, v1] = RunAudited(honest, honest);
+  EXPECT_EQ(optimistic, core::Settlement::kOptimistic);
+  EXPECT_EQ(v1, 0u);
+
+  auto [disputed, v2] = RunAudited(dishonest, dishonest);
+  EXPECT_EQ(disputed, core::Settlement::kDisputed);
+  EXPECT_EQ(v2, 0u);
+
+  auto [aborted, v3] = RunAudited(honest, unsigned_copy);
+  EXPECT_EQ(aborted, core::Settlement::kAbortedUnsigned);
+  EXPECT_EQ(v3, 0u);
+
+  auto [refunded, v4] = RunAudited(honest, no_deposit);
+  EXPECT_EQ(refunded, core::Settlement::kRefunded);
+  EXPECT_EQ(v4, 0u);
+}
+
+}  // namespace
+}  // namespace onoff::chain

@@ -1,0 +1,152 @@
+// Time-series sampler: interval gating on the injected obs::Clock, counter
+// deltas and histogram quantiles in the export, clock-regression recovery,
+// and null-registry no-op behaviour.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace onoff::obs {
+namespace {
+
+// Installs a settable virtual clock for the test's lifetime and restores the
+// wall clock on destruction (the shared_ptr keeps the cell alive for any
+// reader that raced the restore).
+class VirtualClockFixture {
+ public:
+  VirtualClockFixture() : now_us_(std::make_shared<uint64_t>(0)) {
+    auto cell = now_us_;
+    Clock::Install([cell] { return *cell; });
+  }
+  ~VirtualClockFixture() { Clock::Install(nullptr); }
+  void SetMs(uint64_t ms) { *now_us_ = ms * 1000; }
+
+ private:
+  std::shared_ptr<uint64_t> now_us_;
+};
+
+TEST(TimeseriesTest, TickHonoursIntervalOnVirtualClock) {
+  VirtualClockFixture clock;
+  Registry reg;
+  TimeseriesConfig config;
+  config.interval_ms = 100;
+  TimeseriesSampler sampler(&reg, config);
+
+  clock.SetMs(10);
+  EXPECT_TRUE(sampler.Tick());   // first tick always samples
+  EXPECT_FALSE(sampler.Tick());  // same instant: inside the interval
+  clock.SetMs(60);
+  EXPECT_FALSE(sampler.Tick());  // 50ms elapsed < 100ms interval
+  clock.SetMs(110);
+  EXPECT_TRUE(sampler.Tick());  // 100ms elapsed
+  EXPECT_EQ(sampler.samples(), 2u);
+}
+
+TEST(TimeseriesTest, ClockRegressionResamplesInsteadOfStalling) {
+  VirtualClockFixture clock;
+  Registry reg;
+  TimeseriesConfig config;
+  config.interval_ms = 100;
+  TimeseriesSampler sampler(&reg, config);
+  clock.SetMs(500);
+  EXPECT_TRUE(sampler.Tick());
+  // A fresh simulated run rebinds the virtual clock back to zero; the
+  // sampler must treat the regression as a new cadence, not go silent for
+  // 500 virtual ms.
+  clock.SetMs(0);
+  EXPECT_TRUE(sampler.Tick());
+  EXPECT_EQ(sampler.samples(), 2u);
+}
+
+TEST(TimeseriesTest, ExportDerivesCounterDeltasAndQuantiles) {
+  VirtualClockFixture clock;
+  Registry reg;
+  Counter* blocks = reg.GetCounter("chain.blocks_mined");
+  Histogram* h = reg.GetHistogram("mine_us", {10.0, 100.0, 1000.0});
+  TimeseriesConfig config;
+  config.interval_ms = 100;
+  TimeseriesSampler sampler(&reg, config);
+
+  clock.SetMs(100);
+  blocks->Inc(3);
+  h->Observe(50.0);
+  sampler.SampleNow();
+  clock.SetMs(200);
+  blocks->Inc(5);
+  h->Observe(50.0);
+  h->Observe(500.0);
+  sampler.SampleNow();
+
+  std::string json = sampler.ToJson().Dump();
+  EXPECT_NE(json.find("\"onoffchain-timeseries-v1\""), std::string::npos);
+  // Second counter point carries the delta since the first (3 -> 8).
+  EXPECT_NE(json.find("\"delta\": 5"), std::string::npos);
+  // Timestamps come from the virtual clock.
+  EXPECT_NE(json.find("\"ts_us\": 100000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts_us\": 200000"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  EXPECT_EQ(sampler.LatestCounter("chain.blocks_mined"), 8u);
+  EXPECT_FALSE(sampler.LatestCounter("missing").has_value());
+  // 8 - 3 = 5 increments over 100ms of virtual time = 50/s.
+  ASSERT_TRUE(sampler.CounterRatePerSec("chain.blocks_mined").has_value());
+  EXPECT_DOUBLE_EQ(*sampler.CounterRatePerSec("chain.blocks_mined"), 50.0);
+  ASSERT_TRUE(sampler.LatestQuantile("mine_us", 0.5).has_value());
+  EXPECT_GT(*sampler.LatestQuantile("mine_us", 0.99),
+            *sampler.LatestQuantile("mine_us", 0.25));
+}
+
+TEST(TimeseriesTest, CapacityEvictsOldestSamples) {
+  VirtualClockFixture clock;
+  Registry reg;
+  Counter* c = reg.GetCounter("c");
+  TimeseriesConfig config;
+  config.interval_ms = 1;
+  config.capacity = 3;
+  TimeseriesSampler sampler(&reg, config);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    clock.SetMs(i * 10);
+    c->Inc();
+    sampler.SampleNow();
+  }
+  EXPECT_EQ(sampler.samples(), 3u);
+  EXPECT_EQ(sampler.LatestCounter("c"), 10u);
+  sampler.Clear();
+  EXPECT_EQ(sampler.samples(), 0u);
+  EXPECT_FALSE(sampler.LatestCounter("c").has_value());
+}
+
+TEST(TimeseriesTest, NullRegistryIsANoOp) {
+  TimeseriesSampler sampler(nullptr);
+  EXPECT_FALSE(sampler.Tick());
+  sampler.SampleNow();
+  EXPECT_EQ(sampler.samples(), 0u);
+  std::string json = sampler.ToJson().Dump();
+  EXPECT_NE(json.find("\"samples\": 0"), std::string::npos);
+  EXPECT_FALSE(sampler.LatestCounter("anything").has_value());
+}
+
+// The satellite contract for obs::Clock: ScopedTimer reads the installed
+// source, so virtual-clocked spans measure virtual, not wall, time.
+TEST(TimeseriesTest, ScopedTimerMeasuresOnInstalledClock) {
+  VirtualClockFixture clock;
+  Histogram h({1e12});
+  clock.SetMs(1000);
+  {
+    ScopedTimer timer(&h);
+    clock.SetMs(1250);
+    EXPECT_DOUBLE_EQ(timer.ElapsedUs(), 250'000.0);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 250'000.0);
+}
+
+}  // namespace
+}  // namespace onoff::obs

@@ -32,12 +32,23 @@
 //       onoffchain-trace-v1 span dump, and optionally a per-opcode structLog;
 //       --check-bounds verifies observed gas against the static analyzer's
 //       bounds and exits nonzero on a violation.
+//   onoffchain_cli health [sim flags] [--timeseries-json <path>]
+//                         [--flightrec-json <path>]
+//       run the sim dispute workload with the invariant auditor, flight
+//       recorder and time-series sampler all on, then print a one-screen
+//       health summary (settlements, violations, recorder pressure, latency
+//       quantiles). --timeseries-json writes the onoffchain-timeseries-v1
+//       series; --flightrec-json writes an onoffchain-flightrec-v1 triage
+//       bundle. Exits nonzero on any invariant violation.
 //
-// Any command additionally accepts --metrics-json <path> (or =<path>): after
-// the command runs, the process-global metrics registry is dumped to <path>
-// in the onoffchain-metrics-v1 JSON schema; and --log-level
-// <trace|debug|info|warn|error|off> to filter the structured diagnostics the
-// library layers emit on stderr.
+// Any command additionally accepts the unified JSON output flag
+//   --json <path>|-   JSON output path (alias: --metrics-json; '-' skips the
+//                     file)
+// dumping the process-global metrics registry to <path> in the
+// onoffchain-metrics-v1 schema after the command runs (given more than once,
+// the tool exits 2 instead of silently keeping the last value); and
+// --log-level <trace|debug|info|warn|error|off> to filter the structured
+// diagnostics the library layers emit on stderr.
 //
 // Everything runs fully offline against the in-repo substrate.
 
@@ -80,7 +91,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: onoffchain_cli "
                "<keygen|selector|keccak|asm|disasm|sign|betting|lint|"
-               "simdispute|trace|parexec|storage> args...\n");
+               "simdispute|trace|health|parexec|storage> args...\n");
   return 2;
 }
 
@@ -564,6 +575,184 @@ int CmdSimDispute(const sim::SimFlags& flags) {
   return 0;
 }
 
+// ---- health: the soak-triage one-screen summary ----
+
+struct HealthFlags {
+  std::string timeseries_json;
+  std::string flightrec_json;
+};
+
+// Strips --timeseries-json/--flightrec-json ("--flag value" and
+// "--flag=value") from argv.
+HealthFlags HealthFlagsFromArgs(int* argc, char** argv) {
+  HealthFlags flags;
+  auto take_value = [&](int i, const char* name, std::string* out) {
+    std::string arg = argv[i];
+    std::string prefix = std::string(name) + "=";
+    if (arg == name && i + 1 < *argc) {
+      *out = argv[i + 1];
+      return 2;
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      *out = arg.substr(prefix.size());
+      return 1;
+    }
+    return 0;
+  };
+  int out_i = 0;
+  for (int i = 0; i < *argc;) {
+    int eaten = take_value(i, "--timeseries-json", &flags.timeseries_json);
+    if (eaten == 0) {
+      eaten = take_value(i, "--flightrec-json", &flags.flightrec_json);
+    }
+    if (eaten == 0) {
+      argv[out_i++] = argv[i++];
+    } else {
+      i += eaten;
+    }
+  }
+  *argc = out_i;
+  return flags;
+}
+
+int CmdHealth(const sim::SimFlags& flags, const HealthFlags& health) {
+  // One chain across every trial, with all three observability subsystems
+  // on: the auditor watches each block and settlement, the chain-owned
+  // flight recorder captures the event stream, and the sampler snapshots
+  // the registry at block commits on the virtual clock.
+  chain::ChainConfig config;
+  config.audit_invariants = "all";
+  config.flight_recorder_events = 4096;
+  config.timeseries_interval_ms = 200;
+  chain::Blockchain chain(config);
+
+  auto alice = secp256k1::PrivateKey::FromSeed("alice");
+  auto bob = secp256k1::PrivateKey::FromSeed("bob");
+  chain.FundAccount(alice.EthAddress(), contracts::Ether(1000));
+  chain.FundAccount(bob.EthAddress(), contracts::Ether(1000));
+  core::MessageBus bus;
+  contracts::OffchainConfig offchain;
+  offchain.secret_alice = U256(0xa11ce);
+  offchain.secret_bob = U256(0xb0b);
+  offchain.reveal_iterations = 20;
+
+  std::map<std::string, uint64_t> settlements;
+  uint64_t run_failures = 0;
+  for (uint64_t trial = 0; trial < flags.trials; ++trial) {
+    sim::Scheduler sched;
+    uint64_t state = flags.seed;
+    (void)sim::SplitMix64(&state);
+    state ^= trial;
+    sim::SimTransport transport(&sched, sim::SplitMix64(&state));
+    sim::LinkConfig cfg;
+    cfg.latency_ms = flags.latency_ms;
+    cfg.jitter_ms = flags.jitter_ms;
+    cfg.loss = flags.loss;
+    transport.SetLink(alice.EthAddress().ToHex(), "chain", cfg);
+    transport.SetLink(bob.EthAddress().ToHex(), "chain", cfg);
+
+    core::BettingProtocol protocol(&chain, &bus, alice, bob, offchain,
+                                   contracts::Ether(1));
+    protocol.BindSimulation(&sched, &transport);
+    // Alternate the optimistic and dispute paths so both settlement
+    // boundaries (and both invariant families) exercise.
+    core::Behavior behavior;
+    behavior.admit_loss = trial % 2 == 0;
+    auto report = protocol.Run(behavior, behavior);
+    if (!report.ok()) {
+      ++run_failures;
+      ONOFF_LOG(log::Level::kWarn, "cli", "health trial %llu failed: %s",
+                static_cast<unsigned long long>(trial),
+                report.status().ToString().c_str());
+      continue;
+    }
+    ++settlements[core::SettlementName(report->settlement)];
+  }
+
+  std::printf("=== onoffchain health ===\n");
+  std::printf("workload: %llu sim dispute trials (seed=%llu latency=%llums "
+              "jitter=%llums loss=%.2f), %llu failed\n",
+              static_cast<unsigned long long>(flags.trials),
+              static_cast<unsigned long long>(flags.seed),
+              static_cast<unsigned long long>(flags.latency_ms),
+              static_cast<unsigned long long>(flags.jitter_ms), flags.loss,
+              static_cast<unsigned long long>(run_failures));
+  std::printf("settlements:");
+  for (const auto& [name, count] : settlements) {
+    std::printf(" %s=%llu", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  std::printf("chain: height %llu, %llu gas paid, %zu txs pending\n",
+              static_cast<unsigned long long>(chain.Height()),
+              static_cast<unsigned long long>(chain.TotalGasUsed()),
+              chain.PendingCount());
+
+  const chain::ChainAuditor* auditor = chain.auditor();
+  uint64_t violations = auditor != nullptr ? auditor->violations() : 0;
+  std::printf("auditor: %zu invariants armed, %llu violations  [%s]\n",
+              auditor != nullptr ? auditor->invariant_count() : 0,
+              static_cast<unsigned long long>(violations),
+              violations == 0 ? "OK" : "FAIL");
+  if (auditor != nullptr) {
+    for (const obs::ViolationReport& report :
+         chain.auditor()->sink().Reports()) {
+      std::printf("  violation: %s\n", report.ToString().c_str());
+    }
+  }
+
+  obs::FlightRecorder* recorder = obs::FlightRecorder::Global();
+  if (recorder != nullptr) {
+    std::printf("flight recorder: %llu events recorded, %llu overwritten "
+                "(ring %zu)\n",
+                static_cast<unsigned long long>(recorder->events_recorded()),
+                static_cast<unsigned long long>(recorder->events_dropped()),
+                recorder->config().capacity);
+  }
+
+  const obs::TimeseriesSampler* series = chain.timeseries();
+  if (series != nullptr && series->samples() > 0) {
+    std::printf("timeseries: %zu samples @ %llums virtual",
+                series->samples(),
+                static_cast<unsigned long long>(
+                    chain.config().timeseries_interval_ms));
+    if (auto blocks = series->LatestCounter("chain.blocks_mined")) {
+      std::printf(", blocks_mined=%llu",
+                  static_cast<unsigned long long>(*blocks));
+    }
+    if (auto p99 = series->LatestQuantile("chain.mine_block_us", 0.99)) {
+      std::printf(", mine_block p99=%.0fus", *p99);
+    }
+    std::printf("\n");
+  } else {
+    std::printf("timeseries: no samples (metrics disabled?)\n");
+  }
+
+  int rc = violations == 0 && run_failures == 0 ? 0 : 1;
+  if (!health.timeseries_json.empty()) {
+    if (series == nullptr) {
+      ONOFF_LOG(log::Level::kWarn, "cli",
+                "timeseries sampler is off; not writing %s",
+                health.timeseries_json.c_str());
+    } else {
+      Status st = series->WriteJsonFile(health.timeseries_json);
+      if (!st.ok()) {
+        ONOFF_LOG(log::Level::kError, "cli", "%s", st.ToString().c_str());
+        rc = 1;
+      }
+    }
+  }
+  if (!health.flightrec_json.empty() && recorder != nullptr) {
+    Status st = recorder->DumpTriageBundle(health.flightrec_json,
+                                           "health-export", nullptr);
+    if (!st.ok()) {
+      ONOFF_LOG(log::Level::kError, "cli", "%s", st.ToString().c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 struct TraceFlags {
   std::string chrome_json;
   std::string trace_json;
@@ -927,6 +1116,14 @@ int DispatchWithSimFlags(int argc, char** argv) {
     if (argc != 2) return Usage();  // leftover unknown arguments
     return CmdTrace(sim_flags, trace_flags);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "health") == 0) {
+    HealthFlags health_flags = HealthFlagsFromArgs(&argc, argv);
+    sim::SimFlags defaults;
+    defaults.trials = 4;
+    sim::SimFlags sim_flags = sim::SimFlagsFromArgs(&argc, argv, defaults);
+    if (argc != 2) return Usage();  // leftover unknown arguments
+    return CmdHealth(sim_flags, health_flags);
+  }
   return Dispatch(argc, argv);
 }
 
@@ -940,7 +1137,7 @@ int main(int argc, char** argv) {
   bool lint_json = argc >= 3 && std::strcmp(argv[1], "lint") == 0 &&
                    std::strcmp(argv[2], "--json") == 0;
   if (lint_json) argv[2] = const_cast<char*>("--lint-json");
-  std::string metrics_path = obs::JsonPathFromArgs(&argc, argv, "");
+  std::string metrics_path = obs::JsonPathFromArgsOrExit(&argc, argv, "");
   if (lint_json) argv[2] = const_cast<char*>("--json");
   int rc = DispatchWithSimFlags(argc, argv);
   if (!metrics_path.empty()) {
